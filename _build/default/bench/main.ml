@@ -1,0 +1,736 @@
+(* Benchmark & reproduction harness.
+
+   Running this executable regenerates every experiment row of the
+   reproduction (E1–E13 in DESIGN.md): the paper has no numbered tables
+   or figures (theory venue), so each measurable claim — each algorithm
+   theorem, the n = 3 result, Conjecture 3.7's simulations, the fully
+   mixed equilibrium theorems and the price-of-anarchy bounds — gets a
+   table here.  A Bechamel timing section at the end measures the
+   polynomial-time algorithms.
+
+   QUICK=1 dune exec bench/main.exe  — reduced trial counts. *)
+
+open Model
+open Numeric
+open Experiments
+
+let quick = Sys.getenv_opt "QUICK" <> None
+
+(* Fit t = C·n^b over a scaling table's rows and print the exponent,
+   making the O(n^k) claims directly comparable to measurements. *)
+let print_exponent label rows =
+  match rows with
+  | _ :: _ :: _ ->
+    let points =
+      List.map (fun (r : Scaling.row) -> (float_of_int r.n, r.microseconds)) rows
+    in
+    let fit = Stats.Regression.log_log points in
+    Printf.printf "fitted %s ~ n^%.2f (R² = %.3f)\n" label fit.slope fit.r_squared
+  | _ -> ()
+
+
+let trials base = if quick then max 5 (base / 10) else base
+
+(* ------------------------------------------------------------------ *)
+(* E1–E3: the paper's polynomial-time algorithms                       *)
+
+let correctness_table ~name ~solve ~make_game ~with_initial ~seed ~count =
+  let rng = Prng.Rng.create seed in
+  let ok = ref 0 and ok_initial = ref 0 in
+  for _ = 1 to count do
+    let g = make_game rng in
+    let sigma = solve ?initial:None g in
+    if Pure.is_nash g sigma then incr ok;
+    if with_initial then begin
+      let initial =
+        Array.init (Game.links g) (fun _ -> Prng.Rng.rational rng ~den_bound:4)
+      in
+      let sigma = solve ?initial:(Some initial) g in
+      if Pure.is_nash g ~initial sigma then incr ok_initial
+    end
+  done;
+  let t = Stats.Table.create [ "algorithm"; "instances"; "pure NE"; "pure NE (initial traffic)" ] in
+  Stats.Table.add_row t
+    [
+      name; string_of_int count; Report.pct !ok count;
+      (if with_initial then Report.pct !ok_initial count else "n/a");
+    ];
+  Stats.Table.print t
+
+let e1 () =
+  Report.heading "E1" "Algorithm A_twolinks computes a pure NE in O(n^2) (Theorem 3.3)";
+  correctness_table ~name:"A_twolinks" ~seed:101 ~count:(trials 300) ~with_initial:true
+    ~solve:(fun ?initial g -> Algo.Two_links.solve ?initial g)
+    ~make_game:(fun rng ->
+      let n = Prng.Rng.int_in rng 2 10 in
+      Generators.game rng ~n ~m:2 ~weights:(Generators.Rational_weights 6)
+        ~beliefs:(Generators.Shared_space { states = 3; cap_bound = 6; grain = 4 }));
+  let rows =
+    Scaling.run ~seed:102 ~sizes:(List.map (fun n -> (n, 2)) [ 4; 8; 16; 32; 64 ])
+    |> List.filter (fun (r : Scaling.row) -> r.algorithm = "A_twolinks (Thm 3.3)")
+  in
+  Stats.Table.print (Scaling.table rows);
+  print_exponent "A_twolinks time (theorem: n^2 of exact ops)" rows
+
+let e2 () =
+  Report.heading "E2" "Algorithm A_symmetric computes a pure NE in O(n^2 m) (Theorem 3.5)";
+  correctness_table ~name:"A_symmetric" ~seed:103 ~count:(trials 300) ~with_initial:false
+    ~solve:(fun ?initial g ->
+      assert (initial = None);
+      Algo.Symmetric.solve g)
+    ~make_game:(fun rng ->
+      let n = Prng.Rng.int_in rng 2 10 and m = Prng.Rng.int_in rng 2 5 in
+      Generators.game rng ~n ~m ~weights:Generators.Unit_weights
+        ~beliefs:(Generators.Private_point { cap_bound = 8 }));
+  (* The proof bounds total defection moves by n(n-1)/2. *)
+  let rng = Prng.Rng.create 104 in
+  let worst_ratio = ref 0.0 in
+  for _ = 1 to trials 300 do
+    let n = Prng.Rng.int_in rng 3 12 and m = Prng.Rng.int_in rng 2 5 in
+    let g =
+      Generators.game rng ~n ~m ~weights:Generators.Unit_weights
+        ~beliefs:(Generators.Private_point { cap_bound = 8 })
+    in
+    let _, moves = Algo.Symmetric.solve_with_stats g in
+    let bound = float_of_int (n * (n - 1) / 2) in
+    if bound > 0.0 then worst_ratio := Float.max !worst_ratio (float_of_int moves /. bound)
+  done;
+  Printf.printf "worst observed defections / (n(n-1)/2) = %.3f (theorem requires <= 1)\n" !worst_ratio;
+  let rows =
+    Scaling.run ~seed:105 ~sizes:[ (8, 4); (16, 4); (32, 4); (64, 4) ]
+    |> List.filter (fun (r : Scaling.row) -> r.algorithm = "A_symmetric (Thm 3.5)")
+  in
+  Stats.Table.print (Scaling.table rows);
+  print_exponent "A_symmetric time (theorem: n^2·m)" rows
+
+let e3 () =
+  Report.heading "E3" "Algorithm A_uniform computes a pure NE in O(n(log n + m)) (Theorem 3.6)";
+  correctness_table ~name:"A_uniform" ~seed:106 ~count:(trials 300) ~with_initial:true
+    ~solve:(fun ?initial g -> Algo.Uniform_beliefs.solve ?initial g)
+    ~make_game:(fun rng ->
+      let n = Prng.Rng.int_in rng 2 12 and m = Prng.Rng.int_in rng 2 5 in
+      Generators.game rng ~n ~m ~weights:(Generators.Rational_weights 6)
+        ~beliefs:(Generators.Uniform_link_view { cap_bound = 6 }));
+  let rows =
+    Scaling.run ~seed:107 ~sizes:[ (16, 4); (64, 4); (256, 4) ]
+    |> List.filter (fun (r : Scaling.row) -> r.algorithm = "A_uniform (Thm 3.6)")
+  in
+  Stats.Table.print (Scaling.table rows);
+  print_exponent "A_uniform time (theorem: n·(log n + m))" rows
+
+(* ------------------------------------------------------------------ *)
+(* E4: three users — no best-response cycles, pure NE always           *)
+
+let e4 () =
+  Report.heading "E4" "n = 3: no best-response cycles; a pure NE always exists (Section 3.1)";
+  let rows =
+    Cycles.run ~seed:108 ~ns:[ 3 ] ~ms:[ 2; 3; 4 ] ~trials:(trials 200)
+      ~weights:(Generators.Rational_weights 6)
+      ~beliefs:(Generators.Private_point { cap_bound = 9 })
+  in
+  Stats.Table.print (Cycles.table rows)
+
+(* ------------------------------------------------------------------ *)
+(* E5: Conjecture 3.7 — the paper's existence simulations              *)
+
+let e5 () =
+  Report.heading "E5"
+    "Pure NE existence on random instances (Conjecture 3.7; reproduces the paper's simulations)";
+  List.iter
+    (fun (weights, beliefs) ->
+      let rows =
+        Existence.run ~domains:(Parallel.available_domains ()) ~seed:109
+          ~ns:[ 2; 3; 4; 5 ] ~ms:[ 2; 3 ] ~trials:(trials 100) ~weights ~beliefs ()
+      in
+      Stats.Table.print (Existence.table rows))
+    [
+      (Generators.Rational_weights 5, Generators.Shared_space { states = 3; cap_bound = 6; grain = 4 });
+      (Generators.Integer_weights 5, Generators.Private_point { cap_bound = 8 });
+      (Generators.Integer_weights 5, Generators.Signal_posterior { states = 4; cap_bound = 6; grain = 5 });
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E6: better-response cycles (ordinal potential, Section 3.2)         *)
+
+let e6 () =
+  Report.heading "E6"
+    "Better-response cycles: belief model vs. general player-specific games (Section 3.2)";
+  let rows =
+    Cycles.run ~seed:110 ~ns:[ 3; 4 ] ~ms:[ 2; 3 ] ~trials:(trials 200)
+      ~weights:(Generators.Integer_weights 6)
+      ~beliefs:(Generators.Private_point { cap_bound = 12 })
+  in
+  Stats.Table.print (Cycles.table rows);
+  (* Contrast: in Milchtaich's general (non-linear) unweighted class,
+     better-response cycles are common. *)
+  let rng = Prng.Rng.create 111 in
+  let cyclic = ref 0 in
+  let count = trials 2000 in
+  for _ = 1 to count do
+    let t = Kp.Milchtaich.Unweighted.random rng ~players:3 ~links:3 ~value_bound:6 in
+    if Kp.Milchtaich.Unweighted.has_better_response_cycle t then incr cyclic
+  done;
+  Printf.printf
+    "contrast — general player-specific (3 players, 3 links, monotone tables): %s have a \
+     better-response cycle\n"
+    (Report.pct !cyclic count);
+  (* The witness: a 6-user instance of the belief model whose
+     better-response graph IS cyclic, found by bin/cycle_hunt.exe after
+     ~68M smaller instances had none.  This reproduces the paper's
+     Section 3.2 claim (B. Monien's unpublished observation). *)
+  let witness = Algo.Witness.better_response_cycle_game () in
+  Printf.printf
+    "witness (found by cycle_hunt, minimised to n=%d, m=%d): better-response cycle %b, \
+     pure NE count %d, best-response cycle %b\n"
+    (Game.users witness) (Game.links witness)
+    (Algo.Game_graph.find_cycle witness ~kind:Algo.Game_graph.Better_response <> None)
+    (Algo.Enumerate.count witness)
+    (Algo.Game_graph.find_cycle witness ~kind:Algo.Game_graph.Best_response <> None);
+  print_endline
+    "=> the belief model is NOT an ordinal potential game (Section 3.2), yet the witness\n\
+     still has pure NE and an acyclic best-response graph. No cycle exists among ~68M\n\
+     random instances with n <= 4 nor 1.5M exhaustive small grids; see EXPERIMENTS.md."
+
+(* ------------------------------------------------------------------ *)
+(* E7: Milchtaich's non-existence vs the belief model                  *)
+
+let e7 () =
+  Report.heading "E7"
+    "Weighted player-specific games may lack a pure NE; belief games do not (Section 3)";
+  let rng = Prng.Rng.create 5 in
+  (match Kp.Milchtaich.Weighted.search_no_pure_nash rng ~weights:[| 1; 2; 3 |] ~links:3 ~attempts:5000 with
+   | None -> print_endline "no-pure-NE search FAILED (unexpected)"
+   | Some (t, steps) ->
+     Printf.printf
+       "no-pure-NE witness: 3 players (weights 1,2,3), 3 links, found after %d adaptive steps; \
+        exhaustive check: %d pure NE\n"
+       steps
+       (List.length (Kp.Milchtaich.Weighted.pure_nash t)));
+  let rng = Prng.Rng.create 112 in
+  let count = trials 500 in
+  let all = ref 0 in
+  for _ = 1 to count do
+    let g =
+      Generators.game rng ~n:3 ~m:3 ~weights:(Generators.Integer_weights 3)
+        ~beliefs:(Generators.Shared_space { states = 3; cap_bound = 6; grain = 4 })
+    in
+    if Algo.Enumerate.exists g then incr all
+  done;
+  Printf.printf "belief-model games of the same shape with a pure NE: %s\n" (Report.pct !all count)
+
+(* ------------------------------------------------------------------ *)
+(* E8–E10: fully mixed equilibria                                      *)
+
+let e8_to_e10 () =
+  Report.heading "E8–E10"
+    "Fully mixed NE: closed form is a unique NE (Thm 4.6), equiprobable under uniform beliefs \
+     (Thm 4.8), and maximises both social costs (Lemma 4.9, Thms 4.11/4.12)";
+  List.iter
+    (fun (label, beliefs) ->
+      print_endline label;
+      let rows =
+        Fmne_exp.run ~seed:113 ~ns:[ 2; 3; 4 ] ~ms:[ 2; 3 ] ~trials:(trials 100)
+          ~weights:(Generators.Integer_weights 4) ~beliefs
+      in
+      Stats.Table.print (Fmne_exp.table rows))
+    [
+      ("shared-space beliefs:", Generators.Shared_space { states = 3; cap_bound = 5; grain = 4 });
+      ("uniform user beliefs (E9):", Generators.Uniform_link_view { cap_bound = 5 });
+    ];
+  (* FMNE computation is O(nm) (Corollary 4.7): timing. *)
+  Stats.Table.print
+    (Scaling.table
+       (Scaling.run ~seed:114 ~sizes:[ (8, 4); (16, 8); (32, 8) ]
+        |> List.filter (fun (r : Scaling.row) -> r.algorithm = "FMNE closed form (Cor 4.7)")))
+
+(* ------------------------------------------------------------------ *)
+(* E11/E12: price of anarchy vs the theorem bounds                     *)
+
+let e11 () =
+  Report.heading "E11" "Empirical coordination ratio vs the Theorem 4.13 bound (uniform beliefs)";
+  let rows =
+    Poa_exp.run ~seed:115 ~ns:[ 2; 3; 4 ] ~ms:[ 2; 3 ] ~trials:(trials 60)
+      ~weights:(Generators.Integer_weights 4)
+      ~beliefs:(Generators.Uniform_link_view { cap_bound = 4 })
+      ~bound:`Uniform
+  in
+  Stats.Table.print (Poa_exp.table rows)
+
+let e12 () =
+  Report.heading "E12" "Empirical coordination ratio vs the Theorem 4.14 bound (general case)";
+  let rows =
+    Poa_exp.run ~seed:116 ~ns:[ 2; 3; 4; 6 ] ~ms:[ 2; 3 ] ~trials:(trials 60)
+      ~weights:(Generators.Integer_weights 4)
+      ~beliefs:(Generators.Shared_space { states = 3; cap_bound = 5; grain = 4 })
+      ~bound:`General
+  in
+  Stats.Table.print (Poa_exp.table rows)
+
+(* ------------------------------------------------------------------ *)
+(* E13: point beliefs subsume the KP-model                             *)
+
+let e13 () =
+  Report.heading "E13" "Point beliefs coincide with the KP-model (Section 2)";
+  let rng = Prng.Rng.create 117 in
+  let count = trials 300 in
+  let agree = ref 0 and lpt_ok = ref 0 in
+  for _ = 1 to count do
+    let n = Prng.Rng.int_in rng 2 5 and m = Prng.Rng.int_in rng 2 3 in
+    let g =
+      Generators.game rng ~n ~m ~weights:(Generators.Rational_weights 5)
+        ~beliefs:(Generators.Shared_point { cap_bound = 6 })
+    in
+    let direct = Game.kp ~weights:(Game.weights g) ~capacities:(Game.capacity_row g 0) in
+    if
+      List.map Array.to_list (Algo.Enumerate.pure_nash g)
+      = List.map Array.to_list (Algo.Enumerate.pure_nash direct)
+    then incr agree;
+    if Pure.is_nash g (Kp.Kp_nash.solve g) then incr lpt_ok
+  done;
+  let t = Stats.Table.create [ "instances"; "NE sets agree with direct KP"; "KP LPT solver returns NE" ] in
+  Stats.Table.add_row t [ string_of_int count; Report.pct !agree count; Report.pct !lpt_ok count ];
+  Stats.Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E14: not an exact potential game (Section 3.2)                      *)
+
+let e14 () =
+  Report.heading "E14"
+    "The game admits no exact potential (Section 3.2 / technical report [9])";
+  let rng = Prng.Rng.create 119 in
+  let count = trials 300 in
+  let belief_fail = ref 0 and kp_unweighted_hold = ref 0 in
+  for _ = 1 to count do
+    let g =
+      Generators.game rng ~n:3 ~m:3 ~weights:(Generators.Integer_weights 4)
+        ~beliefs:(Generators.Private_point { cap_bound = 6 })
+    in
+    if Game.is_kp g || not (Algo.Potential.is_exact_potential_game g) then incr belief_fail;
+    let kp =
+      Generators.game rng ~n:3 ~m:3 ~weights:Generators.Unit_weights
+        ~beliefs:(Generators.Shared_point { cap_bound = 6 })
+    in
+    if Algo.Potential.is_exact_potential_game kp then incr kp_unweighted_hold
+  done;
+  let t =
+    Stats.Table.create
+      [ "instances"; "belief games failing exact-potential"; "unweighted KP satisfying it" ]
+  in
+  Stats.Table.add_row t [ string_of_int count; Report.pct !belief_fail count; Report.pct !kp_unweighted_hold count ];
+  Stats.Table.print t;
+  print_endline
+    "ordinal potentials are ruled out too: see the E6 witness (a 6-user instance with a\n\
+     better-response cycle, Algo.Witness.better_response_cycle_game)."
+
+(* ------------------------------------------------------------------ *)
+(* E15: support enumeration cross-validates the Section 4 formulas     *)
+
+let e15 () =
+  Report.heading "E15"
+    "All mixed equilibria by support enumeration; the full-support one matches Theorem 4.6";
+  let rng = Prng.Rng.create 120 in
+  let count = trials 150 in
+  let pure_agree = ref 0 and fmne_agree = ref 0 and fmne_seen = ref 0 in
+  let mixed_counts = ref Stats.Welford.empty in
+  for _ = 1 to count do
+    let n = Prng.Rng.int_in rng 2 3 and m = Prng.Rng.int_in rng 2 3 in
+    let g =
+      Generators.game rng ~n ~m ~weights:(Generators.Integer_weights 4)
+        ~beliefs:(Generators.Shared_space { states = 3; cap_bound = 5; grain = 4 })
+    in
+    let result = Algo.Support_enum.all_nash g in
+    mixed_counts := Stats.Welford.add !mixed_counts (float_of_int (List.length result.equilibria));
+    let singleton =
+      List.filter_map
+        (fun (f : Algo.Support_enum.finding) ->
+          if Array.for_all (fun s -> List.length s = 1) f.supports then
+            Some (Array.to_list (Array.map List.hd f.supports))
+          else None)
+        result.equilibria
+      |> List.sort compare
+    in
+    if singleton = (Algo.Enumerate.pure_nash g |> List.map Array.to_list |> List.sort compare)
+    then incr pure_agree;
+    match Algo.Fully_mixed.compute g with
+    | None -> ()
+    | Some fm ->
+      incr fmne_seen;
+      let full =
+        List.filter
+          (fun (f : Algo.Support_enum.finding) ->
+            Array.for_all (fun s -> List.length s = Game.links g) f.supports)
+          result.equilibria
+      in
+      (match full with [ f ] when Mixed.equal f.profile fm -> incr fmne_agree | _ -> ())
+  done;
+  let t =
+    Stats.Table.create
+      [ "instances"; "mean NE count"; "pure sets agree"; "FMNE agrees with closed form" ]
+  in
+  Stats.Table.add_row t
+    [
+      string_of_int count;
+      Report.flt (Stats.Welford.mean !mixed_counts);
+      Report.pct !pure_agree count;
+      Report.pct !fmne_agree !fmne_seen;
+    ];
+  Stats.Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E16: the complementary model of [8] and Monte-Carlo validation      *)
+
+let e16 () =
+  Report.heading "E16"
+    "Baseline [8] (traffic uncertainty): pure Bayesian NE always exist; Monte-Carlo check of \
+     the capacity reduction";
+  let rng = Prng.Rng.create 121 in
+  let count = trials 200 in
+  let converged = ref 0 and exhaustive = ref 0 in
+  for _ = 1 to count do
+    let t = Kp.Bayesian.random rng ~n:3 ~m:2 ~max_types:2 ~bound:6 in
+    (try if Kp.Bayesian.is_nash t (Kp.Bayesian.solve t) then incr converged with Failure _ -> ());
+    if Kp.Bayesian.exists_pure_nash t then incr exhaustive
+  done;
+  let t = Stats.Table.create [ "instances"; "BR dynamics reach a Bayesian NE"; "pure Bayesian NE exists" ] in
+  Stats.Table.add_row t [ string_of_int count; Report.pct !converged count; Report.pct !exhaustive count ];
+  Stats.Table.print t;
+  Stats.Table.print
+    (Monte_carlo.table
+       (Monte_carlo.run ~seed:122 ~samples_list:[ 100; 1_000; 10_000 ] ~trials:(trials 10)))
+
+(* ------------------------------------------------------------------ *)
+(* E17: the price of misinformation                                    *)
+
+let e17 () =
+  Report.heading "E17"
+    "The price of misinformation: equilibria under contaminated beliefs, priced under the truth";
+  let epsilons = List.map (fun (a, b) -> Rational.of_ints a b) [ (0, 1); (1, 4); (1, 2); (3, 4); (1, 1) ] in
+  print_endline "diffuse noise (random distributions):";
+  Stats.Table.print
+    (Robustness.table
+       (Robustness.run ~seed:135 ~n:4 ~m:3 ~states:3 ~epsilons ~trials:(trials 150) ()));
+  print_endline "confidently wrong (point-mass noise):";
+  Stats.Table.print
+    (Robustness.table
+       (Robustness.run ~noise:`Point ~seed:136 ~n:4 ~m:3 ~states:3 ~epsilons
+          ~trials:(trials 150) ()))
+
+(* ------------------------------------------------------------------ *)
+(* E18/E19: learning — measurement value and fictitious play           *)
+
+let e18 () =
+  Report.heading "E18"
+    "The value of measurement: beliefs estimated from k state observations, priced under truth";
+  Stats.Table.print
+    (Learning.table
+       (Learning.run ~seed:137 ~n:4 ~m:3 ~states:3
+          ~observations:[ 0; 2; 8; 32; 128 ] ~trials:(trials 120)))
+
+let e19 () =
+  Report.heading "E19"
+    "Fictitious play: the game is not a potential game, yet play stabilises at pure NE";
+  let rng = Prng.Rng.create 138 in
+  let count = trials 300 in
+  let stabilised = ref 0 and rounds = ref Stats.Welford.empty in
+  for _ = 1 to count do
+    let n = Prng.Rng.int_in rng 2 4 and m = Prng.Rng.int_in rng 2 3 in
+    let g =
+      Generators.game rng ~n ~m ~weights:(Generators.Integer_weights 4)
+        ~beliefs:(Generators.Shared_space { states = 3; cap_bound = 5; grain = 4 })
+    in
+    let start = Array.init n (fun _ -> Prng.Rng.int rng m) in
+    let o = Algo.Fictitious.play g ~rounds:5000 ~window:10 start in
+    if o.stabilised then begin
+      incr stabilised;
+      rounds := Stats.Welford.add !rounds (float_of_int o.rounds)
+    end
+  done;
+  let t =
+    Stats.Table.create [ "instances"; "stabilised at a pure NE"; "mean rounds"; "max rounds" ]
+  in
+  Stats.Table.add_row t
+    [
+      string_of_int count;
+      Report.pct !stabilised count;
+      Report.flt (Stats.Welford.mean !rounds);
+      Report.flt (Stats.Welford.max !rounds);
+    ];
+  Stats.Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E20: the value of mediation (correlated equilibria)                 *)
+
+let e20 () =
+  Report.heading "E20"
+    "Mediation value: optimal correlated equilibria vs Nash equilibria (exact LP)";
+  let t =
+    Stats.Table.create
+      [
+        "beliefs"; "instances"; "OPT <= bestCE <= bestNE"; "mean bestNE/bestCE";
+        "max bestNE/bestCE"; "mediator strictly helps"; "mean worstCE/worstNE";
+      ]
+  in
+  List.iter (fun beliefs ->
+  let rng = Prng.Rng.create 139 in
+  let count = trials 100 in
+  let sandwich_ok = ref 0 in
+  let strict_help = ref 0 in
+  let gain_over_best_ne = ref Stats.Welford.empty in
+  let worst_ce_vs_fmne = ref Stats.Welford.empty in
+  for _ = 1 to count do
+    let n = Prng.Rng.int_in rng 2 3 and m = Prng.Rng.int_in rng 2 3 in
+    let g = Generators.game rng ~n ~m ~weights:(Generators.Integer_weights 4) ~beliefs in
+    let best_ce = Algo.Correlated.best_social_cost g in
+    let worst_ce = Algo.Correlated.worst_social_cost g in
+    let opt1, _ = Social.opt1 g in
+    (match Algo.Enumerate.extremal_nash g ~cost:(fun g p -> Pure.social_cost1 g p) with
+     | Some ((_, best_ne), (_, worst_ne)) ->
+       if
+         Rational.compare opt1 best_ce.value <= 0
+         && Rational.compare best_ce.value best_ne <= 0
+       then incr sandwich_ok;
+       if Rational.compare best_ce.value best_ne < 0 then incr strict_help;
+       gain_over_best_ne :=
+         Stats.Welford.add !gain_over_best_ne
+           (Rational.to_float (Rational.div best_ne (Rational.max best_ce.value opt1)));
+       worst_ce_vs_fmne :=
+         Stats.Welford.add !worst_ce_vs_fmne
+           (Rational.to_float (Rational.div worst_ce.value worst_ne))
+     | None -> ())
+  done;
+  Stats.Table.add_row t
+    [
+      Generators.belief_family_name beliefs;
+      string_of_int count;
+      Report.pct !sandwich_ok count;
+      Report.flt (Stats.Welford.mean !gain_over_best_ne);
+      Report.flt (Stats.Welford.max !gain_over_best_ne);
+      Report.pct !strict_help count;
+      Report.flt (Stats.Welford.mean !worst_ce_vs_fmne);
+    ])
+    [ Generators.Shared_space { states = 3; cap_bound = 5; grain = 4 };
+      Generators.Uniform_link_view { cap_bound = 5 } ];
+  Stats.Table.print t;
+  print_endline
+    "bestNE/bestCE > 1 would mean a mediator strictly beats every pure Nash equilibrium;\n\
+     worstCE/worstNE >= 1 always (Nash points lie inside the CE polytope)."
+
+(* ------------------------------------------------------------------ *)
+(* Figure-style series                                                 *)
+
+let figures () =
+  Report.heading "FIGURES" "Series the paper's empirical section implies";
+  print_endline "F1 — probability that the fully mixed NE exists (shared-space beliefs):";
+  Stats.Table.print
+    (Curves.table "P(FMNE exists)"
+       (Curves.fmne_existence ~seed:130 ~ns:[ 2; 3; 4; 5 ] ~ms:[ 2; 3; 4 ] ~trials:(trials 100)));
+  print_endline "F2 — mean number of pure Nash equilibria per instance:";
+  Stats.Table.print
+    (Curves.table "mean #pure NE"
+       (Curves.mean_pure_ne ~seed:131 ~ns:[ 2; 3; 4; 5 ] ~ms:[ 2; 3 ] ~trials:(trials 100)));
+  print_endline "F3 — distribution of SC1/OPT1 over all pure NE of random instances:";
+  print_string (Stats.Histogram.render (Curves.poa_histogram ~seed:132 ~trials:(trials 400) ~bins:10));
+  print_endline "F4 — distribution of best-response convergence lengths:";
+  print_string
+    (Stats.Histogram.render (Curves.br_steps_histogram ~seed:133 ~trials:(trials 600) ~bins:12));
+  print_endline "F5 — Graham LPT quality on identical links (ties to reference [10]):";
+  let t = Stats.Table.create [ "m"; "worst makespan ratio"; "4/3 - 1/(3m) bound" ] in
+  List.iter
+    (fun (m, worst, bound) ->
+      Stats.Table.add_row t [ string_of_int m; Report.flt worst; Report.flt bound ])
+    (Curves.lpt_quality ~seed:134 ~ms:[ 2; 3; 4 ] ~trials:(trials 300));
+  Stats.Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+
+let ablations () =
+  Report.heading "ABLATION" "Design-choice ablations";
+  (* 1. Best-response policies: moves needed to converge. *)
+  let rng = Prng.Rng.create 123 in
+  let count = trials 300 in
+  let policy_stats =
+    List.map
+      (fun (name, policy) ->
+        let steps = ref Stats.Welford.empty in
+        let rng = Prng.Rng.create 124 in
+        for _ = 1 to count do
+          let n = Prng.Rng.int_in rng 3 6 and m = Prng.Rng.int_in rng 2 4 in
+          let g =
+            Generators.game rng ~n ~m ~weights:(Generators.Rational_weights 5)
+              ~beliefs:(Generators.Shared_space { states = 3; cap_bound = 6; grain = 4 })
+          in
+          let start = Array.init n (fun _ -> Prng.Rng.int rng m) in
+          let o = Algo.Best_response.converge g ~policy ~max_steps:2000 start in
+          if o.converged then steps := Stats.Welford.add !steps (float_of_int o.steps)
+        done;
+        (name, !steps))
+      [
+        ("first defector", Algo.Best_response.First_defector);
+        ("last defector", Algo.Best_response.Last_defector);
+        ("best improvement", Algo.Best_response.Best_improvement);
+      ]
+  in
+  let t = Stats.Table.create [ "policy"; "mean moves"; "max moves" ] in
+  List.iter
+    (fun (name, w) ->
+      Stats.Table.add_row t
+        [ name; Report.flt (Stats.Welford.mean w); Report.flt (Stats.Welford.max w) ])
+    policy_stats;
+  Stats.Table.print t;
+  ignore rng;
+  (* 2. Karatsuba vs schoolbook multiplication. *)
+  let big k = Numeric.Bignat.pow (Numeric.Bignat.of_int 1000003) k in
+  let t = Stats.Table.create [ "operand limbs"; "karatsuba µs"; "schoolbook µs" ] in
+  List.iter
+    (fun k ->
+      let a = big k and b = big (k + 1) in
+      let kara, _ = Scaling.time_call (fun () -> ignore (Numeric.Bignat.mul a b)) in
+      let school, _ = Scaling.time_call (fun () -> ignore (Numeric.Bignat.mul_schoolbook a b)) in
+      Stats.Table.add_row t
+        [
+          string_of_int (Numeric.Bignat.num_bits a / 30);
+          Report.flt kara;
+          Report.flt school;
+        ])
+    [ 150; 600; 1500 ];
+  Stats.Table.print t;
+  (* 3. Alias-method sampling vs linear scan. *)
+  let rng = Prng.Rng.create 125 in
+  let dim = 64 in
+  let weights = Array.init dim (fun _ -> Prng.Rng.float rng +. 0.01) in
+  let alias = Prng.Alias.of_weights weights in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let linear_scan () =
+    let x = Prng.Rng.float rng *. total in
+    let acc = ref 0.0 and hit = ref (dim - 1) in
+    (try
+       Array.iteri
+         (fun i w ->
+           acc := !acc +. w;
+           if !acc >= x then begin
+             hit := i;
+             raise Exit
+           end)
+         weights
+     with Exit -> ());
+    !hit
+  in
+  let a_us, _ = Scaling.time_call (fun () -> ignore (Prng.Alias.sample alias rng)) in
+  let l_us, _ = Scaling.time_call (fun () -> ignore (linear_scan ())) in
+  let t = Stats.Table.create [ "sampler (64 categories)"; "µs/draw" ] in
+  Stats.Table.add_row t [ "alias method"; Report.flt a_us ];
+  Stats.Table.add_row t [ "linear scan"; Report.flt l_us ];
+  Stats.Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+
+let bechamel_section () =
+  Report.heading "TIMING" "Bechamel micro-benchmarks (ns per call, OLS on monotonic clock)";
+  let open Bechamel in
+  let open Toolkit in
+  let rng = Prng.Rng.create 118 in
+  let two_links n =
+    let g =
+      Generators.game rng ~n ~m:2 ~weights:(Generators.Integer_weights 6)
+        ~beliefs:(Generators.Private_point { cap_bound = 8 })
+    in
+    Test.make ~name:(Printf.sprintf "A_twolinks/n=%d" n) (Staged.stage (fun () -> Algo.Two_links.solve g))
+  in
+  let symmetric (n, m) =
+    let g =
+      Generators.game rng ~n ~m ~weights:Generators.Unit_weights
+        ~beliefs:(Generators.Private_point { cap_bound = 8 })
+    in
+    Test.make ~name:(Printf.sprintf "A_symmetric/n=%d,m=%d" n m)
+      (Staged.stage (fun () -> Algo.Symmetric.solve g))
+  in
+  let uniform (n, m) =
+    let g =
+      Generators.game rng ~n ~m ~weights:(Generators.Integer_weights 6)
+        ~beliefs:(Generators.Uniform_link_view { cap_bound = 6 })
+    in
+    Test.make ~name:(Printf.sprintf "A_uniform/n=%d,m=%d" n m)
+      (Staged.stage (fun () -> Algo.Uniform_beliefs.solve g))
+  in
+  let fmne (n, m) =
+    let g =
+      Generators.game rng ~n ~m ~weights:(Generators.Integer_weights 6)
+        ~beliefs:(Generators.Private_point { cap_bound = 8 })
+    in
+    Test.make ~name:(Printf.sprintf "fmne_candidate/n=%d,m=%d" n m)
+      (Staged.stage (fun () -> Algo.Fully_mixed.candidate g))
+  in
+  let enumerate (n, m) =
+    let g =
+      Generators.game rng ~n ~m ~weights:(Generators.Integer_weights 6)
+        ~beliefs:(Generators.Private_point { cap_bound = 8 })
+    in
+    Test.make ~name:(Printf.sprintf "enumerate_nash/n=%d,m=%d" n m)
+      (Staged.stage (fun () -> Algo.Enumerate.count g))
+  in
+  let rational_ops =
+    let a = Rational.of_ints 355 113 and b = Rational.of_ints 22 7 in
+    Test.make ~name:"rational/add+mul" (Staged.stage (fun () -> Rational.add (Rational.mul a b) a))
+  in
+  let bignat_ops =
+    let a = Bignat.of_string "123456789012345678901234567890" in
+    let b = Bignat.of_string "987654321098765432109" in
+    Test.make ~name:"bignat/divmod-30x7-limbs" (Staged.stage (fun () -> Bignat.divmod a b))
+  in
+  let tests =
+    Test.make_grouped ~name:"selfish_routing"
+      ([ rational_ops; bignat_ops ]
+      @ List.map two_links [ 4; 16; 64 ]
+      @ List.map symmetric [ (8, 3); (32, 3) ]
+      @ List.map uniform [ (16, 4); (256, 4) ]
+      @ List.map fmne [ (4, 3); (16, 8) ]
+      @ List.map enumerate [ (4, 3); (6, 3) ])
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let quota = if quick then 0.2 else 0.5 in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table = Stats.Table.create [ "benchmark"; "ns/call" ] in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (est :: _) -> Printf.sprintf "%.0f" est
+        | _ -> "n/a"
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  List.iter (fun (name, ns) -> Stats.Table.add_row table [ name; ns ])
+    (List.sort compare !rows);
+  Stats.Table.print table
+
+let () =
+  Printf.printf "Network Uncertainty in Selfish Routing — reproduction harness%s\n"
+    (if quick then " (QUICK mode)" else "");
+  e1 ();
+  e2 ();
+  e3 ();
+  e4 ();
+  e5 ();
+  e6 ();
+  e7 ();
+  e8_to_e10 ();
+  e11 ();
+  e12 ();
+  e13 ();
+  e14 ();
+  e15 ();
+  e16 ();
+  e17 ();
+  e18 ();
+  e19 ();
+  e20 ();
+  figures ();
+  ablations ();
+  bechamel_section ();
+  print_endline "\nAll experiment tables regenerated. See EXPERIMENTS.md for the paper-vs-measured record."

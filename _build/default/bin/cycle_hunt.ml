@@ -1,0 +1,160 @@
+(* Search for better-response cycles in the linear belief model — the
+   tool behind the E6 negative result in EXPERIMENTS.md.
+
+   The paper (Section 3.2) cites an unpublished instance of B. Monien
+   whose state space contains a cycle.  This tool hunts for one, either
+   by random sampling over integer weight/capacity grids or by
+   exhaustive enumeration of a small grid.  Integer arithmetic keeps the
+   improvement test exact ((L_Y + w_i)·c^X < L_X·c^Y) and fast enough
+   for tens of millions of instances.
+
+     cycle_hunt random --users 3-4 --links 3-4 --attempts 1000000
+     cycle_hunt exhaustive --users 3 --links 3 --max-weight 3 --max-capacity 3 *)
+
+open Cmdliner
+
+(* Three-colour DFS over the better-response graph of one instance;
+   weights [w], capacities [c], [m] links.  Returns true iff cyclic. *)
+let has_cycle ~w ~c ~m =
+  let n = Array.length w in
+  let nodes = int_of_float ((float_of_int m ** float_of_int n) +. 0.5) in
+  let colour = Bytes.make nodes '\000' in
+  let pw = Array.init n (fun i -> int_of_float ((float_of_int m ** float_of_int i) +. 0.5)) in
+  let cycle = ref false in
+  let p = Array.make n 0 in
+  let loads = Array.make m 0 in
+  let rec dfs v =
+    Bytes.set colour v '\001';
+    let rest = ref v in
+    for i = 0 to n - 1 do
+      p.(i) <- !rest mod m;
+      rest := !rest / m
+    done;
+    Array.fill loads 0 m 0;
+    Array.iteri (fun i l -> loads.(l) <- loads.(l) + w.(i)) p;
+    (* Successors mutate [p]/[loads]; recompute them per [v] on entry,
+       so the loop below snapshots what it needs first. *)
+    let snapshot_p = Array.copy p and snapshot_loads = Array.copy loads in
+    (try
+       for i = 0 to n - 1 do
+         let x = snapshot_p.(i) in
+         for y = 0 to m - 1 do
+           if
+             y <> x
+             && (snapshot_loads.(y) + w.(i)) * c.(i).(x) < snapshot_loads.(x) * c.(i).(y)
+           then begin
+             let s = v + ((y - x) * pw.(i)) in
+             match Bytes.get colour s with
+             | '\000' -> dfs s
+             | '\001' ->
+               cycle := true;
+               raise Exit
+             | _ -> ()
+           end
+         done
+       done
+     with Exit -> ());
+    if not !cycle then Bytes.set colour v '\002'
+  in
+  (try
+     let v = ref 0 in
+     while (not !cycle) && !v < nodes do
+       if Bytes.get colour !v = '\000' then dfs !v;
+       incr v
+     done
+   with Stack_overflow -> prerr_endline "warning: DFS overflow; instance skipped");
+  !cycle
+
+let print_instance w c =
+  Printf.printf "weights = [%s]\n"
+    (String.concat "; " (Array.to_list (Array.map string_of_int w)));
+  Array.iteri
+    (fun i row ->
+      Printf.printf "capacities[%d] = [%s]\n" i
+        (String.concat "; " (Array.to_list (Array.map string_of_int row))))
+    c
+
+let range_conv =
+  let parse s =
+    match String.split_on_char '-' s with
+    | [ a ] -> (try Ok (int_of_string a, int_of_string a) with Failure _ -> Error (`Msg "bad range"))
+    | [ a; b ] -> (try Ok (int_of_string a, int_of_string b) with Failure _ -> Error (`Msg "bad range"))
+    | _ -> Error (`Msg "expected N or LO-HI")
+  in
+  Arg.conv (parse, fun fmt (a, b) -> Format.fprintf fmt "%d-%d" a b)
+
+let users_arg = Arg.(value & opt range_conv (3, 4) & info [ "users" ] ~docv:"LO-HI")
+let links_arg = Arg.(value & opt range_conv (3, 3) & info [ "links" ] ~docv:"LO-HI")
+
+let run_random (n_lo, n_hi) (m_lo, m_hi) attempts w_hi c_hi seed =
+  let rng = Prng.Rng.create seed in
+  let found = ref false in
+  let k = ref 0 in
+  while (not !found) && !k < attempts do
+    incr k;
+    let n = Prng.Rng.int_in rng n_lo n_hi and m = Prng.Rng.int_in rng m_lo m_hi in
+    let w = Array.init n (fun _ -> Prng.Rng.int_in rng 1 w_hi) in
+    let c = Array.init n (fun _ -> Array.init m (fun _ -> Prng.Rng.int_in rng 1 c_hi)) in
+    if has_cycle ~w ~c ~m then begin
+      Printf.printf "CYCLE FOUND at attempt %d (n=%d, m=%d):\n" !k n m;
+      print_instance w c;
+      found := true
+    end;
+    if !k mod 1_000_000 = 0 then Printf.printf "%d attempts...\n%!" !k
+  done;
+  if not !found then
+    Printf.printf "no better-response cycle in %d random instances (n=%d-%d, m=%d-%d, w<=%d, c<=%d)\n"
+      attempts n_lo n_hi m_lo m_hi w_hi c_hi
+
+let random_cmd =
+  let attempts = Arg.(value & opt int 1_000_000 & info [ "attempts" ]) in
+  let w_hi = Arg.(value & opt int 9 & info [ "max-weight" ]) in
+  let c_hi = Arg.(value & opt int 40 & info [ "max-capacity" ]) in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ]) in
+  let info = Cmd.info "random" ~doc:"Random sampling over an integer grid." in
+  Cmd.v info Term.(const run_random $ users_arg $ links_arg $ attempts $ w_hi $ c_hi $ seed)
+
+let run_exhaustive (n_lo, _) (m_lo, _) w_hi c_hi =
+  let n = n_lo and m = m_lo in
+  let w = Array.make n 1 and c = Array.init n (fun _ -> Array.make m 1) in
+  let total = ref 0 and cycles = ref 0 in
+  let check () =
+    incr total;
+    if has_cycle ~w ~c ~m then begin
+      incr cycles;
+      if !cycles = 1 then begin
+        print_endline "CYCLE FOUND:";
+        print_instance w c
+      end
+    end
+  in
+  let rec enum_caps i l =
+    if i = n then check ()
+    else if l = m then enum_caps (i + 1) 0
+    else
+      for v = 1 to c_hi do
+        c.(i).(l) <- v;
+        enum_caps i (l + 1)
+      done
+  in
+  let rec enum_weights i =
+    if i = n then enum_caps 0 0
+    else
+      for v = 1 to w_hi do
+        w.(i) <- v;
+        enum_weights (i + 1)
+      done
+  in
+  enum_weights 0;
+  Printf.printf "exhaustive n=%d m=%d w<=%d c<=%d: %d instances, %d with better-response cycles\n"
+    n m w_hi c_hi !total !cycles
+
+let exhaustive_cmd =
+  let w_hi = Arg.(value & opt int 3 & info [ "max-weight" ]) in
+  let c_hi = Arg.(value & opt int 3 & info [ "max-capacity" ]) in
+  let info = Cmd.info "exhaustive" ~doc:"Enumerate every weight/capacity combination of a grid." in
+  Cmd.v info Term.(const run_exhaustive $ users_arg $ links_arg $ w_hi $ c_hi)
+
+let () =
+  let doc = "Hunt for better-response cycles in the linear belief model (E6)." in
+  exit (Cmd.eval (Cmd.group (Cmd.info "cycle_hunt" ~doc) [ random_cmd; exhaustive_cmd ]))

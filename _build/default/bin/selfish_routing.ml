@@ -1,0 +1,373 @@
+(* Command-line interface for the network-uncertainty routing library.
+
+   Subcommands:
+     solve        compute a pure Nash equilibrium of a game file
+     fmne         compute the fully mixed Nash equilibrium (Theorem 4.6)
+     enumerate    list all pure Nash equilibria exhaustively
+     mixed        enumerate ALL mixed Nash equilibria (support enumeration)
+     correlated   optimise social cost over the correlated-equilibrium polytope
+     bounds       print the price-of-anarchy bound values (Thms 4.13/4.14)
+     potential    check the Monderer-Shapley exact-potential condition
+     monte-carlo  cross-check exact latencies by state sampling
+     fictitious   run fictitious play
+     sweep        run a pure-NE existence sweep (Conjecture 3.7)
+     demo         generate a random instance, print and solve it *)
+
+open Model
+open Numeric
+open Cmdliner
+
+let game_arg =
+  let doc = "Game description file (see the Game_io format in the README)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"GAME" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed; every run is deterministic given the seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let parse_initial g = function
+  | None -> None
+  | Some s ->
+    let parts = String.split_on_char ',' s in
+    if List.length parts <> Game.links g then
+      invalid_arg "initial traffic must have one entry per link";
+    Some (Array.of_list (List.map Rational.of_string parts))
+
+let initial_arg =
+  let doc = "Initial per-link traffic, comma separated (e.g. 1/2,0)." in
+  Arg.(value & opt (some string) None & info [ "initial" ] ~docv:"T" ~doc)
+
+let print_profile g ?initial sigma =
+  Printf.printf "profile: [%s]\n"
+    (String.concat "; " (Array.to_list (Array.map string_of_int sigma)));
+  Printf.printf "is Nash equilibrium: %b\n" (Pure.is_nash g ?initial sigma);
+  for i = 0 to Game.users g - 1 do
+    Printf.printf "  user %d: link %d, expected latency %s\n" i sigma.(i)
+      (Rational.to_string (Pure.latency g ?initial sigma i))
+  done;
+  Printf.printf "SC1 = %s, SC2 = %s\n"
+    (Rational.to_string (Pure.social_cost1 g ?initial sigma))
+    (Rational.to_string (Pure.social_cost2 g ?initial sigma))
+
+(* ------------------------------------------------------------------ *)
+(* solve                                                               *)
+
+let algo_arg =
+  let algos =
+    [
+      ("auto", `Auto); ("two-links", `Two_links); ("symmetric", `Symmetric);
+      ("uniform", `Uniform); ("best-response", `Best_response);
+    ]
+  in
+  let doc =
+    "Algorithm: auto picks the paper's solver matching the instance \
+     (two-links for m=2, symmetric for equal weights, uniform for \
+     uniform beliefs, best-response otherwise)."
+  in
+  Arg.(value & opt (enum algos) `Auto & info [ "algo" ] ~docv:"ALGO" ~doc)
+
+let pick_auto g initial =
+  if Game.links g = 2 then `Two_links
+  else if Game.has_uniform_beliefs g then `Uniform
+  else if Game.is_symmetric g && initial = None then `Symmetric
+  else `Best_response
+
+let run_solve file algo initial_str seed =
+  let g = Game_io.parse_file file in
+  let initial = parse_initial g initial_str in
+  let algo = if algo = `Auto then pick_auto g initial else algo in
+  let sigma =
+    match algo with
+    | `Two_links ->
+      Printf.printf "algorithm: A_twolinks (Theorem 3.3)\n";
+      Algo.Two_links.solve ?initial g
+    | `Symmetric ->
+      if initial <> None then invalid_arg "A_symmetric does not support initial traffic";
+      Printf.printf "algorithm: A_symmetric (Theorem 3.5)\n";
+      Algo.Symmetric.solve g
+    | `Uniform ->
+      Printf.printf "algorithm: A_uniform (Theorem 3.6)\n";
+      Algo.Uniform_beliefs.solve ?initial g
+    | `Best_response | `Auto ->
+      Printf.printf "algorithm: best-response dynamics from a random start\n";
+      let rng = Prng.Rng.create seed in
+      let start = Array.init (Game.users g) (fun _ -> Prng.Rng.int rng (Game.links g)) in
+      let budget = 64 * Game.users g * Game.links g * (Game.users g + Game.links g) in
+      let o = Algo.Best_response.converge g ?initial ~max_steps:budget start in
+      if not o.converged then failwith "best-response dynamics did not converge within budget";
+      Printf.printf "(converged after %d moves)\n" o.steps;
+      o.profile
+  in
+  print_profile g ?initial sigma
+
+let solve_cmd =
+  let info = Cmd.info "solve" ~doc:"Compute a pure Nash equilibrium of a game file." in
+  Cmd.v info Term.(const run_solve $ game_arg $ algo_arg $ initial_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* fmne                                                                *)
+
+let run_fmne file =
+  let g = Game_io.parse_file file in
+  let candidate = Algo.Fully_mixed.candidate g in
+  Printf.printf "candidate probabilities (Lemma 4.3):\n";
+  Array.iteri
+    (fun i row ->
+      Printf.printf "  user %d: [%s]\n" i
+        (String.concat "; " (Array.to_list (Array.map Rational.to_string row))))
+    candidate;
+  match Algo.Fully_mixed.compute g with
+  | None ->
+    Printf.printf "no fully mixed Nash equilibrium exists (some probability leaves (0,1)).\n"
+  | Some p ->
+    Printf.printf "this is the unique fully mixed Nash equilibrium (Theorem 4.6).\n";
+    for i = 0 to Game.users g - 1 do
+      Printf.printf "  user %d equilibrium latency: %s\n" i
+        (Rational.to_string (Mixed.min_latency g p i))
+    done;
+    Printf.printf "SC1 = %s, SC2 = %s\n"
+      (Rational.to_string (Mixed.social_cost1 g p))
+      (Rational.to_string (Mixed.social_cost2 g p))
+
+let fmne_cmd =
+  let info = Cmd.info "fmne" ~doc:"Compute the fully mixed Nash equilibrium (Theorem 4.6)." in
+  Cmd.v info Term.(const run_fmne $ game_arg)
+
+(* ------------------------------------------------------------------ *)
+(* enumerate                                                           *)
+
+let run_enumerate file =
+  let g = Game_io.parse_file file in
+  let nes = Algo.Enumerate.pure_nash g in
+  Printf.printf "%d pure Nash equilibria (out of %s profiles):\n" (List.length nes)
+    (match Social.profile_count g with Some c -> string_of_int c | None -> "many");
+  let opt1, _ = Social.opt1 g and opt2, _ = Social.opt2 g in
+  List.iter
+    (fun ne ->
+      Printf.printf "  [%s]  SC1=%s (ratio %s)  SC2=%s (ratio %s)\n"
+        (String.concat "; " (Array.to_list (Array.map string_of_int ne)))
+        (Rational.to_string (Pure.social_cost1 g ne))
+        (Rational.to_string (Rational.div (Pure.social_cost1 g ne) opt1))
+        (Rational.to_string (Pure.social_cost2 g ne))
+        (Rational.to_string (Rational.div (Pure.social_cost2 g ne) opt2)))
+    nes;
+  Printf.printf "OPT1 = %s, OPT2 = %s\n" (Rational.to_string opt1) (Rational.to_string opt2)
+
+let enumerate_cmd =
+  let info = Cmd.info "enumerate" ~doc:"List all pure Nash equilibria exhaustively." in
+  Cmd.v info Term.(const run_enumerate $ game_arg)
+
+(* ------------------------------------------------------------------ *)
+(* bounds                                                              *)
+
+let run_bounds file =
+  let g = Game_io.parse_file file in
+  Printf.printf "Theorem 4.14 (general) bound: %s ≈ %.4f\n"
+    (Rational.to_string (Bounds.theorem_4_14 g))
+    (Rational.to_float (Bounds.theorem_4_14 g));
+  if Game.has_uniform_beliefs g then
+    Printf.printf "Theorem 4.13 (uniform beliefs) bound: %s ≈ %.4f\n"
+      (Rational.to_string (Bounds.theorem_4_13 g))
+      (Rational.to_float (Bounds.theorem_4_13 g))
+  else Printf.printf "Theorem 4.13 does not apply (beliefs are not uniform).\n"
+
+let bounds_cmd =
+  let info = Cmd.info "bounds" ~doc:"Print the price-of-anarchy bound values." in
+  Cmd.v info Term.(const run_bounds $ game_arg)
+
+(* ------------------------------------------------------------------ *)
+(* mixed (support enumeration)                                         *)
+
+let run_mixed file =
+  let g = Game_io.parse_file file in
+  let result = Algo.Support_enum.all_nash g in
+  Printf.printf "%d mixed Nash equilibria found by support enumeration"
+    (List.length result.equilibria);
+  if result.degenerate_supports > 0 then
+    Printf.printf " (%d singular support systems skipped)" result.degenerate_supports;
+  print_newline ();
+  List.iter
+    (fun (f : Algo.Support_enum.finding) ->
+      Printf.printf "  supports %s:\n"
+        (String.concat " "
+           (Array.to_list
+              (Array.map
+                 (fun s -> "{" ^ String.concat "," (List.map string_of_int s) ^ "}")
+                 f.supports)));
+      Array.iteri
+        (fun i row ->
+          Printf.printf "    user %d: [%s]  λ=%s\n" i
+            (String.concat "; " (Array.to_list (Array.map Rational.to_string row)))
+            (Rational.to_string f.latencies.(i)))
+        f.profile)
+    result.equilibria
+
+let mixed_cmd =
+  let info =
+    Cmd.info "mixed" ~doc:"Enumerate all mixed Nash equilibria by support enumeration."
+  in
+  Cmd.v info Term.(const run_mixed $ game_arg)
+
+(* ------------------------------------------------------------------ *)
+(* potential                                                           *)
+
+let run_potential file =
+  let g = Game_io.parse_file file in
+  match Algo.Potential.find_nonzero_square g with
+  | None ->
+    Printf.printf
+      "the exact-potential condition (Monderer–Shapley) HOLDS on every deviation square.\n"
+  | Some (sigma, i, j, li, lj) ->
+    Printf.printf "NOT an exact potential game (Section 3.2): witness square\n";
+    Printf.printf "  at profile [%s], user %d: %d→%d, user %d: %d→%d, defect %s\n"
+      (String.concat "; " (Array.to_list (Array.map string_of_int sigma)))
+      i sigma.(i) li j sigma.(j) lj
+      (Rational.to_string (Algo.Potential.square_defect g sigma ~i ~j ~li ~lj))
+
+let potential_cmd =
+  let info =
+    Cmd.info "potential" ~doc:"Check the Monderer–Shapley exact-potential condition."
+  in
+  Cmd.v info Term.(const run_potential $ game_arg)
+
+(* ------------------------------------------------------------------ *)
+(* monte-carlo                                                         *)
+
+let run_monte_carlo file samples seed =
+  let g = Game_io.parse_file file in
+  let rng = Prng.Rng.create seed in
+  let start = Array.init (Game.users g) (fun _ -> Prng.Rng.int rng (Game.links g)) in
+  let o = Algo.Best_response.converge g ~max_steps:1000 start in
+  Printf.printf "profile [%s] (%s):\n"
+    (String.concat "; " (Array.to_list (Array.map string_of_int o.profile)))
+    (if o.converged then "equilibrium" else "non-equilibrium");
+  for i = 0 to Game.users g - 1 do
+    let exact = Rational.to_float (Pure.latency g o.profile i) in
+    let estimate =
+      Experiments.Monte_carlo.estimate_latency g o.profile ~user:i ~samples rng
+    in
+    Printf.printf "  user %d: exact %.6f, %d-sample estimate %.6f (rel err %.2e)\n" i exact
+      samples estimate
+      (Float.abs (estimate -. exact) /. exact)
+  done
+
+let monte_carlo_cmd =
+  let samples =
+    Arg.(value & opt int 100_000 & info [ "samples" ] ~doc:"States sampled per user.")
+  in
+  let info =
+    Cmd.info "monte-carlo"
+      ~doc:"Cross-check exact expected latencies against state sampling."
+  in
+  Cmd.v info Term.(const run_monte_carlo $ game_arg $ samples $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* correlated                                                          *)
+
+let run_correlated file =
+  let g = Game_io.parse_file file in
+  let show label (r : Algo.Correlated.result) =
+    Printf.printf "%s SC1 = %s (%s):\n" label
+      (Rational.to_string r.value)
+      (Rational.to_decimal_string r.value ~digits:4);
+    List.iter
+      (fun (p, prob) ->
+        Printf.printf "  P[%s] = %s\n"
+          (String.concat "; " (Array.to_list (Array.map string_of_int p)))
+          (Rational.to_string prob))
+      r.distribution
+  in
+  show "best correlated equilibrium," (Algo.Correlated.best_social_cost g);
+  show "worst correlated equilibrium," (Algo.Correlated.worst_social_cost g);
+  let opt1, _ = Social.opt1 g in
+  Printf.printf "OPT1 = %s\n" (Rational.to_string opt1)
+
+let correlated_cmd =
+  let info =
+    Cmd.info "correlated"
+      ~doc:"Optimise the social cost over the correlated-equilibrium polytope (exact LP)."
+  in
+  Cmd.v info Term.(const run_correlated $ game_arg)
+
+(* ------------------------------------------------------------------ *)
+(* fictitious                                                          *)
+
+let run_fictitious file rounds seed =
+  let g = Game_io.parse_file file in
+  let rng = Prng.Rng.create seed in
+  let start = Array.init (Game.users g) (fun _ -> Prng.Rng.int rng (Game.links g)) in
+  let o = Algo.Fictitious.play g ~rounds ~window:10 start in
+  Printf.printf "fictitious play: %d rounds, stabilised at a pure NE: %b\n" o.rounds o.stabilised;
+  Printf.printf "last round actions: [%s]\n"
+    (String.concat "; " (Array.to_list (Array.map string_of_int o.last_profile)));
+  Printf.printf "empirical frequencies:\n";
+  Array.iteri
+    (fun i row ->
+      Printf.printf "  user %d: [%s]\n" i
+        (String.concat "; "
+           (Array.to_list (Array.map (fun q -> Rational.to_decimal_string q ~digits:3) row))))
+    o.empirical
+
+let fictitious_cmd =
+  let rounds = Arg.(value & opt int 5000 & info [ "rounds" ] ~doc:"Maximum rounds to play.") in
+  let info =
+    Cmd.info "fictitious" ~doc:"Run fictitious play (simultaneous best responses to history)."
+  in
+  Cmd.v info Term.(const run_fictitious $ game_arg $ rounds $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sweep                                                               *)
+
+let run_sweep seed trials n_hi m_hi domains =
+  let ns = List.init (n_hi - 1) (fun i -> i + 2) in
+  let ms = List.init (m_hi - 1) (fun i -> i + 2) in
+  let rows =
+    Experiments.Existence.run ~domains ~seed ~ns ~ms ~trials
+      ~weights:(Experiments.Generators.Rational_weights 5)
+      ~beliefs:(Experiments.Generators.Shared_space { states = 3; cap_bound = 6; grain = 4 })
+      ()
+  in
+  Stats.Table.print (Experiments.Existence.table rows)
+
+let sweep_cmd =
+  let trials = Arg.(value & opt int 50 & info [ "trials" ] ~doc:"Instances per (n,m) cell.") in
+  let n_hi = Arg.(value & opt int 5 & info [ "max-users" ] ~doc:"Largest n (from 2).") in
+  let m_hi = Arg.(value & opt int 3 & info [ "max-links" ] ~doc:"Largest m (from 2).") in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains" ] ~doc:"Worker domains (results are identical).")
+  in
+  let info =
+    Cmd.info "sweep" ~doc:"Pure-NE existence sweep over random instances (Conjecture 3.7)."
+  in
+  Cmd.v info Term.(const run_sweep $ seed_arg $ trials $ n_hi $ m_hi $ domains)
+
+(* ------------------------------------------------------------------ *)
+(* demo                                                                *)
+
+let run_demo seed =
+  let rng = Prng.Rng.create seed in
+  let g =
+    Experiments.Generators.game rng ~n:4 ~m:3
+      ~weights:(Experiments.Generators.Integer_weights 5)
+      ~beliefs:(Experiments.Generators.Shared_space { states = 3; cap_bound = 6; grain = 4 })
+  in
+  Printf.printf "# random instance (seed %d), reduced form:\n%s\n" seed (Game_io.to_string g);
+  let start = Array.init (Game.users g) (fun _ -> Prng.Rng.int rng (Game.links g)) in
+  let o = Algo.Best_response.converge g ~max_steps:500 start in
+  Printf.printf "best-response dynamics converged after %d moves\n" o.steps;
+  print_profile g o.profile
+
+let demo_cmd =
+  let info = Cmd.info "demo" ~doc:"Generate a random instance and solve it end to end." in
+  Cmd.v info Term.(const run_demo $ seed_arg)
+
+let main_cmd =
+  let doc = "Selfish routing under network uncertainty (Georgiou, Pavlides, Philippou 2006)." in
+  let info = Cmd.info "selfish_routing" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      solve_cmd; fmne_cmd; enumerate_cmd; mixed_cmd; correlated_cmd; bounds_cmd;
+      potential_cmd; monte_carlo_cmd; fictitious_cmd; sweep_cmd; demo_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/isp_beliefs.ml: Algo Array Belief Bounds Game List Mixed Model Numeric Printf Pure Rational Social State String

@@ -1,0 +1,1 @@
+examples/isp_beliefs.mli:

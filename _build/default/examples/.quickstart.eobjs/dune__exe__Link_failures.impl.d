@@ -1,0 +1,1 @@
+examples/link_failures.ml: Algo Array Belief Game Kp List Model Numeric Printf Pure Rational State Stats String

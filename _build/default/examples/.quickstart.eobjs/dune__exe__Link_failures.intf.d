@@ -1,0 +1,1 @@
+examples/link_failures.mli:

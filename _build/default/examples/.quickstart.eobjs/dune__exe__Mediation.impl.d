@@ -1,0 +1,1 @@
+examples/mediation.ml: Algo Array Game List Model Numeric Printf Pure Rational Social String

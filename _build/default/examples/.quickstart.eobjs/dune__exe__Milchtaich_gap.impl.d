@@ -1,0 +1,1 @@
+examples/milchtaich_gap.ml: Algo Array Experiments Hashtbl Kp List Numeric Printf Prng Rational

@@ -1,0 +1,1 @@
+examples/milchtaich_gap.mli:

@@ -1,0 +1,1 @@
+examples/ordinal_potential_witness.ml: Algo Array Game_io List Model Numeric Printf Pure Rational String

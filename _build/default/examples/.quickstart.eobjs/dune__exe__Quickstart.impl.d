@@ -1,0 +1,1 @@
+examples/quickstart.ml: Algo Array Belief Bounds Game Mixed Model Numeric Printf Pure Rational Social State String

@@ -1,0 +1,1 @@
+examples/tolerances.ml: Algo Array Game Model Numeric Printf Pure Rational String

@@ -1,0 +1,1 @@
+examples/worst_case_equilibrium.ml: Algo Array Bounds Game List Mixed Model Numeric Printf Rational Social String

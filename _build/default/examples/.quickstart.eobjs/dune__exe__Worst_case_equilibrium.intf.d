@@ -1,0 +1,1 @@
+examples/worst_case_equilibrium.mli:

@@ -1,0 +1,80 @@
+(* ISP scenario from the paper's introduction: network links are complex
+   router paths whose effective capacity depends on congestion and
+   failures, and users estimate it from different measurement sources.
+
+   Four tenants of a hosting provider route bulk traffic over three
+   uplinks.  The uplinks realise one of three states (off-peak, peak,
+   maintenance).  Each tenant's monitoring gives it a different belief,
+   so each perceives different effective capacities and the game has
+   user-specific payoffs.
+
+   Run with: dune exec examples/isp_beliefs.exe *)
+
+open Model
+open Numeric
+
+let q = Rational.of_ints
+let qi = Rational.of_int
+
+let () =
+  let off_peak = State.make [| qi 10; qi 8; qi 6 |] in
+  let peak = State.make [| qi 5; qi 6; qi 6 |] in
+  let maintenance = State.make [| qi 10; qi 2; qi 6 |] in
+  let space = State.space [ off_peak; peak; maintenance ] in
+
+  (* Tenants and their monitoring-derived beliefs. *)
+  let tenants =
+    [|
+      ("cdn-cache   (trusts historical averages)", qi 6, Belief.make space [| q 1 2; q 1 4; q 1 4 |]);
+      ("backup-sync (measures only at night)", qi 5, Belief.make space [| q 9 10; q 1 20; q 1 20 |]);
+      ("analytics   (pessimistic SLA planner)", qi 3, Belief.make space [| q 1 10; q 2 5; q 1 2 |]);
+      ("web-frontend (live probing, uniform)", qi 2, Belief.uniform space);
+    |]
+  in
+  let weights = Array.map (fun (_, w, _) -> w) tenants in
+  let beliefs = Array.map (fun (_, _, b) -> b) tenants in
+  let g = Game.make ~weights ~beliefs in
+
+  Printf.printf "Perceived (effective) uplink capacities per tenant:\n";
+  Array.iteri
+    (fun i (name, w, _) ->
+      Printf.printf "  %-40s w=%-3s caps = [%s]\n" name (Rational.to_string w)
+        (String.concat "; "
+           (List.init 3 (fun l -> Printf.sprintf "%.2f" (Rational.to_float (Game.capacity g i l))))))
+    tenants;
+
+  (* Best-response dynamics from "everyone on uplink 0". *)
+  let outcome = Algo.Best_response.converge g ~max_steps:200 [| 0; 0; 0; 0 |] in
+  Printf.printf "\nBest-response dynamics from all-on-uplink-0: %d moves, converged = %b\n"
+    outcome.steps outcome.converged;
+  Printf.printf "Equilibrium assignment:\n";
+  Array.iteri
+    (fun i (name, _, _) ->
+      Printf.printf "  %-40s -> uplink %d (latency %.3f)\n" name outcome.profile.(i)
+        (Rational.to_float (Pure.latency g outcome.profile i)))
+    tenants;
+
+  (* How many pure equilibria does this game have, and how far can the
+     worst one be from the social optimum? *)
+  let nes = Algo.Enumerate.pure_nash g in
+  Printf.printf "\nThis game has %d pure Nash equilibria.\n" (List.length nes);
+  let opt1, _ = Social.opt1 g in
+  let worst =
+    List.fold_left
+      (fun acc ne -> Rational.max acc (Pure.social_cost1 g ne))
+      Rational.zero nes
+  in
+  Printf.printf "OPT1 = %.3f; worst equilibrium SC1 = %.3f; empirical PoA = %.3f\n"
+    (Rational.to_float opt1) (Rational.to_float worst)
+    (Rational.to_float (Rational.div worst opt1));
+  Printf.printf "Theorem 4.14 upper bound on the coordination ratio: %.3f\n"
+    (Rational.to_float (Bounds.theorem_4_14 g));
+
+  (* The fully mixed equilibrium is the worst-case equilibrium
+     (Theorems 4.11/4.12): compare its social cost. *)
+  match Algo.Fully_mixed.compute g with
+  | None ->
+    Printf.printf "\nNo fully mixed equilibrium exists here (Theorem 4.6 candidate leaves (0,1)).\n"
+  | Some p ->
+    Printf.printf "\nFully mixed equilibrium SC1 = %.3f >= every pure equilibrium's SC1.\n"
+      (Rational.to_float (Mixed.social_cost1 g p))

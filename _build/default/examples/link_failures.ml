@@ -1,0 +1,70 @@
+(* Link-failure uncertainty: the motivation the paper gives for beliefs
+   — "complex paths created by routers which are constructed differently
+   on separate occasions according to the presence of congestion or link
+   failures".
+
+   Two links; link 1 fails partially with some probability, dropping its
+   capacity from 8 to 2.  We sweep the failure probability and show how
+   a user's belief accuracy changes its realised (ground-truth) latency:
+   the equilibrium chosen under wrong beliefs is evaluated under the
+   true distribution.
+
+   Run with: dune exec examples/link_failures.exe *)
+
+open Model
+open Numeric
+
+let q = Rational.of_ints
+let qi = Rational.of_int
+
+let () =
+  let healthy = State.make [| qi 6; qi 8 |] in
+  let failed = State.make [| qi 6; qi 2 |] in
+  let space = State.space [ healthy; failed ] in
+
+  let table = Stats.Table.create
+      [ "P(fail)"; "profile"; "optimist λ (true)"; "pessimist λ (true)"; "realist λ (true)" ]
+  in
+  List.iter
+    (fun percent ->
+      let p_fail = q percent 100 in
+      let truth = Belief.make space [| Rational.sub Rational.one p_fail; p_fail |] in
+      (* Three equal-weight users: the optimist assumes no failure, the
+         pessimist assumes failure, the realist knows the distribution. *)
+      let optimist = Belief.point space 0 in
+      let pessimist = Belief.point space 1 in
+      let g =
+        Game.make ~weights:[| qi 3; qi 3; qi 3 |] ~beliefs:[| optimist; pessimist; truth |]
+      in
+      let sigma = Algo.Two_links.solve g in
+      assert (Pure.is_nash g sigma);
+      (* Evaluate each user's chosen link under the TRUE distribution:
+         realised latency = load / effective capacity under truth. *)
+      let true_cap = Belief.effective_capacities truth in
+      let loads = Pure.loads g sigma in
+      let realised i = Rational.div loads.(sigma.(i)) true_cap.(sigma.(i)) in
+      Stats.Table.add_row table
+        [
+          Printf.sprintf "%d%%" percent;
+          String.concat "," (Array.to_list (Array.map string_of_int sigma));
+          Printf.sprintf "%.3f" (Rational.to_float (realised 0));
+          Printf.sprintf "%.3f" (Rational.to_float (realised 1));
+          Printf.sprintf "%.3f" (Rational.to_float (realised 2));
+        ])
+    [ 0; 10; 25; 50; 75; 90; 100 ];
+  print_endline "Equilibria under belief disagreement, evaluated under the true failure rate:";
+  Stats.Table.print table;
+  print_endline "(user order in 'profile': optimist, pessimist, realist)";
+
+  (* When everyone holds the true belief the game is a KP instance and
+     the model degenerates as Section 2 promises. *)
+  let p_fail = q 25 100 in
+  let truth = Belief.make space [| Rational.sub Rational.one p_fail; p_fail |] in
+  let kp_game =
+    Game.make ~weights:[| qi 3; qi 3; qi 3 |] ~beliefs:[| truth; truth; truth |]
+  in
+  Printf.printf "\nShared true beliefs give a KP instance: %b\n" (Game.is_kp kp_game);
+  let sigma = Kp.Kp_nash.solve kp_game in
+  Printf.printf "KP baseline equilibrium: [%s] (is NE: %b)\n"
+    (String.concat "; " (Array.to_list (Array.map string_of_int sigma)))
+    (Pure.is_nash kp_game sigma)

@@ -1,0 +1,64 @@
+(* Quickstart: build a routing game with network uncertainty, compute a
+   pure Nash equilibrium with the paper's two-link algorithm, and
+   compare it with the fully mixed equilibrium.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Model
+open Numeric
+
+let q = Rational.of_ints
+let qi = Rational.of_int
+
+let () =
+  (* The network has two parallel links whose capacity is uncertain:
+     either the fast state ⟨10, 4⟩ or the degraded state ⟨3, 4⟩. *)
+  let fast = State.make [| qi 10; qi 4 |] in
+  let degraded = State.make [| qi 3; qi 4 |] in
+  let space = State.space [ fast; degraded ] in
+
+  (* Three users with different information about the network. *)
+  let optimist = Belief.point space 0 in
+  let pessimist = Belief.point space 1 in
+  let realist = Belief.make space [| q 1 2; q 1 2 |] in
+
+  let g =
+    Game.make ~weights:[| qi 4; qi 3; qi 2 |] ~beliefs:[| optimist; pessimist; realist |]
+  in
+
+  Printf.printf "A game with %d users and %d links.\n" (Game.users g) (Game.links g);
+  Printf.printf "Effective capacities (belief-weighted harmonic means):\n";
+  for i = 0 to Game.users g - 1 do
+    Printf.printf "  user %d: link0 = %s, link1 = %s\n" i
+      (Rational.to_string (Game.capacity g i 0))
+      (Rational.to_string (Game.capacity g i 1))
+  done;
+
+  (* A pure Nash equilibrium via Algorithm A_twolinks (Theorem 3.3). *)
+  let sigma = Algo.Two_links.solve g in
+  Printf.printf "\nA_twolinks equilibrium: user links = [%s]  (is NE: %b)\n"
+    (String.concat "; " (Array.to_list (Array.map string_of_int sigma)))
+    (Pure.is_nash g sigma);
+  for i = 0 to Game.users g - 1 do
+    Printf.printf "  user %d expected latency: %s\n" i (Rational.to_string (Pure.latency g sigma i))
+  done;
+
+  (* The fully mixed Nash equilibrium (Theorem 4.6), when it exists. *)
+  (match Algo.Fully_mixed.compute g with
+   | None -> Printf.printf "\nNo fully mixed equilibrium exists for this game.\n"
+   | Some p ->
+     Printf.printf "\nFully mixed equilibrium probabilities:\n";
+     Array.iteri
+       (fun i row ->
+         Printf.printf "  user %d: [%s]\n" i
+           (String.concat "; " (Array.to_list (Array.map Rational.to_string row))))
+       p);
+
+  (* Social costs and the price of anarchy. *)
+  let opt1, best = Social.opt1 g in
+  Printf.printf "\nOPT1 = %s at profile [%s]\n" (Rational.to_string opt1)
+    (String.concat "; " (Array.to_list (Array.map string_of_int best)));
+  let ratio = Social.ratio1 g (Mixed.of_pure g sigma) in
+  Printf.printf "SC1(equilibrium)/OPT1 = %s (Theorem 4.14 bound: %s)\n"
+    (Rational.to_string ratio)
+    (Rational.to_string (Bounds.theorem_4_14 g))

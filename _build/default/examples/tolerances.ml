@@ -1,0 +1,68 @@
+(* A step-by-step trace of Algorithm A_twolinks (Figure 1 of the paper)
+   on a small game, showing the tolerance values of Definition 3.1 that
+   drive each greedy commitment.
+
+   The tolerance α^j_i is the largest total load on link j (own weight
+   included) that user i accepts while staying on j; the algorithm
+   repeatedly commits the user with the highest tolerance, which the
+   Theorem 3.3 induction shows can never be regretted.
+
+   Run with: dune exec examples/tolerances.exe *)
+
+open Model
+open Numeric
+
+let qi = Rational.of_int
+
+let () =
+  let g =
+    Game.of_capacities
+      ~weights:[| qi 4; qi 3; qi 2; qi 1 |]
+      [|
+        [| qi 3; qi 2 |];
+        [| qi 2; qi 3 |];
+        [| qi 4; qi 1 |];
+        [| qi 1; qi 1 |];
+      |]
+  in
+  let n = Game.users g in
+  Printf.printf "Game: %d users on 2 links, weights " n;
+  Array.iter (fun w -> Printf.printf "%s " (Rational.to_string w)) (Game.weights g);
+  print_newline ();
+
+  (* Replay the algorithm by hand, printing each round's tolerances. *)
+  let t = [| Rational.zero; Rational.zero |] in
+  let remaining = Array.make n true in
+  let total = ref (Game.total_traffic g) in
+  let sigma = Array.make n (-1) in
+  for round = 1 to n do
+    Printf.printf "\nround %d: link loads t = (%s, %s), remaining traffic T = %s\n" round
+      (Rational.to_string t.(0)) (Rational.to_string t.(1)) (Rational.to_string !total);
+    let best = ref None in
+    for i = 0 to n - 1 do
+      if remaining.(i) then begin
+        let a0 = Algo.Two_links.tolerance g ~initial:t ~total:!total i 0 in
+        let a1 = Algo.Two_links.tolerance g ~initial:t ~total:!total i 1 in
+        Printf.printf "  user %d: α^0 = %-8s α^1 = %-8s\n" i (Rational.to_string a0)
+          (Rational.to_string a1);
+        let link, a = if Rational.compare a0 a1 >= 0 then (0, a0) else (1, a1) in
+        match !best with
+        | Some (_, _, b) when Rational.compare b a >= 0 -> ()
+        | _ -> best := Some (i, link, a)
+      end
+    done;
+    match !best with
+    | None -> assert false
+    | Some (k, link, a) ->
+      Printf.printf "  -> commit user %d to link %d (tolerance %s)\n" k link (Rational.to_string a);
+      sigma.(k) <- link;
+      remaining.(k) <- false;
+      t.(link) <- Rational.add t.(link) (Game.weight g k);
+      total := Rational.sub !total (Game.weight g k)
+  done;
+
+  Printf.printf "\nfinal profile: [%s]\n"
+    (String.concat "; " (Array.to_list (Array.map string_of_int sigma)));
+  Printf.printf "is a Nash equilibrium: %b\n" (Pure.is_nash g sigma);
+  let reference = Algo.Two_links.solve g in
+  Printf.printf "matches Algo.Two_links.solve: %b\n" (Pure.equal sigma reference)

@@ -1,0 +1,1 @@
+lib/algo/best_response.ml: Array Game Hashtbl List Model Numeric Prng Pure Rational

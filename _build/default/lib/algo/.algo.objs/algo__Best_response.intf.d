@@ -1,0 +1,1 @@
+lib/algo/best_response.mli: Game Model Numeric Prng Pure

@@ -1,0 +1,1 @@
+lib/algo/correlated.ml: Array Fun Game List Mixed Model Numeric Pure Rational Simplex Social

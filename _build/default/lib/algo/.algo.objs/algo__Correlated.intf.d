@@ -1,0 +1,1 @@
+lib/algo/correlated.mli: Game Mixed Model Numeric Pure

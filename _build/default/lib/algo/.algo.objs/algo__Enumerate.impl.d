@@ -1,0 +1,1 @@
+lib/algo/enumerate.ml: Array List Model Numeric Printf Pure Rational Social

@@ -1,0 +1,1 @@
+lib/algo/enumerate.mli: Game Model Numeric Pure

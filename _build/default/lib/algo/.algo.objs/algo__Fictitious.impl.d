@@ -1,0 +1,1 @@
+lib/algo/fictitious.ml: Array Game Mixed Model Numeric Pure Rational

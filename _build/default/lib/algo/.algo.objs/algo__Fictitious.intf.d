@@ -1,0 +1,1 @@
+lib/algo/fictitious.mli: Game Mixed Model Pure

@@ -1,0 +1,1 @@
+lib/algo/fully_mixed.ml: Array Game List Model Numeric Rational

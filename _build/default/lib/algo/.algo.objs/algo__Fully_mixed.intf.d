@@ -1,0 +1,1 @@
+lib/algo/fully_mixed.mli: Game Mixed Model Numeric

@@ -1,0 +1,1 @@
+lib/algo/game_graph.ml: Array Bytes Game List Model Numeric Printf Pure Social

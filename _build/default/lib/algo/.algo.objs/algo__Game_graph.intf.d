@@ -1,0 +1,1 @@
+lib/algo/game_graph.mli: Game Model Numeric Pure

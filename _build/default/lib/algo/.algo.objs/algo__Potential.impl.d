@@ -1,0 +1,1 @@
+lib/algo/potential.ml: Array Game Model Numeric Pure Rational Social

@@ -1,0 +1,1 @@
+lib/algo/potential.mli: Game Model Numeric Pure

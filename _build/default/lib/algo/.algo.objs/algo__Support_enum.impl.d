@@ -1,0 +1,1 @@
+lib/algo/support_enum.ml: Array Fun Game List Mixed Model Numeric Qmat Rational

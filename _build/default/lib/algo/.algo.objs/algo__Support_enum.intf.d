@@ -1,0 +1,1 @@
+lib/algo/support_enum.mli: Game Mixed Model Numeric

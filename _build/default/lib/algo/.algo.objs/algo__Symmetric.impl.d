@@ -1,0 +1,1 @@
+lib/algo/symmetric.ml: Array Game Model Numeric Rational

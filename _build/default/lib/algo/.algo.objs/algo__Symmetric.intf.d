@@ -1,0 +1,1 @@
+lib/algo/symmetric.mli: Game Model Pure

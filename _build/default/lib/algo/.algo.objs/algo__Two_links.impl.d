@@ -1,0 +1,1 @@
+lib/algo/two_links.ml: Array Game Model Numeric Rational

@@ -1,0 +1,1 @@
+lib/algo/two_links.mli: Game Model Numeric Pure

@@ -1,0 +1,1 @@
+lib/algo/uniform_beliefs.ml: Array Fun Game Model Numeric Rational Stdlib

@@ -1,0 +1,1 @@
+lib/algo/uniform_beliefs.mli: Game Model Numeric Pure

@@ -1,0 +1,1 @@
+lib/algo/witness.ml: Array Game Model Numeric Rational

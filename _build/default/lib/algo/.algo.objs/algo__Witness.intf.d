@@ -1,0 +1,1 @@
+lib/algo/witness.mli: Game Model Numeric

@@ -1,0 +1,65 @@
+open Model
+open Numeric
+
+type policy = First_defector | Last_defector | Best_improvement
+
+type outcome = { profile : Pure.profile; steps : int; converged : bool }
+
+let gain g ?initial p i =
+  let current = Pure.latency g ?initial p i in
+  let _, best = Pure.best_response g ?initial p i in
+  Rational.sub current best
+
+let step g ?initial ~policy p =
+  let defectors = Pure.defectors g ?initial p in
+  match defectors with
+  | [] -> None
+  | first :: _ ->
+    let mover =
+      match policy with
+      | First_defector -> first
+      | Last_defector -> List.nth defectors (List.length defectors - 1)
+      | Best_improvement ->
+        let better a b = Rational.compare (gain g ?initial p a) (gain g ?initial p b) > 0 in
+        List.fold_left (fun best d -> if better d best then d else best) first defectors
+    in
+    let target, _ = Pure.best_response g ?initial p mover in
+    let next = Array.copy p in
+    next.(mover) <- target;
+    Some next
+
+let converge g ?initial ?(policy = First_defector) ~max_steps p =
+  let rec go p steps =
+    if steps >= max_steps then { profile = p; steps; converged = Pure.is_nash g ?initial p }
+    else
+      match step g ?initial ~policy p with
+      | None -> { profile = p; steps; converged = true }
+      | Some next -> go next (steps + 1)
+  in
+  go (Array.copy p) 0
+
+let random_better_response_walk g ~rng ~max_steps p =
+  let seen = Hashtbl.create 64 in
+  let rec go p steps =
+    match Hashtbl.find_opt seen p with
+    | Some at -> ({ profile = p; steps; converged = false }, Some (steps - at))
+    | None ->
+      Hashtbl.add seen (Array.copy p) steps;
+      if steps >= max_steps then ({ profile = p; steps; converged = Pure.is_nash g p }, None)
+      else begin
+        (* Collect every improving (user, link) move and pick one
+           uniformly: better-response, not best-response. *)
+        let moves = ref [] in
+        for i = 0 to Game.users g - 1 do
+          List.iter (fun l -> moves := (i, l) :: !moves) (Pure.improving_moves g p i)
+        done;
+        match !moves with
+        | [] -> ({ profile = p; steps; converged = true }, None)
+        | moves ->
+          let i, l = Prng.Rng.pick_list rng moves in
+          let next = Array.copy p in
+          next.(i) <- l;
+          go next (steps + 1)
+      end
+  in
+  go (Array.copy p) 0

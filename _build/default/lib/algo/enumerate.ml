@@ -1,0 +1,43 @@
+open Model
+open Numeric
+
+let guard name limit g =
+  match Social.profile_count g with
+  | Some c when c <= limit -> ()
+  | _ -> invalid_arg (Printf.sprintf "Enumerate.%s: state space exceeds the limit" name)
+
+let pure_nash ?(limit = 10_000_000) g =
+  guard "pure_nash" limit g;
+  let acc = ref [] in
+  Social.iter_profiles g (fun p -> if Pure.is_nash g p then acc := Array.copy p :: !acc);
+  List.rev !acc
+
+let count ?(limit = 10_000_000) g =
+  guard "count" limit g;
+  let acc = ref 0 in
+  Social.iter_profiles g (fun p -> if Pure.is_nash g p then incr acc);
+  !acc
+
+let exists ?(limit = 10_000_000) g =
+  guard "exists" limit g;
+  let exception Found in
+  try
+    Social.iter_profiles g (fun p -> if Pure.is_nash g p then raise Found);
+    false
+  with Found -> true
+
+let extremal_nash ?limit g ~cost =
+  match pure_nash ?limit g with
+  | [] -> None
+  | first :: rest ->
+    let value = cost g first in
+    let better lo hi p =
+      let v = cost g p in
+      let lo = if Rational.compare v (snd lo) < 0 then (p, v) else lo in
+      let hi = if Rational.compare v (snd hi) > 0 then (p, v) else hi in
+      (lo, hi)
+    in
+    let lo, hi =
+      List.fold_left (fun (lo, hi) p -> better lo hi p) ((first, value), (first, value)) rest
+    in
+    Some (lo, hi)

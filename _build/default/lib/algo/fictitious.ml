@@ -1,0 +1,61 @@
+open Model
+open Numeric
+
+type outcome = {
+  rounds : int;
+  last_profile : Pure.profile;
+  empirical : Mixed.profile;
+  stabilised : bool;
+}
+
+let play g ~rounds ~window start =
+  if rounds <= 0 then invalid_arg "Fictitious.play: rounds must be positive";
+  if window <= 0 then invalid_arg "Fictitious.play: window must be positive";
+  Pure.validate g start;
+  let n = Game.users g and m = Game.links g in
+  let counts = Array.make_matrix n m 0 in
+  Array.iteri (fun i l -> counts.(i).(l) <- 1) start;
+  let played = ref 1 in
+  let current = Array.copy start in
+  let streak = ref 1 in
+  let finished = ref false in
+  let round = ref 1 in
+  while (not !finished) && !round < rounds do
+    incr round;
+    (* Empirical mixed profile of all users after !played rounds. *)
+    let empirical =
+      Array.init n (fun i -> Array.init m (fun l -> Rational.of_ints counts.(i).(l) !played))
+    in
+    let next =
+      Array.init n (fun i ->
+          (* Best response of user i to the others' empirical mix:
+             minimise ((1-p^l_i)w_i + W^l)/c^l_i where the W include
+             the opponents' empirical probabilities.  Using
+             Mixed.latency_on_link with i's own row set to its
+             empirical frequencies is exactly that expectation. *)
+          let best = ref 0 and best_v = ref (Mixed.latency_on_link g empirical i 0) in
+          for l = 1 to m - 1 do
+            let v = Mixed.latency_on_link g empirical i l in
+            if Rational.compare v !best_v < 0 then begin
+              best := l;
+              best_v := v
+            end
+          done;
+          !best)
+    in
+    if next = current then incr streak
+    else begin
+      Array.blit next 0 current 0 n;
+      streak := 1
+    end;
+    Array.iteri (fun i l -> counts.(i).(l) <- counts.(i).(l) + 1) next;
+    incr played;
+    if !streak >= window && Pure.is_nash g current then finished := true
+  done;
+  {
+    rounds = !played;
+    last_profile = Array.copy current;
+    empirical =
+      Array.init n (fun i -> Array.init m (fun l -> Rational.of_ints counts.(i).(l) !played));
+    stabilised = !finished;
+  }

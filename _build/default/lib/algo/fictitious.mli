@@ -1,0 +1,30 @@
+open Model
+
+(** Fictitious play in the uncertainty game.
+
+    Each round every user best-responds to the {e empirical mixed
+    profile} of the others (the frequency of links they played so far).
+    Fictitious play provably converges for potential games and zero-sum
+    games; the paper's game is neither ([9]/Monien, Section 3.2), so its
+    behaviour here is an empirical question the library lets you probe.
+    Beliefs stay fixed — this is learning about opponents, not about the
+    network (contrast {!Experiments.Learning}).
+
+    Play is simultaneous: all users best-respond to the round's
+    empirical profile before any counts are updated. *)
+
+type outcome = {
+  rounds : int;  (** rounds actually played *)
+  last_profile : Pure.profile;  (** actions of the final round *)
+  empirical : Mixed.profile;  (** empirical frequencies (exact rationals) *)
+  stabilised : bool;
+      (** the last action profile repeated for the requested window and
+          is a pure Nash equilibrium *)
+}
+
+(** [play g ~rounds ~window start] runs fictitious play from the pure
+    profile [start].  It stops early once the action profile has been
+    constant for [window] consecutive rounds {e and} that profile is a
+    pure Nash equilibrium; [stabilised] records whether that happened.
+    @raise Invalid_argument when [rounds <= 0] or [window <= 0]. *)
+val play : Game.t -> rounds:int -> window:int -> Pure.profile -> outcome

@@ -1,0 +1,58 @@
+open Model
+open Numeric
+
+let require_two_users g =
+  if Game.users g < 2 then
+    invalid_arg "Fully_mixed: at least two users required (the closed form divides by n-1)"
+
+let capacity_sum g i = Rational.sum (List.init (Game.links g) (Game.capacity g i))
+
+let equilibrium_latency g i =
+  require_two_users g;
+  let m = Game.links g in
+  let num =
+    Rational.add
+      (Rational.mul (Rational.of_int (m - 1)) (Game.weight g i))
+      (Game.total_traffic g)
+  in
+  Rational.div num (capacity_sum g i)
+
+let share g i l = Rational.div (Game.capacity g i l) (capacity_sum g i)
+
+let expected_traffic g l =
+  require_two_users g;
+  let n = Game.users g and m = Game.links g in
+  let t = Game.total_traffic g in
+  let weighted_shares =
+    Rational.sum (List.init n (fun i -> Rational.mul (share g i l) (Game.weight g i)))
+  in
+  let share_sum = Rational.sum (List.init n (fun i -> share g i l)) in
+  Rational.div
+    (Rational.sub
+       (Rational.add
+          (Rational.mul (Rational.of_int (m - 1)) weighted_shares)
+          (Rational.mul t share_sum))
+       t)
+    (Rational.of_int (n - 1))
+
+let candidate g =
+  require_two_users g;
+  let n = Game.users g and m = Game.links g in
+  let w_link = Array.init m (expected_traffic g) in
+  let lambda = Array.init n (equilibrium_latency g) in
+  Array.init n (fun i ->
+      let w_i = Game.weight g i in
+      Array.init m (fun l ->
+          (* p^l_i = (W^l + w_i - c^l_i λ_i) / w_i      (equation 2) *)
+          Rational.div
+            (Rational.sub (Rational.add w_link.(l) w_i)
+               (Rational.mul (Game.capacity g i l) lambda.(i)))
+            w_i))
+
+let in_open_unit q = Rational.sign q > 0 && Rational.compare q Rational.one < 0
+
+let compute g =
+  let p = candidate g in
+  if Array.for_all (Array.for_all in_open_unit) p then Some p else None
+
+let exists g = compute g <> None

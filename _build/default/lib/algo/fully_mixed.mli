@@ -1,0 +1,38 @@
+open Model
+
+(** Fully mixed Nash equilibria (Section 4, Lemmas 4.1–4.3,
+    Theorem 4.6, Corollary 4.7).
+
+    In a fully mixed equilibrium every user plays every link with
+    positive probability, so all of a user's per-link expected latencies
+    coincide.  Solving the resulting linear system in closed form gives,
+    with [S_i = Σ_ℓ c^ℓ_i], [d^ℓ_i = c^ℓ_i/S_i] and [T = Σ_k w_k]:
+
+    - [λ_i = ((m-1)·w_i + T) / S_i]                       (Lemma 4.1)
+    - [W^ℓ = ((m-1)·Σ_i d^ℓ_i w_i + T·Σ_i d^ℓ_i - T)/(n-1)]  (Lemma 4.2)
+    - [p^ℓ_i = (W^ℓ + w_i - c^ℓ_i·λ_i) / w_i]             (equation 2)
+
+    Theorem 4.6: a fully mixed Nash equilibrium exists iff all these
+    candidate probabilities lie in (0,1); when it exists it is unique
+    and equals the candidate.  Everything costs O(nm) exact operations
+    (Corollary 4.7). *)
+
+(** [equilibrium_latency g i] is [λ_{i,b_i}] of Lemma 4.1.
+    @raise Invalid_argument when [g] has fewer than two users. *)
+val equilibrium_latency : Game.t -> int -> Numeric.Rational.t
+
+(** [expected_traffic g l] is [W^l] of Lemma 4.2. *)
+val expected_traffic : Game.t -> int -> Numeric.Rational.t
+
+(** [candidate g] is the full candidate probability matrix of
+    Lemma 4.3/Remark 4.4; rows always sum to exactly 1 but entries may
+    fall outside (0,1), in which case no fully mixed equilibrium exists
+    (the matrix is still the comparator used by Corollary 4.10). *)
+val candidate : Game.t -> Mixed.profile
+
+(** [compute g] is [Some p] with the unique fully mixed Nash
+    equilibrium, or [None] when none exists (Theorem 4.6). *)
+val compute : Game.t -> Mixed.profile option
+
+(** [exists g] is [compute g <> None]. *)
+val exists : Game.t -> bool

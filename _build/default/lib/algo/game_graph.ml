@@ -1,0 +1,78 @@
+open Model
+type move_kind = Best_response | Better_response
+
+let encode g p =
+  let m = Game.links g in
+  Array.fold_right (fun l acc -> (acc * m) + l) p 0
+
+let decode g k =
+  let n = Game.users g and m = Game.links g in
+  let p = Array.make n 0 in
+  let rest = ref k in
+  for i = 0 to n - 1 do
+    p.(i) <- !rest mod m;
+    rest := !rest / m
+  done;
+  p
+
+let successors g ?initial ~kind p =
+  let acc = ref [] in
+  for i = Game.users g - 1 downto 0 do
+    match kind with
+    | Best_response ->
+      let target, best = Pure.best_response g ?initial p i in
+      if Numeric.Rational.compare best (Pure.latency g ?initial p i) < 0 then begin
+        let next = Array.copy p in
+        next.(i) <- target;
+        acc := next :: !acc
+      end
+    | Better_response ->
+      List.iter
+        (fun l ->
+          let next = Array.copy p in
+          next.(i) <- l;
+          acc := next :: !acc)
+        (Pure.improving_moves g ?initial p i)
+  done;
+  !acc
+
+let node_count name limit g =
+  match Social.profile_count g with
+  | Some c when c <= limit -> c
+  | _ -> invalid_arg (Printf.sprintf "Game_graph.%s: state space exceeds the limit" name)
+
+let find_cycle ?(limit = 2_000_000) ?initial g ~kind =
+  let count = node_count "find_cycle" limit g in
+  (* Iterative three-colour DFS; colours: 0 unvisited, 1 on stack,
+     2 done.  [parent] reconstructs the witness cycle. *)
+  let colour = Bytes.make count '\000' in
+  let parent = Array.make count (-1) in
+  let cycle = ref None in
+  let rec dfs v =
+    Bytes.set colour v '\001';
+    let succs = successors g ?initial ~kind (decode g v) in
+    List.iter
+      (fun sp ->
+        if !cycle = None then begin
+          let s = encode g sp in
+          match Bytes.get colour s with
+          | '\000' ->
+            parent.(s) <- v;
+            dfs s
+          | '\001' ->
+            (* Back edge: walk parents from v back to s. *)
+            let rec collect u acc = if u = s then u :: acc else collect parent.(u) (u :: acc) in
+            cycle := Some (List.map (decode g) (collect v []))
+          | _ -> ()
+        end)
+      succs;
+    if Bytes.get colour v = '\001' then Bytes.set colour v '\002'
+  in
+  let v = ref 0 in
+  while !cycle = None && !v < count do
+    if Bytes.get colour !v = '\000' then dfs !v;
+    incr v
+  done;
+  !cycle
+
+let all_reach_nash ?limit ?initial g ~kind = find_cycle ?limit ?initial g ~kind = None

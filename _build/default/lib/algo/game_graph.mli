@@ -1,0 +1,39 @@
+open Model
+
+(** Explicit game graphs over all [m^n] pure profiles.
+
+    The paper's game graph (Section 3.1) has the game's states as nodes
+    and an edge [s → s'] whenever a defecting user's move transforms [s]
+    into [s'].  We build two variants: the {e best-response} graph
+    (defectors move only to latency-minimising links — the graph used to
+    prove the n = 3 result) and the {e better-response} graph (any
+    improving move — an ordinal potential game has no cycle here). *)
+
+type move_kind = Best_response | Better_response
+
+(** [encode g p] bijectively maps a profile to an integer in
+    [0, m^n); [decode g k] inverts it. *)
+val encode : Game.t -> Pure.profile -> int
+
+val decode : Game.t -> int -> Pure.profile
+
+(** [successors g ?initial ~kind p] lists the profiles reachable by one
+    move of the given kind (optionally with initial link traffic, the
+    Definition 3.1 setting). *)
+val successors :
+  Game.t -> ?initial:Numeric.Rational.t array -> kind:move_kind -> Pure.profile ->
+  Pure.profile list
+
+(** [find_cycle g ~kind] searches the whole graph and returns a witness
+    cycle (a list of successive profiles, first = last omitted) if one
+    exists. @raise Invalid_argument when [m^n] exceeds [limit]
+    (default [2_000_000]). *)
+val find_cycle :
+  ?limit:int -> ?initial:Numeric.Rational.t array -> Game.t -> kind:move_kind ->
+  Pure.profile list option
+
+(** [all_reach_nash g ~kind] holds when from every profile the dynamics
+    can only terminate in a Nash equilibrium, i.e. the graph is acyclic
+    (its sinks are exactly the pure Nash equilibria). *)
+val all_reach_nash :
+  ?limit:int -> ?initial:Numeric.Rational.t array -> Game.t -> kind:move_kind -> bool

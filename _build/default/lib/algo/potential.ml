@@ -1,0 +1,70 @@
+open Model
+open Numeric
+
+let square_defect g sigma ~i ~j ~li ~lj =
+  if i = j then invalid_arg "Potential.square_defect: users must differ";
+  let cost p k = Pure.latency g p k in
+  let move p k l =
+    let q = Array.copy p in
+    q.(k) <- l;
+    q
+  in
+  let a = Array.copy sigma in
+  let b = move a i li in
+  (* around the square a → b → c → d → a, alternating movers i, j *)
+  let c = move b j lj in
+  let d = move a j lj in
+  (* Monderer–Shapley: (u_i(b) - u_i(a)) + (u_j(c) - u_j(b))
+     + (u_i(d) - u_i(c)) + (u_j(a) - u_j(d)) = 0 for exact potentials. *)
+  Rational.sum
+    [
+      Rational.sub (cost b i) (cost a i);
+      Rational.sub (cost c j) (cost b j);
+      Rational.sub (cost d i) (cost c i);
+      Rational.sub (cost a j) (cost d j);
+    ]
+
+let find_nonzero_square ?(limit = 100_000) g =
+  (match Social.profile_count g with
+   | Some c when c <= limit -> ()
+   | _ -> invalid_arg "Potential.find_nonzero_square: state space exceeds the limit");
+  let n = Game.users g and m = Game.links g in
+  let witness = ref None in
+  (try
+     Social.iter_profiles g (fun sigma ->
+         for i = 0 to n - 1 do
+           for j = i + 1 to n - 1 do
+             for li = 0 to m - 1 do
+               if li <> sigma.(i) then
+                 for lj = 0 to m - 1 do
+                   if lj <> sigma.(j) then
+                     if not (Rational.is_zero (square_defect g sigma ~i ~j ~li ~lj)) then begin
+                       witness := Some (Array.copy sigma, i, j, li, lj);
+                       raise Exit
+                     end
+                 done
+             done
+           done
+         done)
+   with Exit -> ());
+  !witness
+
+let is_exact_potential_game ?limit g = find_nonzero_square ?limit g = None
+
+let rosenthal g sigma =
+  if not (Game.is_symmetric g) then
+    invalid_arg "Potential.rosenthal: users must have equal weights";
+  if not (Game.is_kp g) then invalid_arg "Potential.rosenthal: game must be a KP instance";
+  Pure.validate g sigma;
+  let m = Game.links g in
+  let counts = Array.make m 0 in
+  Array.iter (fun l -> counts.(l) <- counts.(l) + 1) sigma;
+  let w = Game.weight g 0 in
+  let acc = ref Rational.zero in
+  for l = 0 to m - 1 do
+    (* Σ_{k=1}^{N_ℓ} k·w / c^ℓ  =  w·N(N+1)/2 / c^ℓ *)
+    let nl = counts.(l) in
+    let tri = Rational.of_ints (nl * (nl + 1)) 2 in
+    acc := Rational.add !acc (Rational.div (Rational.mul w tri) (Game.capacity g 0 l))
+  done;
+  !acc

@@ -1,0 +1,102 @@
+open Model
+open Numeric
+
+(* With equal weights, latencies are proportional to (count on link) /
+   c^ℓ_i, so the algorithm only tracks per-link occupancy counts. *)
+
+let solve_with_stats g =
+  if not (Game.is_symmetric g) then
+    invalid_arg "Symmetric.solve: users must have equal weights";
+  let n = Game.users g and m = Game.links g in
+  let counts = Array.make m 0 in
+  let sigma = Array.make n (-1) in
+  let moves = ref 0 in
+  (* Best link for user [i] given one extra unit placed on each
+     candidate link: minimises (counts.(l) + 1) / c^l_i. *)
+  let best_link i =
+    let best = ref 0 in
+    let score l = Rational.div (Rational.of_int (counts.(l) + 1)) (Game.capacity g i l) in
+    let best_score = ref (score 0) in
+    for l = 1 to m - 1 do
+      let s = score l in
+      if Rational.compare s !best_score < 0 then begin
+        best := l;
+        best_score := s
+      end
+    done;
+    !best
+  in
+  (* A user on [l] defects when some other link beats its current
+     latency: counts.(l)/c^l_k > (counts.(l')+1)/c^l'_k. *)
+  let rec wants_to_leave k =
+    let l = sigma.(k) in
+    let here = Rational.div (Rational.of_int counts.(l)) (Game.capacity g k l) in
+    let rec scan l' =
+      if l' >= m then None
+      else if
+        l' <> l
+        && Rational.compare (Rational.div (Rational.of_int (counts.(l') + 1)) (Game.capacity g k l')) here < 0
+      then Some (best_link_excluding k)
+      else scan (l' + 1)
+    in
+    scan 0
+  and best_link_excluding k =
+    (* The paper moves the defector to a strictly better link; we use
+       its best response, which the correctness proof also covers. *)
+    let l = sigma.(k) in
+    let best = ref l in
+    let here = Rational.div (Rational.of_int counts.(l)) (Game.capacity g k l) in
+    let best_score = ref here in
+    for l' = 0 to m - 1 do
+      if l' <> l then begin
+        let s = Rational.div (Rational.of_int (counts.(l') + 1)) (Game.capacity g k l') in
+        if Rational.compare s !best_score < 0 then begin
+          best := l';
+          best_score := s
+        end
+      end
+    done;
+    !best
+  in
+  for i = 0 to n - 1 do
+    let l = best_link i in
+    sigma.(i) <- l;
+    counts.(l) <- counts.(l) + 1;
+    (* Cascade: follow defections from the link that just grew. *)
+    let hot = ref l in
+    let budget = ref (n * m * (i + 2)) (* safety net far above the paper's O(i) bound *) in
+    let continue = ref true in
+    while !continue do
+      decr budget;
+      if !budget < 0 then failwith "Symmetric.solve: cascade exceeded its bound (bug)";
+      (* Look for a defector currently assigned to the hot link. *)
+      let defector = ref None in
+      for k = 0 to i do
+        if !defector = None && sigma.(k) = !hot then
+          match wants_to_leave k with
+          | Some target when target <> sigma.(k) -> defector := Some (k, target)
+          | _ -> ()
+      done;
+      (* The proof localises defections to the link that last grew, but
+         we also sweep the rest to be safe against ties. *)
+      if !defector = None then begin
+        for k = 0 to i do
+          if !defector = None then
+            match wants_to_leave k with
+            | Some target when target <> sigma.(k) -> defector := Some (k, target)
+            | _ -> ()
+        done
+      end;
+      match !defector with
+      | None -> continue := false
+      | Some (k, target) ->
+        counts.(sigma.(k)) <- counts.(sigma.(k)) - 1;
+        counts.(target) <- counts.(target) + 1;
+        sigma.(k) <- target;
+        hot := target;
+        incr moves
+    done
+  done;
+  (sigma, !moves)
+
+let solve g = fst (solve_with_stats g)

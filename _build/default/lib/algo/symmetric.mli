@@ -1,0 +1,19 @@
+open Model
+
+(** Algorithm A_symmetric (Figure 2, Theorem 3.5).
+
+    Computes a pure Nash equilibrium for games with {e symmetric}
+    (equal-weight) users on any number of links in O(n²m): users are
+    inserted one by one on a latency-minimising link, and each insertion
+    is followed by a cascade of best-response moves.  The paper's
+    potential-free induction shows each existing user defects at most
+    once per insertion, so the cascade is finite. *)
+
+(** [solve g] is a pure Nash equilibrium of [g].
+    @raise Invalid_argument unless all users have equal weights. *)
+val solve : Game.t -> Pure.profile
+
+(** [solve_with_stats g] also reports the total number of defection
+    moves performed across all cascades (used by the complexity
+    experiment E2; the paper's bound is O(n²)). *)
+val solve_with_stats : Game.t -> Pure.profile * int

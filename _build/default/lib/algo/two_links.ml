@@ -1,0 +1,50 @@
+open Model
+open Numeric
+
+let tolerance g ~initial ~total i j =
+  let c_j = Game.capacity g i j and c_o = Game.capacity g i (1 - j) in
+  let t_j = initial.(j) and t_o = initial.(1 - j) in
+  (* α = (c_j·c_o / (c_j + c_o)) · ((t_o + total + w_i)/c_o - t_j/c_j) *)
+  let factor = Rational.div (Rational.mul c_j c_o) (Rational.add c_j c_o) in
+  let rhs =
+    Rational.sub
+      (Rational.div (Rational.add t_o (Rational.add total (Game.weight g i))) c_o)
+      (Rational.div t_j c_j)
+  in
+  Rational.mul factor rhs
+
+let solve ?initial g =
+  if Game.links g <> 2 then invalid_arg "Two_links.solve: game must have exactly two links";
+  let n = Game.users g in
+  let t =
+    match initial with
+    | Some t when Array.length t = 2 -> Array.copy t
+    | Some _ -> invalid_arg "Two_links.solve: initial traffic must have length 2"
+    | None -> [| Rational.zero; Rational.zero |]
+  in
+  let sigma = Array.make n 0 in
+  let remaining = Array.make n true in
+  let total = ref (Game.total_traffic g) in
+  (* Each round commits the unassigned user with the largest tolerance
+     to its preferred link, then shrinks the residual game. *)
+  for _round = 1 to n do
+    let best = ref None in
+    for i = 0 to n - 1 do
+      if remaining.(i) then begin
+        let a0 = tolerance g ~initial:t ~total:!total i 0 in
+        let a1 = tolerance g ~initial:t ~total:!total i 1 in
+        let link, a = if Rational.compare a0 a1 >= 0 then (0, a0) else (1, a1) in
+        match !best with
+        | Some (_, _, best_a) when Rational.compare best_a a >= 0 -> ()
+        | _ -> best := Some (i, link, a)
+      end
+    done;
+    match !best with
+    | None -> assert false (* one unassigned user remains per round *)
+    | Some (k, link, _) ->
+      sigma.(k) <- link;
+      remaining.(k) <- false;
+      t.(link) <- Rational.add t.(link) (Game.weight g k);
+      total := Rational.sub !total (Game.weight g k)
+  done;
+  sigma

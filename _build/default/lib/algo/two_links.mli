@@ -1,0 +1,28 @@
+open Model
+
+(** Algorithm A_twolinks (Figure 1, Theorem 3.3).
+
+    Computes a pure Nash equilibrium of any game on [m = 2] links in
+    O(n²), even with initial link traffic.  Greedy on {e tolerances}
+    (Definition 3.1): the tolerance [α^j_i] is the largest total load on
+    link [j] (own weight included) that user [i] accepts while routing
+    on [j]; the algorithm repeatedly commits the user with the highest
+    tolerance to its preferred link. *)
+
+(** [tolerance g ~initial ~total i j] is [α^j_i] for the game whose
+    remaining users carry total traffic [total] and whose links carry
+    initial traffic [initial] (length 2): the unique solution of
+
+    {v (t_j + α)/c^j_i = (t_{j⊕1} + total - α + w_i)/c^{j⊕1}_i v} *)
+val tolerance :
+  Game.t ->
+  initial:Numeric.Rational.t array ->
+  total:Numeric.Rational.t ->
+  int ->
+  int ->
+  Numeric.Rational.t
+
+(** [solve ?initial g] is a pure Nash equilibrium of [g] (with respect
+    to [initial], default zero).
+    @raise Invalid_argument unless [g] has exactly two links. *)
+val solve : ?initial:Numeric.Rational.t array -> Game.t -> Pure.profile

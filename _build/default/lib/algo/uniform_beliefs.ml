@@ -1,0 +1,34 @@
+open Model
+open Numeric
+
+let solve ?initial g =
+  if not (Game.has_uniform_beliefs g) then
+    invalid_arg "Uniform_beliefs.solve: game must have uniform user beliefs";
+  let n = Game.users g and m = Game.links g in
+  let t =
+    match initial with
+    | Some t when Array.length t = m -> Array.copy t
+    | Some _ -> invalid_arg "Uniform_beliefs.solve: initial traffic has wrong length"
+    | None -> Array.make m Rational.zero
+  in
+  (* LPT order: heaviest users first; ties broken by index for
+     determinism. *)
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      let c = Rational.compare (Game.weight g b) (Game.weight g a) in
+      if c <> 0 then c else Stdlib.compare a b)
+    order;
+  let sigma = Array.make n 0 in
+  Array.iter
+    (fun k ->
+      (* All links look alike to user k, so its best response is any
+         link with minimum current traffic. *)
+      let best = ref 0 in
+      for l = 1 to m - 1 do
+        if Rational.compare t.(l) t.(!best) < 0 then best := l
+      done;
+      sigma.(k) <- !best;
+      t.(!best) <- Rational.add t.(!best) (Game.weight g k))
+    order;
+  sigma

@@ -1,0 +1,15 @@
+open Model
+
+(** Algorithm A_uniform (Figure 3, Theorem 3.6).
+
+    For the model of {e uniform user beliefs} — every user sees all
+    links with the same effective capacity [c_i] — a pure Nash
+    equilibrium is computed in O(n(log n + m)) by a variant of Graham's
+    LPT rule: process users in decreasing weight order, placing each on
+    a link with minimum current traffic (initial traffic included). *)
+
+(** [solve ?initial g] is a pure Nash equilibrium of [g] with respect
+    to [initial] (default zero).
+    @raise Invalid_argument unless every user's effective capacities
+    are equal across links. *)
+val solve : ?initial:Numeric.Rational.t array -> Game.t -> Pure.profile

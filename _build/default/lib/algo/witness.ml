@@ -1,0 +1,34 @@
+open Model
+open Numeric
+
+let game w c = Game.of_capacities ~weights:(Array.map Rational.of_int w) (Array.map (Array.map Rational.of_int) c)
+
+let better_response_cycle_game () =
+  game
+    [| 3; 6; 8; 4; 3; 3 |]
+    [|
+      [| 1; 1; 1 |];
+      [| 21; 1; 37 |];
+      [| 1; 20; 38 |];
+      [| 1; 1; 1 |];
+      [| 1; 1; 1 |];
+      [| 26; 14; 21 |];
+    |]
+
+let better_response_cycle_with_initial () =
+  ( game
+      [| 6; 8; 3 |]
+      [| [| 21; 1; 37 |]; [| 1; 20; 38 |]; [| 26; 14; 21 |] |],
+    [| Rational.of_int 3; Rational.zero; Rational.of_int 7 |] )
+
+let original_cycle_game () =
+  game
+    [| 3; 6; 8; 4; 3; 3 |]
+    [|
+      [| 20; 14; 25; 30 |];
+      [| 21; 34; 37; 1 |];
+      [| 15; 20; 38; 13 |];
+      [| 20; 30; 8; 37 |];
+      [| 26; 10; 3; 3 |];
+      [| 28; 15; 22; 6 |];
+    |]

@@ -1,0 +1,36 @@
+open Model
+
+(** Concrete witness instances found by this project's searches.
+
+    The headline artefact is {!better_response_cycle_game}: an instance
+    of the belief model whose {e better-response} graph contains a cycle
+    — computational confirmation of the Section 3.2 observation
+    (attributed to B. Monien, personal communication, and never
+    published) that the game is {e not an ordinal potential game}.
+
+    The instance was found by [bin/cycle_hunt.exe] (seed 14, attempt
+    1 783 374 at n = 6, m = 4) after ≈68 million random instances with
+    n ≤ 4 users — plus 1.5 million exhaustively enumerated small grids —
+    contained none; it was then shrunk by greedy delta-debugging while
+    preserving the cycle (dropping a link but no user: all six users
+    carry the displacement pattern).  Notably it still possesses pure
+    Nash equilibria (supporting Conjecture 3.7) and its
+    {e best-response} graph is acyclic. *)
+
+(** [better_response_cycle_game ()] is the minimised 6-user/3-link
+    witness (reduced form, integer effective capacities). *)
+val better_response_cycle_game : unit -> Game.t
+
+(** [original_cycle_game ()] is the unminimised 6-user/4-link instance
+    exactly as found by the random hunt (seed 14, attempt 1 783 374). *)
+val original_cycle_game : unit -> Game.t
+
+(** [better_response_cycle_with_initial ()] is the sharpest form of the
+    witness: only three of the six users ever move in the cycle, so the
+    static ones collapse into {e initial link traffic} (the generalised
+    setting of Definition 3.1).  Returns the 3-user game and the initial
+    traffic vector [⟨3, 0, 7⟩]; its better-response graph (with that
+    traffic) has a 7-cycle, while the same game {e without} initial
+    traffic is acyclic.  So in the initial-traffic model, ordinal
+    potentials already fail at three users. *)
+val better_response_cycle_with_initial : unit -> Game.t * Numeric.Rational.t array

@@ -1,0 +1,1 @@
+lib/experiments/curves.ml: Algo Array Congestion Float Game Generators Kp List Model Numeric Prng Pure Rational Report Social Stats

@@ -1,0 +1,1 @@
+lib/experiments/curves.mli: Stats

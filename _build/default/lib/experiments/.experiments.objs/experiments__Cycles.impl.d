@@ -1,0 +1,1 @@
+lib/experiments/cycles.ml: Algo Generators List Prng Stats

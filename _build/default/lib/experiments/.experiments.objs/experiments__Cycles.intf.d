@@ -1,0 +1,1 @@
+lib/experiments/cycles.mli: Generators Model Stats

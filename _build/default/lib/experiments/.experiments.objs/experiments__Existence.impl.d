@@ -1,0 +1,1 @@
+lib/experiments/existence.ml: Algo Array Float Game Generators List Model Parallel Prng Report Stats

@@ -1,0 +1,1 @@
+lib/experiments/existence.mli: Generators Stats

@@ -1,0 +1,1 @@
+lib/experiments/fmne_exp.ml: Algo Array Fun Game Generators List Mixed Model Numeric Prng Qvec Rational Report Stats

@@ -1,0 +1,1 @@
+lib/experiments/fmne_exp.mli: Generators Stats

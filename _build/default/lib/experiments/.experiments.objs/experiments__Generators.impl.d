@@ -1,0 +1,1 @@
+lib/experiments/generators.ml: Array Belief Game List Model Numeric Printf Prng Rational State

@@ -1,0 +1,1 @@
+lib/experiments/generators.mli: Game Model Numeric Prng State

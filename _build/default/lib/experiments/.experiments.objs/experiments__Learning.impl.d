@@ -1,0 +1,1 @@
+lib/experiments/learning.ml: Algo Array Belief Game Generators List Model Numeric Prng Pure Rational Report Social Stats

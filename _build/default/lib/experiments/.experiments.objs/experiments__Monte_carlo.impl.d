@@ -1,0 +1,1 @@
+lib/experiments/monte_carlo.ml: Array Belief Float Game Generators List Model Numeric Prng Pure Rational Report Stats

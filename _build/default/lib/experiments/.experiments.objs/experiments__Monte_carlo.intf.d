@@ -1,0 +1,1 @@
+lib/experiments/monte_carlo.mli: Game Model Prng Pure Stats

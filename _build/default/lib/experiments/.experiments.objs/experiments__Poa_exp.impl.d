@@ -1,0 +1,1 @@
+lib/experiments/poa_exp.ml: Algo Bounds Float Generators List Mixed Model Numeric Prng Rational Report Social Stats

@@ -1,0 +1,1 @@
+lib/experiments/poa_exp.mli: Generators Stats

@@ -1,0 +1,1 @@
+lib/experiments/robustness.ml: Algo Array Belief Float Game Generators Hashtbl List Model Numeric Prng Pure Rational Report Social Stats

@@ -1,0 +1,1 @@
+lib/experiments/robustness.mli: Numeric Stats

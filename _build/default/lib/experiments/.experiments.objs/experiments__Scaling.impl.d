@@ -1,0 +1,1 @@
+lib/experiments/scaling.ml: Algo Generators List Prng Report Stats Sys

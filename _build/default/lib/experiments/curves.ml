@@ -1,0 +1,89 @@
+open Model
+open Numeric
+
+type point = { n : int; m : int; value : float }
+
+let cell_rng seed n m = Prng.Rng.create (seed + (7919 * n) + (104729 * m))
+
+let sweep ~seed ~ns ~ms ~trials measure =
+  List.concat_map
+    (fun n ->
+      List.map
+        (fun m ->
+          let rng = cell_rng seed n m in
+          let acc = ref 0.0 in
+          for _ = 1 to trials do
+            acc := !acc +. measure rng ~n ~m
+          done;
+          { n; m; value = !acc /. float_of_int trials })
+        ms)
+    ns
+
+let shared_space_game rng ~n ~m =
+  Generators.game rng ~n ~m
+    ~weights:(Generators.Integer_weights 4)
+    ~beliefs:(Generators.Shared_space { states = 3; cap_bound = 5; grain = 4 })
+
+let fmne_existence ~seed ~ns ~ms ~trials =
+  sweep ~seed ~ns ~ms ~trials (fun rng ~n ~m ->
+      if Algo.Fully_mixed.exists (shared_space_game rng ~n ~m) then 1.0 else 0.0)
+
+let mean_pure_ne ~seed ~ns ~ms ~trials =
+  sweep ~seed ~ns ~ms ~trials (fun rng ~n ~m ->
+      float_of_int (Algo.Enumerate.count (shared_space_game rng ~n ~m)))
+
+let poa_histogram ~seed ~trials ~bins =
+  let h = Stats.Histogram.create ~lo:1.0 ~hi:3.0 ~bins in
+  let rng = Prng.Rng.create seed in
+  for _ = 1 to trials do
+    let n = Prng.Rng.int_in rng 2 4 and m = Prng.Rng.int_in rng 2 3 in
+    let g = shared_space_game rng ~n ~m in
+    let opt, _ = Social.opt1 g in
+    List.iter
+      (fun ne ->
+        Stats.Histogram.add h (Rational.to_float (Rational.div (Pure.social_cost1 g ne) opt)))
+      (Algo.Enumerate.pure_nash g)
+  done;
+  h
+
+let br_steps_histogram ~seed ~trials ~bins =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:(float_of_int bins) ~bins in
+  let rng = Prng.Rng.create seed in
+  for _ = 1 to trials do
+    let n = Prng.Rng.int_in rng 2 5 and m = Prng.Rng.int_in rng 2 3 in
+    let g = shared_space_game rng ~n ~m in
+    let start = Array.init n (fun _ -> Prng.Rng.int rng m) in
+    let o = Algo.Best_response.converge g ~max_steps:500 start in
+    if o.converged then Stats.Histogram.add h (float_of_int o.steps)
+  done;
+  h
+
+let lpt_quality ~seed ~ms ~trials =
+  List.map
+    (fun m ->
+      let rng = cell_rng seed 0 m in
+      let worst = ref 1.0 in
+      for _ = 1 to trials do
+        let n = Prng.Rng.int_in rng 2 6 in
+        (* Identical links: Graham's setting. *)
+        let weights =
+          Array.init n (fun _ -> Rational.of_int (Prng.Rng.int_in rng 1 9))
+        in
+        let g = Game.kp ~weights ~capacities:(Array.make m Rational.one) in
+        let sigma = Kp.Kp_nash.solve g in
+        let opt, _ = Congestion.optimum g in
+        let ratio =
+          Rational.to_float (Rational.div (Congestion.max_congestion g sigma) opt)
+        in
+        worst := Float.max !worst ratio
+      done;
+      let bound = (4.0 /. 3.0) -. (1.0 /. (3.0 *. float_of_int m)) in
+      (m, !worst, bound))
+    ms
+
+let table label points =
+  let t = Stats.Table.create [ "n"; "m"; label ] in
+  List.iter
+    (fun p -> Stats.Table.add_row t [ string_of_int p.n; string_of_int p.m; Report.flt p.value ])
+    points;
+  t

@@ -1,0 +1,31 @@
+(** Figure-style series: quantities swept against a size parameter.
+
+    The paper prints no figures, but these are the curves its empirical
+    section implies; `bench/main.exe` renders them as tables and ASCII
+    histograms.  All series are deterministic in the seed. *)
+
+type point = { n : int; m : int; value : float }
+
+(** [fmne_existence ~seed ~ns ~ms ~trials] is the empirical probability
+    that the fully mixed Nash equilibrium exists (Theorem 4.6 candidate
+    inside (0,1)) under shared-space beliefs. *)
+val fmne_existence : seed:int -> ns:int list -> ms:int list -> trials:int -> point list
+
+(** [mean_pure_ne ~seed ~ns ~ms ~trials] is the mean number of pure Nash
+    equilibria per instance. *)
+val mean_pure_ne : seed:int -> ns:int list -> ms:int list -> trials:int -> point list
+
+(** [poa_histogram ~seed ~trials ~bins] collects the SC1/OPT1 ratio of
+    every pure NE over random instances into a histogram. *)
+val poa_histogram : seed:int -> trials:int -> bins:int -> Stats.Histogram.t
+
+(** [br_steps_histogram ~seed ~trials ~bins] collects best-response
+    convergence lengths from random starts. *)
+val br_steps_histogram : seed:int -> trials:int -> bins:int -> Stats.Histogram.t
+
+(** [lpt_quality ~seed ~ms ~trials] checks Graham's LPT guarantee on
+    identical links: for each m, the worst observed makespan ratio of
+    the LPT equilibrium against the (4/3 - 1/(3m)) bound. *)
+val lpt_quality : seed:int -> ms:int list -> trials:int -> (int * float * float) list
+
+val table : string -> point list -> Stats.Table.t

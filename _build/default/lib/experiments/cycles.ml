@@ -1,0 +1,86 @@
+type row = {
+  n : int;
+  m : int;
+  beliefs : string;
+  trials : int;
+  best_response_cycles : int;
+  better_response_cycles : int;
+  shortest_witness : int option;
+  all_have_pure_ne : bool;
+}
+
+let run ~seed ~ns ~ms ~trials ~weights ~beliefs =
+  let rng = Prng.Rng.create seed in
+  List.concat_map
+    (fun n ->
+      List.map
+        (fun m ->
+          let best = ref 0 and better = ref 0 in
+          let shortest = ref None in
+          let all_pure = ref true in
+          for _ = 1 to trials do
+            let g = Generators.game rng ~n ~m ~weights ~beliefs in
+            (match Algo.Game_graph.find_cycle g ~kind:Algo.Game_graph.Best_response with
+             | Some _ -> incr best
+             | None -> ());
+            (match Algo.Game_graph.find_cycle g ~kind:Algo.Game_graph.Better_response with
+             | Some c ->
+               incr better;
+               let len = List.length c in
+               (match !shortest with
+                | Some s when s <= len -> ()
+                | _ -> shortest := Some len)
+             | None -> ());
+            if not (Algo.Enumerate.exists g) then all_pure := false
+          done;
+          {
+            n;
+            m;
+            beliefs = Generators.belief_family_name beliefs;
+            trials;
+            best_response_cycles = !best;
+            better_response_cycles = !better;
+            shortest_witness = !shortest;
+            all_have_pure_ne = !all_pure;
+          })
+        ms)
+    ns
+
+let find_better_response_witness ~seed ~trials =
+  let rng = Prng.Rng.create seed in
+  let rec go k =
+    if k > trials then None
+    else begin
+      let n = Prng.Rng.int_in rng 3 4 and m = Prng.Rng.int_in rng 2 3 in
+      let g =
+        Generators.game rng ~n ~m
+          ~weights:(Generators.Integer_weights 4)
+          ~beliefs:(Generators.Private_point { cap_bound = 6 })
+      in
+      match Algo.Game_graph.find_cycle g ~kind:Algo.Game_graph.Better_response with
+      | Some cycle -> Some (g, cycle)
+      | None -> go (k + 1)
+    end
+  in
+  go 1
+
+let table rows =
+  let t =
+    Stats.Table.create
+      [ "n"; "m"; "beliefs"; "trials"; "BR cycles"; "better-resp cycles"; "shortest"; "pure NE always" ]
+  in
+  List.iter
+    (fun r ->
+      Stats.Table.add_row t
+        [
+          string_of_int r.n;
+          string_of_int r.m;
+          r.beliefs;
+          string_of_int r.trials;
+          string_of_int r.best_response_cycles;
+          string_of_int r.better_response_cycles;
+          (match r.shortest_witness with None -> "-" | Some s -> string_of_int s);
+          string_of_bool r.all_have_pure_ne;
+        ])
+    rows;
+  t

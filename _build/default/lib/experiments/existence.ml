@@ -1,0 +1,85 @@
+open Model
+
+type row = {
+  n : int;
+  m : int;
+  weights : string;
+  beliefs : string;
+  trials : int;
+  with_pure : int;
+  min_ne : int;
+  mean_ne : float;
+  max_ne : int;
+  br_converged : int;
+  mean_br_steps : float;
+}
+
+let random_profile rng g =
+  Array.init (Game.users g) (fun _ -> Prng.Rng.int rng (Game.links g))
+
+let run ?(domains = 1) ~seed ~ns ~ms ~trials ~weights ~beliefs () =
+  let cells = List.concat_map (fun n -> List.map (fun m -> (n, m)) ms) ns in
+  Parallel.map ~domains
+    (fun (n, m) ->
+          (* Each cell derives its own generator, so results do not
+             depend on scheduling. *)
+          let rng = Prng.Rng.create (seed + (7919 * n) + (104729 * m)) in
+          let with_pure = ref 0 in
+          let counts = ref [] in
+          let br_converged = ref 0 in
+          let br_steps = ref 0 in
+          for _ = 1 to trials do
+            let g = Generators.game rng ~n ~m ~weights ~beliefs in
+            let ne_count = Algo.Enumerate.count g in
+            if ne_count > 0 then incr with_pure;
+            counts := ne_count :: !counts;
+            let start = random_profile rng g in
+            let budget = 16 * n * m * (n + m) in
+            let outcome = Algo.Best_response.converge g ~max_steps:budget start in
+            if outcome.converged then begin
+              incr br_converged;
+              br_steps := !br_steps + outcome.steps
+            end
+          done;
+          let counts = !counts in
+          {
+            n;
+            m;
+            weights = Generators.weight_family_name weights;
+            beliefs = Generators.belief_family_name beliefs;
+            trials;
+            with_pure = !with_pure;
+            min_ne = List.fold_left min max_int counts;
+            mean_ne =
+              float_of_int (List.fold_left ( + ) 0 counts) /. float_of_int (List.length counts);
+            max_ne = List.fold_left max 0 counts;
+            br_converged = !br_converged;
+            mean_br_steps =
+              (if !br_converged = 0 then Float.nan
+               else float_of_int !br_steps /. float_of_int !br_converged);
+          })
+    cells
+
+let table rows =
+  let t =
+    Stats.Table.create
+      [ "n"; "m"; "weights"; "beliefs"; "trials"; "pure NE"; "min#"; "mean#"; "max#"; "BR conv"; "BR steps" ]
+  in
+  List.iter
+    (fun r ->
+      Stats.Table.add_row t
+        [
+          string_of_int r.n;
+          string_of_int r.m;
+          r.weights;
+          r.beliefs;
+          string_of_int r.trials;
+          Report.pct r.with_pure r.trials;
+          string_of_int r.min_ne;
+          Report.flt r.mean_ne;
+          string_of_int r.max_ne;
+          Report.pct r.br_converged r.trials;
+          Report.flt r.mean_br_steps;
+        ])
+    rows;
+  t

@@ -1,0 +1,118 @@
+open Model
+open Numeric
+
+type row = {
+  n : int;
+  m : int;
+  beliefs : string;
+  trials : int;
+  fmne_exists : int;
+  candidate_rows_sum_one : int;
+  fmne_is_nash : int;
+  latencies_match_lemma41 : int;
+  equiprobable : int;
+  pure_ne_checked : int;
+  dominated_by_fmne : int;
+  sc_maximal : int;
+}
+
+let rows_sum_one p = Array.for_all (fun row -> Rational.equal (Qvec.sum row) Rational.one) p
+
+let equiprobable g p =
+  let share = Rational.of_ints 1 (Game.links g) in
+  Array.for_all (Array.for_all (Rational.equal share)) p
+
+(* λ_i(P) ≤ λ_i(F) for every user (Lemma 4.9), using the candidate
+   comparator even when no fully mixed NE exists (Corollary 4.10). *)
+let dominated g pure_profile comparator =
+  let mixed = Mixed.of_pure g pure_profile in
+  let rec check i =
+    i >= Game.users g
+    || (Rational.compare (Mixed.min_latency g mixed i) (Mixed.min_latency g comparator i) <= 0
+        && check (i + 1))
+  in
+  check 0
+
+let sc_below g pure_profile comparator =
+  let mixed = Mixed.of_pure g pure_profile in
+  Rational.compare (Mixed.social_cost1 g mixed) (Mixed.social_cost1 g comparator) <= 0
+  && Rational.compare (Mixed.social_cost2 g mixed) (Mixed.social_cost2 g comparator) <= 0
+
+let run ~seed ~ns ~ms ~trials ~weights ~beliefs =
+  let rng = Prng.Rng.create seed in
+  List.concat_map
+    (fun n ->
+      List.map
+        (fun m ->
+          let exists = ref 0 and sums = ref 0 and nash = ref 0 in
+          let lemma41 = ref 0 and equi = ref 0 in
+          let checked = ref 0 and dominated_count = ref 0 and sc_max = ref 0 in
+          for _ = 1 to trials do
+            let g = Generators.game rng ~n ~m ~weights ~beliefs in
+            let candidate = Algo.Fully_mixed.candidate g in
+            if rows_sum_one candidate then incr sums;
+            (match Algo.Fully_mixed.compute g with
+             | Some p ->
+               incr exists;
+               if Mixed.is_nash g p then incr nash;
+               let matches =
+                 List.for_all
+                   (fun i ->
+                     Rational.equal (Mixed.min_latency g p i)
+                       (Algo.Fully_mixed.equilibrium_latency g i))
+                   (List.init n Fun.id)
+               in
+               if matches then incr lemma41;
+               if equiprobable g p then incr equi
+             | None -> ());
+            List.iter
+              (fun ne ->
+                incr checked;
+                if dominated g ne candidate then incr dominated_count;
+                if sc_below g ne candidate then incr sc_max)
+              (Algo.Enumerate.pure_nash g)
+          done;
+          {
+            n;
+            m;
+            beliefs = Generators.belief_family_name beliefs;
+            trials;
+            fmne_exists = !exists;
+            candidate_rows_sum_one = !sums;
+            fmne_is_nash = !nash;
+            latencies_match_lemma41 = !lemma41;
+            equiprobable = !equi;
+            pure_ne_checked = !checked;
+            dominated_by_fmne = !dominated_count;
+            sc_maximal = !sc_max;
+          })
+        ms)
+    ns
+
+let table rows =
+  let t =
+    Stats.Table.create
+      [
+        "n"; "m"; "beliefs"; "trials"; "FMNE"; "rows=1"; "is NE"; "Lem4.1"; "p=1/m";
+        "pure NE"; "dominated"; "SC max";
+      ]
+  in
+  List.iter
+    (fun r ->
+      Stats.Table.add_row t
+        [
+          string_of_int r.n;
+          string_of_int r.m;
+          r.beliefs;
+          string_of_int r.trials;
+          Report.pct r.fmne_exists r.trials;
+          Report.pct r.candidate_rows_sum_one r.trials;
+          Report.pct r.fmne_is_nash r.fmne_exists;
+          Report.pct r.latencies_match_lemma41 r.fmne_exists;
+          Report.pct r.equiprobable r.fmne_exists;
+          string_of_int r.pure_ne_checked;
+          Report.pct r.dominated_by_fmne r.pure_ne_checked;
+          Report.pct r.sc_maximal r.pure_ne_checked;
+        ])
+    rows;
+  t

@@ -1,0 +1,38 @@
+(** Experiments E8–E10: fully mixed Nash equilibria.
+
+    E8 (Theorem 4.6 / Corollary 4.7): the closed-form candidate, when
+    inside (0,1)^{n×m}, is a Nash equilibrium (checked against the exact
+    Nash predicate) with equal per-user latencies matching Lemma 4.1.
+
+    E9 (Theorem 4.8): under uniform user beliefs the fully mixed
+    equilibrium assigns every link probability exactly 1/m.
+
+    E10 (Lemma 4.9, Theorems 4.11/4.12): the fully mixed comparator
+    dominates every pure Nash equilibrium user-by-user, hence maximises
+    both social costs among equilibria. *)
+
+type row = {
+  n : int;
+  m : int;
+  beliefs : string;
+  trials : int;
+  fmne_exists : int;
+  candidate_rows_sum_one : int;  (** Remark 4.4 sanity *)
+  fmne_is_nash : int;  (** of those existing, pass [Mixed.is_nash] *)
+  latencies_match_lemma41 : int;
+  equiprobable : int;  (** FMNE equals the 1/m matrix (E9) *)
+  pure_ne_checked : int;  (** pure NE compared in total (E10) *)
+  dominated_by_fmne : int;  (** pure NE with λ_i(P) ≤ λ_i(F) for all i *)
+  sc_maximal : int;  (** pure NE with SC1/SC2 ≤ the comparator's *)
+}
+
+val run :
+  seed:int ->
+  ns:int list ->
+  ms:int list ->
+  trials:int ->
+  weights:Generators.weight_family ->
+  beliefs:Generators.belief_family ->
+  row list
+
+val table : row list -> Stats.Table.t

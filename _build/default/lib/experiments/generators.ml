@@ -1,0 +1,65 @@
+open Model
+open Numeric
+
+type weight_family = Unit_weights | Integer_weights of int | Rational_weights of int
+
+type belief_family =
+  | Shared_point of { cap_bound : int }
+  | Private_point of { cap_bound : int }
+  | Shared_space of { states : int; cap_bound : int; grain : int }
+  | Uniform_link_view of { cap_bound : int }
+  | Signal_posterior of { states : int; cap_bound : int; grain : int }
+
+let weight_family_name = function
+  | Unit_weights -> "unit"
+  | Integer_weights b -> Printf.sprintf "int<=%d" b
+  | Rational_weights b -> Printf.sprintf "rat<=%d" b
+
+let belief_family_name = function
+  | Shared_point _ -> "shared-point(KP)"
+  | Private_point _ -> "private-point"
+  | Shared_space { states; _ } -> Printf.sprintf "shared-space(%d)" states
+  | Uniform_link_view _ -> "uniform-view"
+  | Signal_posterior { states; _ } -> Printf.sprintf "signal(%d)" states
+
+let weights rng ~n family =
+  Array.init n (fun _ ->
+      match family with
+      | Unit_weights -> Rational.one
+      | Integer_weights bound -> Rational.of_int (Prng.Rng.int_in rng 1 bound)
+      | Rational_weights bound -> Prng.Rng.positive_rational rng ~num_bound:bound ~den_bound:bound)
+
+let random_state rng ~m ~cap_bound =
+  State.make (Array.init m (fun _ -> Rational.of_int (Prng.Rng.int_in rng 1 cap_bound)))
+
+let state_space rng ~m ~states ~cap_bound =
+  State.space (List.init states (fun _ -> random_state rng ~m ~cap_bound))
+
+let game rng ~n ~m ~weights:wf ~beliefs =
+  let w = weights rng ~n wf in
+  let bs =
+    match beliefs with
+    | Shared_point { cap_bound } ->
+      let st = random_state rng ~m ~cap_bound in
+      Array.init n (fun _ -> Belief.certain st)
+    | Private_point { cap_bound } ->
+      Array.init n (fun _ -> Belief.certain (random_state rng ~m ~cap_bound))
+    | Shared_space { states; cap_bound; grain } ->
+      let space = state_space rng ~m ~states ~cap_bound in
+      Array.init n (fun _ ->
+          Belief.make space (Prng.Rng.positive_simplex rng ~dim:states ~grain))
+    | Uniform_link_view { cap_bound } ->
+      Array.init n (fun _ ->
+          let c = Rational.of_int (Prng.Rng.int_in rng 1 cap_bound) in
+          Belief.certain (State.make (Array.make m c)))
+    | Signal_posterior { states; cap_bound; grain } ->
+      let space = state_space rng ~m ~states ~cap_bound in
+      let prior = Belief.make space (Prng.Rng.positive_simplex rng ~dim:states ~grain) in
+      Array.init n (fun _ ->
+          (* A private signal: a non-empty random subset of states said
+             to contain the truth; the user holds the posterior. *)
+          let keep = Array.init states (fun _ -> Prng.Rng.bool rng) in
+          keep.(Prng.Rng.int rng states) <- true;
+          Belief.condition prior ~event:(fun k -> keep.(k)))
+  in
+  Game.make ~weights:w ~beliefs:bs

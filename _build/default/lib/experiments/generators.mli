@@ -1,0 +1,46 @@
+open Model
+
+(** Random instance families for the experiment sweeps.
+
+    Everything is driven by an explicit {!Prng.Rng.t}, so all reported
+    rows are reproducible from a seed.  Capacities and belief
+    probabilities are exact rationals with small denominators, keeping
+    exact arithmetic fast while exercising ties. *)
+
+type weight_family =
+  | Unit_weights  (** all weights 1 (the symmetric model) *)
+  | Integer_weights of int  (** uniform in [1, bound] *)
+  | Rational_weights of int  (** ratio of uniform ints in [1, bound] *)
+
+type belief_family =
+  | Shared_point of { cap_bound : int }
+      (** all users certain of one common state — exactly the KP-model *)
+  | Private_point of { cap_bound : int }
+      (** each user certain of its own private state — maximal
+          disagreement, the reduced player-specific form *)
+  | Shared_space of { states : int; cap_bound : int; grain : int }
+      (** a common state space; each user holds a private
+          strictly-positive belief with denominators dividing [grain] *)
+  | Uniform_link_view of { cap_bound : int }
+      (** each user sees every link with the same capacity — the
+          "uniform user beliefs" model of Section 3.1 *)
+  | Signal_posterior of { states : int; cap_bound : int; grain : int }
+      (** all users share a positive prior over a common space, but each
+          observes a private random signal (a subset of states known to
+          contain the truth) and holds the Bayesian posterior
+          ({!Model.Belief.condition}) — heterogeneous beliefs from a
+          common prior *)
+
+val weight_family_name : weight_family -> string
+val belief_family_name : belief_family -> string
+
+(** [weights rng ~n family] draws a traffic vector. *)
+val weights : Prng.Rng.t -> n:int -> weight_family -> Numeric.Rational.t array
+
+(** [state_space rng ~m ~states ~cap_bound] draws [states] capacity
+    vectors with integer capacities in [1, cap_bound]. *)
+val state_space : Prng.Rng.t -> m:int -> states:int -> cap_bound:int -> State.space
+
+(** [game rng ~n ~m ~weights ~beliefs] draws a full instance. *)
+val game :
+  Prng.Rng.t -> n:int -> m:int -> weights:weight_family -> beliefs:belief_family -> Game.t

@@ -1,0 +1,83 @@
+open Model
+open Numeric
+
+type row = {
+  observations : int;
+  trials : int;
+  mean_ratio : float;
+  max_ratio : float;
+  mean_belief_error : float;
+}
+
+(* Total variation distance between an estimated belief and the truth. *)
+let tv_distance estimated truth =
+  let probs = Belief.probs estimated in
+  let acc = ref Rational.zero in
+  Array.iteri (fun k p -> acc := Rational.add !acc (Rational.abs (Rational.sub p truth.(k)))) probs;
+  Rational.to_float (Rational.div !acc Rational.two)
+
+let run ~seed ~n ~m ~states ~observations ~trials =
+  List.map
+    (fun k ->
+      let rng = Prng.Rng.create (seed + (7919 * k)) in
+      let ratios = ref Stats.Welford.empty in
+      let errors = ref Stats.Welford.empty in
+      for _ = 1 to trials do
+        let space = Generators.state_space rng ~m ~states ~cap_bound:6 in
+        let truth = Prng.Rng.positive_simplex rng ~dim:states ~grain:(states + 3) in
+        let sampler = Prng.Alias.of_rationals truth in
+        let weights = Array.init n (fun _ -> Rational.of_int (Prng.Rng.int_in rng 1 5)) in
+        let beliefs =
+          Array.init n (fun _ ->
+              let counts = Array.make states 0 in
+              for _ = 1 to k do
+                let s = Prng.Alias.sample sampler rng in
+                counts.(s) <- counts.(s) + 1
+              done;
+              let b = Belief.from_counts space counts ~smoothing:Rational.one in
+              errors := Stats.Welford.add !errors (tv_distance b truth);
+              b)
+        in
+        let g = Game.make ~weights ~beliefs in
+        let start = Array.init n (fun _ -> Prng.Rng.int rng m) in
+        let o = Algo.Best_response.converge g ~max_steps:(64 * n * m * (n + m)) start in
+        if o.converged then begin
+          let true_belief = Belief.make space truth in
+          let true_caps = Belief.effective_capacities true_belief in
+          let loads = Pure.loads g o.profile in
+          let realised =
+            Rational.sum
+              (List.init n (fun i ->
+                   Rational.div loads.(o.profile.(i)) true_caps.(o.profile.(i))))
+          in
+          let informed = Game.make ~weights ~beliefs:(Array.make n true_belief) in
+          let opt, _ = Social.opt1_bb informed in
+          ratios := Stats.Welford.add !ratios (Rational.to_float (Rational.div realised opt))
+        end
+      done;
+      {
+        observations = k;
+        trials;
+        mean_ratio = Stats.Welford.mean !ratios;
+        max_ratio = Stats.Welford.max !ratios;
+        mean_belief_error = Stats.Welford.mean !errors;
+      })
+    observations
+
+let table rows =
+  let t =
+    Stats.Table.create
+      [ "observations/user"; "trials"; "mean realised SC1 / true OPT1"; "max"; "mean TV error" ]
+  in
+  List.iter
+    (fun r ->
+      Stats.Table.add_row t
+        [
+          string_of_int r.observations;
+          string_of_int r.trials;
+          Report.flt r.mean_ratio;
+          Report.flt r.max_ratio;
+          Report.flt r.mean_belief_error;
+        ])
+    rows;
+  t

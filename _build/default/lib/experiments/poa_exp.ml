@@ -1,0 +1,96 @@
+open Model
+open Numeric
+
+type row = {
+  n : int;
+  m : int;
+  beliefs : string;
+  trials : int;
+  equilibria : int;
+  max_ratio1 : float;
+  max_ratio2 : float;
+  mean_bound1 : float;
+  min_slack1 : float;
+  min_slack2 : float;
+  violations : int;
+}
+
+let run ~seed ~ns ~ms ~trials ~weights ~beliefs ~bound =
+  let rng = Prng.Rng.create seed in
+  List.concat_map
+    (fun n ->
+      List.map
+        (fun m ->
+          let equilibria = ref 0 and violations = ref 0 in
+          let max_r1 = ref neg_infinity and max_r2 = ref neg_infinity in
+          let bounds = ref Stats.Welford.empty in
+          let min_slack1 = ref infinity and min_slack2 = ref infinity in
+          for _ = 1 to trials do
+            let g = Generators.game rng ~n ~m ~weights ~beliefs in
+            let bound_value =
+              match bound with
+              | `Uniform -> Bounds.theorem_4_13 g
+              | `General -> Bounds.theorem_4_14 g
+            in
+            bounds := Stats.Welford.add !bounds (Rational.to_float bound_value);
+            let opt1, _ = Social.opt1_bb g and opt2, _ = Social.opt2_bb g in
+            let consider mixed =
+              incr equilibria;
+              let r1 = Rational.div (Mixed.social_cost1 g mixed) opt1 in
+              let r2 = Rational.div (Mixed.social_cost2 g mixed) opt2 in
+              if Rational.compare r1 bound_value > 0 || Rational.compare r2 bound_value > 0 then
+                incr violations;
+              max_r1 := Float.max !max_r1 (Rational.to_float r1);
+              max_r2 := Float.max !max_r2 (Rational.to_float r2);
+              min_slack1 :=
+                Float.min !min_slack1 (Rational.to_float (Rational.sub bound_value r1));
+              min_slack2 :=
+                Float.min !min_slack2 (Rational.to_float (Rational.sub bound_value r2))
+            in
+            List.iter (fun ne -> consider (Mixed.of_pure g ne)) (Algo.Enumerate.pure_nash g);
+            match Algo.Fully_mixed.compute g with
+            | Some p -> consider p
+            | None -> ()
+          done;
+          {
+            n;
+            m;
+            beliefs = Generators.belief_family_name beliefs;
+            trials;
+            equilibria = !equilibria;
+            max_ratio1 = !max_r1;
+            max_ratio2 = !max_r2;
+            mean_bound1 = Stats.Welford.mean !bounds;
+            min_slack1 = !min_slack1;
+            min_slack2 = !min_slack2;
+            violations = !violations;
+          })
+        ms)
+    ns
+
+let table rows =
+  let t =
+    Stats.Table.create
+      [
+        "n"; "m"; "beliefs"; "trials"; "equilibria"; "max SC1/OPT1"; "max SC2/OPT2";
+        "mean bound"; "min slack1"; "min slack2"; "violations";
+      ]
+  in
+  List.iter
+    (fun r ->
+      Stats.Table.add_row t
+        [
+          string_of_int r.n;
+          string_of_int r.m;
+          r.beliefs;
+          string_of_int r.trials;
+          string_of_int r.equilibria;
+          Report.flt r.max_ratio1;
+          Report.flt r.max_ratio2;
+          Report.flt r.mean_bound1;
+          Report.flt r.min_slack1;
+          Report.flt r.min_slack2;
+          string_of_int r.violations;
+        ])
+    rows;
+  t

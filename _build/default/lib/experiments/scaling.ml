@@ -1,0 +1,64 @@
+type row = { algorithm : string; n : int; m : int; microseconds : float; repetitions : int }
+
+let time_call f =
+  (* Warm up once, then repeat until >= 20ms of CPU time accumulates so
+     Sys.time's resolution does not dominate. *)
+  f ();
+  let start = Sys.time () in
+  let reps = ref 0 in
+  let elapsed () = Sys.time () -. start in
+  while elapsed () < 0.02 && !reps < 1_000_000 do
+    f ();
+    incr reps
+  done;
+  (elapsed () *. 1e6 /. float_of_int (max 1 !reps), !reps)
+
+let run ~seed ~sizes =
+  let rng = Prng.Rng.create seed in
+  List.concat_map
+    (fun (n, m) ->
+      let cap = 8 in
+      let measure name f =
+        let us, reps = time_call f in
+        { algorithm = name; n; m; microseconds = us; repetitions = reps }
+      in
+      let rows = ref [] in
+      if m = 2 then begin
+        let g =
+          Generators.game rng ~n ~m ~weights:(Generators.Integer_weights cap)
+            ~beliefs:(Generators.Private_point { cap_bound = cap })
+        in
+        rows := measure "A_twolinks (Thm 3.3)" (fun () -> ignore (Algo.Two_links.solve g)) :: !rows
+      end;
+      let sym =
+        Generators.game rng ~n ~m ~weights:Generators.Unit_weights
+          ~beliefs:(Generators.Private_point { cap_bound = cap })
+      in
+      rows := measure "A_symmetric (Thm 3.5)" (fun () -> ignore (Algo.Symmetric.solve sym)) :: !rows;
+      let uni =
+        Generators.game rng ~n ~m ~weights:(Generators.Integer_weights cap)
+          ~beliefs:(Generators.Uniform_link_view { cap_bound = cap })
+      in
+      rows := measure "A_uniform (Thm 3.6)" (fun () -> ignore (Algo.Uniform_beliefs.solve uni)) :: !rows;
+      let fm =
+        Generators.game rng ~n ~m ~weights:(Generators.Integer_weights cap)
+          ~beliefs:(Generators.Private_point { cap_bound = cap })
+      in
+      rows := measure "FMNE closed form (Cor 4.7)" (fun () -> ignore (Algo.Fully_mixed.candidate fm)) :: !rows;
+      List.rev !rows)
+    sizes
+
+let table rows =
+  let t = Stats.Table.create [ "algorithm"; "n"; "m"; "µs/call"; "reps" ] in
+  List.iter
+    (fun r ->
+      Stats.Table.add_row t
+        [
+          r.algorithm;
+          string_of_int r.n;
+          string_of_int r.m;
+          Report.flt r.microseconds;
+          string_of_int r.repetitions;
+        ])
+    rows;
+  t

@@ -1,0 +1,1 @@
+lib/kp/bayesian.ml: Array List Numeric Prng Qvec Rational

@@ -1,0 +1,1 @@
+lib/kp/bayesian.mli: Numeric Prng

@@ -1,0 +1,1 @@
+lib/kp/embedding.ml: Array Bigint Game List Milchtaich Model Numeric Rational

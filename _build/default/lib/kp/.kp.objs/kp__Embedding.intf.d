@@ -1,0 +1,1 @@
+lib/kp/embedding.mli: Game Milchtaich Model

@@ -1,0 +1,1 @@
+lib/kp/kp_nash.ml: Array Fun Game List Model Numeric Printf Pure Rational Stdlib

@@ -1,0 +1,1 @@
+lib/kp/kp_nash.mli: Game Model Pure

@@ -1,0 +1,1 @@
+lib/kp/milchtaich.ml: Array Bytes Fun List Numeric Prng Rational

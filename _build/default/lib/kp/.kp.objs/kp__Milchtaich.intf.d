@@ -1,0 +1,1 @@
+lib/kp/milchtaich.mli: Numeric Prng

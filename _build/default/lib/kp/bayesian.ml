@@ -1,0 +1,163 @@
+open Numeric
+
+type t = {
+  capacities : Rational.t array;
+  traffics : Rational.t array array; (* traffics.(i).(k) *)
+  probs : Rational.t array array; (* probs.(i).(k) *)
+}
+
+let make ~capacities ~types =
+  if Array.length capacities < 2 then invalid_arg "Bayesian.make: at least two links required";
+  Array.iter
+    (fun c -> if Rational.sign c <= 0 then invalid_arg "Bayesian.make: capacities must be positive")
+    capacities;
+  if Array.length types = 0 then invalid_arg "Bayesian.make: no users";
+  let traffics =
+    Array.map
+      (fun tys ->
+        if tys = [] then invalid_arg "Bayesian.make: empty type list";
+        Array.of_list (List.map fst tys))
+      types
+  in
+  let probs = Array.map (fun tys -> Array.of_list (List.map snd tys)) types in
+  Array.iter
+    (Array.iter (fun w ->
+         if Rational.sign w <= 0 then invalid_arg "Bayesian.make: traffics must be positive"))
+    traffics;
+  Array.iter
+    (fun p ->
+      if not (Qvec.is_distribution p) then
+        invalid_arg "Bayesian.make: type probabilities must form a distribution")
+    probs;
+  { capacities = Array.copy capacities; traffics; probs }
+
+let users t = Array.length t.traffics
+let links t = Array.length t.capacities
+let type_count t i = Array.length t.traffics.(i)
+let traffic t i k = t.traffics.(i).(k)
+let type_prob t i k = t.probs.(i).(k)
+
+type strategy = int array array
+
+let validate t s =
+  if Array.length s <> users t then invalid_arg "Bayesian.validate: one row per user required";
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> type_count t i then
+        invalid_arg "Bayesian.validate: one choice per type required";
+      Array.iter
+        (fun l -> if l < 0 || l >= links t then invalid_arg "Bayesian.validate: link out of range")
+        row)
+    s
+
+let expected_foreign_load t s ~user l =
+  let acc = ref Rational.zero in
+  for k = 0 to users t - 1 do
+    if k <> user then
+      Array.iteri
+        (fun ty link ->
+          if link = l then
+            acc := Rational.add !acc (Rational.mul t.probs.(k).(ty) t.traffics.(k).(ty)))
+        s.(k)
+  done;
+  !acc
+
+let latency t s ~user ~ty l =
+  Rational.div
+    (Rational.add t.traffics.(user).(ty) (expected_foreign_load t s ~user l))
+    t.capacities.(l)
+
+let best_response t s ~user ~ty =
+  let best = ref 0 and best_v = ref (latency t s ~user ~ty 0) in
+  for l = 1 to links t - 1 do
+    let v = latency t s ~user ~ty l in
+    if Rational.compare v !best_v < 0 then begin
+      best := l;
+      best_v := v
+    end
+  done;
+  (!best, !best_v)
+
+let is_nash t s =
+  let rec user_ok i =
+    if i >= users t then true
+    else begin
+      let rec ty_ok ty =
+        if ty >= type_count t i then true
+        else begin
+          let current = latency t s ~user:i ~ty s.(i).(ty) in
+          let _, best = best_response t s ~user:i ~ty in
+          Rational.compare best current >= 0 && ty_ok (ty + 1)
+        end
+      in
+      ty_ok 0 && user_ok (i + 1)
+    end
+  in
+  user_ok 0
+
+let solve t =
+  let s = Array.init (users t) (fun i -> Array.make (type_count t i) 0) in
+  let total_types = Array.fold_left (fun acc row -> acc + Array.length row) 0 s in
+  let budget = ref (256 * total_types * total_types * links t) in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    for i = 0 to users t - 1 do
+      for ty = 0 to type_count t i - 1 do
+        let current = latency t s ~user:i ~ty s.(i).(ty) in
+        let target, best = best_response t s ~user:i ~ty in
+        if Rational.compare best current < 0 then begin
+          decr budget;
+          if !budget < 0 then failwith "Bayesian.solve: step budget exceeded";
+          s.(i).(ty) <- target;
+          improved := true
+        end
+      done
+    done
+  done;
+  s
+
+let exists_pure_nash ?(limit = 1_000_000) t =
+  let m = links t in
+  let slots = ref [] in
+  for i = users t - 1 downto 0 do
+    for ty = type_count t i - 1 downto 0 do
+      slots := (i, ty) :: !slots
+    done
+  done;
+  let slots = Array.of_list !slots in
+  let total = Array.length slots in
+  let rec count acc i =
+    if i = 0 then Some acc else if acc > limit then None else count (acc * m) (i - 1)
+  in
+  (match count 1 total with
+   | Some c when c <= limit -> ()
+   | _ -> invalid_arg "Bayesian.exists_pure_nash: strategy space exceeds the limit");
+  let s = Array.init (users t) (fun i -> Array.make (type_count t i) 0) in
+  let rec next idx =
+    if idx < 0 then false
+    else begin
+      let i, ty = slots.(idx) in
+      if s.(i).(ty) + 1 < m then begin
+        s.(i).(ty) <- s.(i).(ty) + 1;
+        true
+      end
+      else begin
+        s.(i).(ty) <- 0;
+        next (idx - 1)
+      end
+    end
+  in
+  let rec scan () = if is_nash t s then true else if next (total - 1) then scan () else false in
+  scan ()
+
+let random rng ~n ~m ~max_types ~bound =
+  let capacities = Array.init m (fun _ -> Rational.of_int (Prng.Rng.int_in rng 1 bound)) in
+  let types =
+    Array.init n (fun _ ->
+        let k = Prng.Rng.int_in rng 1 max_types in
+        let probs = Prng.Rng.positive_simplex rng ~dim:k ~grain:(k + 3) in
+        List.init k (fun ty ->
+            (Rational.of_int (Prng.Rng.int_in rng 1 bound), probs.(ty))))
+  in
+  make ~capacities ~types

@@ -1,0 +1,28 @@
+open Model
+open Numeric
+
+let to_weighted g =
+  let n = Game.users g and m = Game.links g in
+  let int_weight i =
+    let w = Game.weight g i in
+    if Rational.is_integer w then Bigint.to_int_opt (Rational.num w) else None
+  in
+  let rec collect i acc =
+    if i >= n then Some (List.rev acc)
+    else
+      match int_weight i with
+      | Some w -> collect (i + 1) (w :: acc)
+      | None -> None
+  in
+  match collect 0 [] with
+  | None -> None
+  | Some ws ->
+    let weights = Array.of_list ws in
+    let total = Array.fold_left ( + ) 0 weights in
+    let cost =
+      Array.init n (fun i ->
+          Array.init m (fun l ->
+              let c = Game.capacity g i l in
+              Array.init (total + 1) (fun load -> Rational.div (Rational.of_int load) c)))
+    in
+    Some (Milchtaich.Weighted.make ~weights cost)

@@ -1,0 +1,16 @@
+open Model
+
+(** Embedding of the uncertainty game into Milchtaich's class.
+
+    Section 2 of the paper observes that the belief game is an instance
+    of weighted congestion games with player-specific payoff functions:
+    player [i]'s cost on link [l] under load [L] is [L / c^l_i].  For
+    games with integral weights this module materialises that embedding
+    as a {!Milchtaich.Weighted} cost table, giving an independent
+    implementation of the same game whose equilibria must coincide —
+    exercised by cross-validation tests. *)
+
+(** [to_weighted g] is the player-specific image of [g], or [None] when
+    some weight is not an integer (the table representation needs
+    integral loads). *)
+val to_weighted : Game.t -> Milchtaich.Weighted.t option

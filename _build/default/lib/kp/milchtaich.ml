@@ -1,0 +1,295 @@
+open Numeric
+
+(* Shared profile enumeration: all links^players assignments. *)
+let iter_profiles ~players ~links f =
+  let p = Array.make players 0 in
+  let rec next i =
+    if i < 0 then false
+    else if p.(i) + 1 < links then begin
+      p.(i) <- p.(i) + 1;
+      true
+    end
+    else begin
+      p.(i) <- 0;
+      next (i - 1)
+    end
+  in
+  let continue = ref true in
+  while !continue do
+    f p;
+    continue := next (players - 1)
+  done
+
+(* Three-colour DFS for a cycle in an abstract successor graph over
+   integer-encoded profiles; shared by both game variants. *)
+let graph_cycle ~nodes ~successors =
+  let colour = Bytes.make nodes '\000' in
+  let cycle = ref None in
+  let rec dfs v =
+    Bytes.set colour v '\001';
+    List.iter
+      (fun s ->
+        if !cycle = None then
+          match Bytes.get colour s with
+          | '\000' -> dfs s
+          | '\001' -> cycle := Some s
+          | _ -> ())
+      (successors v);
+    if !cycle = None then Bytes.set colour v '\002'
+  in
+  let v = ref 0 in
+  while !cycle = None && !v < nodes do
+    if Bytes.get colour !v = '\000' then dfs !v;
+    incr v
+  done;
+  !cycle <> None
+
+let encode ~links p = Array.fold_right (fun l acc -> (acc * links) + l) p 0
+
+let decode ~players ~links k =
+  let p = Array.make players 0 in
+  let rest = ref k in
+  for i = 0 to players - 1 do
+    p.(i) <- !rest mod links;
+    rest := !rest / links
+  done;
+  p
+
+let pow_int b e =
+  let rec go acc e = if e = 0 then acc else go (acc * b) (e - 1) in
+  go 1 e
+
+module Unweighted = struct
+  type t = { cost : Rational.t array array array }
+
+  let make cost =
+    let players = Array.length cost in
+    if players = 0 then invalid_arg "Milchtaich.Unweighted.make: no players";
+    let links = Array.length cost.(0) in
+    if links < 2 then invalid_arg "Milchtaich.Unweighted.make: at least two links required";
+    Array.iter
+      (fun rows ->
+        if Array.length rows <> links then
+          invalid_arg "Milchtaich.Unweighted.make: ragged link dimension";
+        Array.iter
+          (fun col ->
+            if Array.length col <> players then
+              invalid_arg "Milchtaich.Unweighted.make: table must cover congestions 1..players";
+            for k = 1 to players - 1 do
+              if Rational.compare col.(k) col.(k - 1) < 0 then
+                invalid_arg "Milchtaich.Unweighted.make: costs must be non-decreasing in congestion"
+            done)
+          rows)
+      cost;
+    { cost = Array.map (Array.map Array.copy) cost }
+
+  let players t = Array.length t.cost
+  let links t = Array.length t.cost.(0)
+
+  let cost t ~player ~link ~occupancy =
+    if occupancy < 1 || occupancy > players t then
+      invalid_arg "Milchtaich.Unweighted.cost: occupancy out of range";
+    t.cost.(player).(link).(occupancy - 1)
+
+  let occupancy p l =
+    Array.fold_left (fun acc lk -> if lk = l then acc + 1 else acc) 0 p
+
+  let latency t p i = t.cost.(i).(p.(i)).(occupancy p p.(i) - 1)
+
+  let is_nash t p =
+    let n = players t and m = links t in
+    let rec check_player i =
+      if i >= n then true
+      else begin
+        let here = latency t p i in
+        let rec check_link l =
+          if l >= m then true
+          else if l = p.(i) then check_link (l + 1)
+          else begin
+            let there = t.cost.(i).(l).(occupancy p l) (* +1 occupant, 0-based *) in
+            Rational.compare there here >= 0 && check_link (l + 1)
+          end
+        in
+        check_link 0 && check_player (i + 1)
+      end
+    in
+    check_player 0
+
+  let pure_nash t =
+    let acc = ref [] in
+    iter_profiles ~players:(players t) ~links:(links t) (fun p ->
+        if is_nash t p then acc := Array.copy p :: !acc);
+    List.rev !acc
+
+  let exists_pure_nash t =
+    let exception Found in
+    try
+      iter_profiles ~players:(players t) ~links:(links t) (fun p ->
+          if is_nash t p then raise Found);
+      false
+    with Found -> true
+
+  let random rng ~players ~links ~value_bound =
+    let monotone_column () =
+      let acc = ref Rational.zero in
+      Array.init players (fun _ ->
+          acc := Rational.add !acc (Prng.Rng.positive_rational rng ~num_bound:value_bound ~den_bound:value_bound);
+          !acc)
+    in
+    make (Array.init players (fun _ -> Array.init links (fun _ -> monotone_column ())))
+
+  let improving_moves t p i =
+    let here = latency t p i in
+    List.filter
+      (fun l -> l <> p.(i) && Rational.compare t.cost.(i).(l).(occupancy p l) here < 0)
+      (List.init (links t) Fun.id)
+
+  let has_better_response_cycle t =
+    let n = players t and m = links t in
+    let nodes = pow_int m n in
+    let successors v =
+      let p = decode ~players:n ~links:m v in
+      List.concat_map
+        (fun i ->
+          List.map
+            (fun l ->
+              let q = Array.copy p in
+              q.(i) <- l;
+              encode ~links:m q)
+            (improving_moves t p i))
+        (List.init n Fun.id)
+    in
+    graph_cycle ~nodes ~successors
+end
+
+module Weighted = struct
+  type t = { weights : int array; cost : Rational.t array array array }
+
+  let total_weight weights = Array.fold_left ( + ) 0 weights
+
+  let make ~weights cost =
+    let players = Array.length weights in
+    if players = 0 then invalid_arg "Milchtaich.Weighted.make: no players";
+    Array.iter
+      (fun w -> if w <= 0 then invalid_arg "Milchtaich.Weighted.make: weights must be positive")
+      weights;
+    if Array.length cost <> players then
+      invalid_arg "Milchtaich.Weighted.make: one cost table per player required";
+    let links = Array.length cost.(0) in
+    if links < 2 then invalid_arg "Milchtaich.Weighted.make: at least two links required";
+    let loads = total_weight weights in
+    Array.iter
+      (fun rows ->
+        if Array.length rows <> links then invalid_arg "Milchtaich.Weighted.make: ragged link dimension";
+        Array.iter
+          (fun col ->
+            if Array.length col <> loads + 1 then
+              invalid_arg "Milchtaich.Weighted.make: table must cover loads 0..total weight";
+            for k = 1 to loads do
+              if Rational.compare col.(k) col.(k - 1) < 0 then
+                invalid_arg "Milchtaich.Weighted.make: costs must be non-decreasing in load"
+            done)
+          rows)
+      cost;
+    { weights = Array.copy weights; cost = Array.map (Array.map Array.copy) cost }
+
+  let players t = Array.length t.weights
+  let links t = Array.length t.cost.(0)
+
+  let weight t i = t.weights.(i)
+
+  let load t p l =
+    let acc = ref 0 in
+    Array.iteri (fun i lk -> if lk = l then acc := !acc + t.weights.(i)) p;
+    !acc
+
+  let latency t p i = t.cost.(i).(p.(i)).(load t p p.(i))
+
+  let is_nash t p =
+    let n = players t and m = links t in
+    let rec check_player i =
+      if i >= n then true
+      else begin
+        let here = latency t p i in
+        let rec check_link l =
+          if l >= m then true
+          else if l = p.(i) then check_link (l + 1)
+          else begin
+            let there = t.cost.(i).(l).(load t p l + t.weights.(i)) in
+            Rational.compare there here >= 0 && check_link (l + 1)
+          end
+        in
+        check_link 0 && check_player (i + 1)
+      end
+    in
+    check_player 0
+
+  let pure_nash t =
+    let acc = ref [] in
+    iter_profiles ~players:(players t) ~links:(links t) (fun p ->
+        if is_nash t p then acc := Array.copy p :: !acc);
+    List.rev !acc
+
+  let exists_pure_nash t =
+    let exception Found in
+    try
+      iter_profiles ~players:(players t) ~links:(links t) (fun p ->
+          if is_nash t p then raise Found);
+      false
+    with Found -> true
+
+  let random rng ~weights ~links ~value_bound =
+    let loads = total_weight weights in
+    let monotone_column () =
+      let acc = ref Rational.zero in
+      Array.init (loads + 1) (fun k ->
+          if k > 0 then
+            acc :=
+              Rational.add !acc
+                (Prng.Rng.positive_rational rng ~num_bound:value_bound ~den_bound:value_bound);
+          !acc)
+    in
+    make ~weights
+      (Array.init (Array.length weights) (fun _ ->
+           Array.init links (fun _ -> monotone_column ())))
+
+  (* Local search that destroys equilibria one at a time: while the
+     instance has a pure NE, pick one, pick a player in it, and lower
+     that player's cost on some other link just below its current
+     latency (repairing monotonicity), so the chosen profile stops being
+     an equilibrium.  Blind rejection sampling essentially never finds
+     such instances (random monotone tables have a pure NE with
+     overwhelming probability), whereas this walk succeeds quickly. *)
+  let kill_equilibrium rng t ne =
+    let i = Prng.Rng.int rng (players t) in
+    let m = links t in
+    let l' = (ne.(i) + 1 + Prng.Rng.int rng (m - 1)) mod m in
+    let here = latency t ne i in
+    let target_load = load t ne l' + t.weights.(i) in
+    (* Aim strictly below the current latency; 3/4 keeps values positive. *)
+    let v = Rational.mul here (Rational.of_ints 3 4) in
+    let col = t.cost.(i).(l') in
+    col.(target_load) <- v;
+    for k = 0 to target_load - 1 do
+      if Rational.compare col.(k) v > 0 then col.(k) <- v
+    done;
+    for k = target_load + 1 to Array.length col - 1 do
+      if Rational.compare col.(k) v < 0 then col.(k) <- v
+    done
+
+  let search_no_pure_nash rng ~weights ~links ~attempts =
+    let t = ref (random rng ~weights ~links ~value_bound:8) in
+    let rec go k =
+      if k > attempts then None
+      else
+        match pure_nash !t with
+        | [] -> Some (!t, k)
+        | nes ->
+          (* Occasional restarts escape regions where killing one
+             equilibrium keeps creating another. *)
+          if k mod 512 = 0 then t := random rng ~weights ~links ~value_bound:8
+          else kill_equilibrium rng !t (Prng.Rng.pick_list rng nes);
+          go (k + 1)
+    in
+    go 1
+end

@@ -1,0 +1,1 @@
+lib/model/belief.ml: Array Format Numeric Qvec Rational State

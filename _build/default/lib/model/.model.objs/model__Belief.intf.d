@@ -1,0 +1,1 @@
+lib/model/belief.mli: Format Numeric State

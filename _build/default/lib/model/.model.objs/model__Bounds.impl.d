@@ -1,0 +1,1 @@
+lib/model/bounds.ml: Game List Numeric Rational

@@ -1,0 +1,1 @@
+lib/model/bounds.mli: Game Numeric

@@ -1,0 +1,1 @@
+lib/model/congestion.ml: Array Game Mixed Numeric Printf Prng Pure Rational Social

@@ -1,0 +1,1 @@
+lib/model/congestion.mli: Game Mixed Numeric Prng Pure

@@ -1,0 +1,1 @@
+lib/model/game.ml: Array Belief Format Fun List Numeric Rational State

@@ -1,0 +1,1 @@
+lib/model/game.mli: Belief Format Numeric

@@ -1,0 +1,1 @@
+lib/model/game_io.ml: Array Belief Buffer Game List Numeric Printf Rational State String

@@ -1,0 +1,1 @@
+lib/model/game_io.mli: Game

@@ -1,0 +1,1 @@
+lib/model/mixed.ml: Array Format Fun Game List Numeric Pure Qvec Rational

@@ -1,0 +1,1 @@
+lib/model/mixed.mli: Format Game Numeric Pure

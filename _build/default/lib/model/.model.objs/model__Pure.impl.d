@@ -1,0 +1,1 @@
+lib/model/pure.ml: Array Belief Format Fun Game List Numeric Rational State

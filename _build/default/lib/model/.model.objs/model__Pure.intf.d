@@ -1,0 +1,1 @@
+lib/model/pure.mli: Format Game Numeric

@@ -1,0 +1,1 @@
+lib/model/social.ml: Array Fun Game Mixed Numeric Printf Pure Rational Stdlib

@@ -1,0 +1,1 @@
+lib/model/social.mli: Game Mixed Numeric Pure

@@ -1,0 +1,1 @@
+lib/model/state.ml: Array Format List Numeric Rational

@@ -1,0 +1,1 @@
+lib/model/state.mli: Format Numeric

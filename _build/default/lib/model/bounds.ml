@@ -1,0 +1,34 @@
+open Numeric
+
+let capacity_extremes g =
+  let cmax = ref (Game.capacity g 0 0) and cmin = ref (Game.capacity g 0 0) in
+  for i = 0 to Game.users g - 1 do
+    for l = 0 to Game.links g - 1 do
+      let c = Game.capacity g i l in
+      cmax := Rational.max !cmax c;
+      cmin := Rational.min !cmin c
+    done
+  done;
+  (!cmax, !cmin)
+
+let theorem_4_13 g =
+  if not (Game.has_uniform_beliefs g) then
+    invalid_arg "Bounds.theorem_4_13: game does not have uniform user beliefs";
+  let cmax, cmin = capacity_extremes g in
+  let n = Game.users g and m = Game.links g in
+  Rational.mul (Rational.div cmax cmin) (Rational.of_ints (m + n - 1) m)
+
+let theorem_4_14 g =
+  let cmax, cmin = capacity_extremes g in
+  let n = Game.users g and m = Game.links g in
+  let link_min l =
+    let acc = ref (Game.capacity g 0 l) in
+    for i = 1 to Game.users g - 1 do
+      acc := Rational.min !acc (Game.capacity g i l)
+    done;
+    !acc
+  in
+  let sum_min = Rational.sum (List.init m link_min) in
+  Rational.div
+    (Rational.mul (Rational.mul cmax cmax) (Rational.of_int (m + n - 1)))
+    (Rational.mul cmin sum_min)

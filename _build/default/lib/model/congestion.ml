@@ -1,0 +1,64 @@
+open Numeric
+
+let require_kp name g =
+  if not (Game.is_kp g) then
+    invalid_arg (Printf.sprintf "Congestion.%s: the classical social cost needs a KP instance" name)
+
+let max_congestion g sigma =
+  require_kp "max_congestion" g;
+  Pure.validate g sigma;
+  let loads = Pure.loads g sigma in
+  let best = ref (Rational.div loads.(0) (Game.capacity g 0 0)) in
+  for l = 1 to Game.links g - 1 do
+    best := Rational.max !best (Rational.div loads.(l) (Game.capacity g 0 l))
+  done;
+  !best
+
+let guard name limit g =
+  match Social.profile_count g with
+  | Some c when c <= limit -> ()
+  | _ -> invalid_arg (Printf.sprintf "Congestion.%s: realisation space exceeds the limit" name)
+
+let expected_max_congestion ?(limit = 1_000_000) g p =
+  require_kp "expected_max_congestion" g;
+  Mixed.validate g p;
+  guard "expected_max_congestion" limit g;
+  let acc = ref Rational.zero in
+  Social.iter_profiles g (fun sigma ->
+      (* Probability of this realisation under the product measure. *)
+      let prob = ref Rational.one in
+      Array.iteri (fun i l -> prob := Rational.mul !prob p.(i).(l)) sigma;
+      if not (Rational.is_zero !prob) then
+        acc := Rational.add !acc (Rational.mul !prob (max_congestion g sigma)));
+  !acc
+
+let estimate g p ~samples rng =
+  require_kp "estimate" g;
+  Mixed.validate g p;
+  if samples <= 0 then invalid_arg "Congestion.estimate: samples must be positive";
+  let samplers = Array.map Prng.Alias.of_rationals p in
+  let n = Game.users g in
+  let sigma = Array.make n 0 in
+  let acc = ref 0.0 in
+  for _ = 1 to samples do
+    for i = 0 to n - 1 do
+      sigma.(i) <- Prng.Alias.sample samplers.(i) rng
+    done;
+    acc := !acc +. Rational.to_float (max_congestion g sigma)
+  done;
+  !acc /. float_of_int samples
+
+let optimum ?(limit = 1_000_000) g =
+  require_kp "optimum" g;
+  guard "optimum" limit g;
+  let best = ref None and best_profile = ref [||] in
+  Social.iter_profiles g (fun sigma ->
+      let v = max_congestion g sigma in
+      match !best with
+      | Some b when Rational.compare b v <= 0 -> ()
+      | _ ->
+        best := Some v;
+        best_profile := Array.copy sigma);
+  match !best with
+  | Some v -> (v, !best_profile)
+  | None -> assert false

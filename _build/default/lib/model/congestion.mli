@@ -1,0 +1,36 @@
+(** The classical KP social cost: expected maximum congestion.
+
+    Section 2 of the paper explains that with subjective beliefs "there
+    is no objective value for the latency of a link", forcing the
+    departure from the standard social cost of [13, 16] — the expected
+    maximum congestion.  On the KP special case (point beliefs shared by
+    all users) the objective latency exists again, and this module
+    implements the classical definition exactly, which lets the test
+    suite connect the paper's SC1/SC2 to the older literature: e.g. the
+    fully-mixed-NE conjecture of [7]/[14] can be checked on KP instances
+    produced by this library.
+
+    All functions below require [Game.is_kp g] and use the shared
+    capacity vector. *)
+
+(** [max_congestion g sigma] is [max_ℓ load(ℓ)/c^ℓ] for a pure profile.
+    @raise Invalid_argument unless [g] is a KP instance. *)
+val max_congestion : Game.t -> Pure.profile -> Numeric.Rational.t
+
+(** [expected_max_congestion g p] is the exact expectation of
+    {!max_congestion} over the product distribution of the mixed profile
+    [p] — a sum over all [m^n] pure realisations.
+    @raise Invalid_argument unless [g] is a KP instance, or when [m^n]
+    exceeds [limit] (default [1_000_000]). *)
+val expected_max_congestion :
+  ?limit:int -> Game.t -> Mixed.profile -> Numeric.Rational.t
+
+(** [estimate g p ~samples rng] is a Monte-Carlo estimate of
+    {!expected_max_congestion} usable beyond the exact limit. *)
+val estimate : Game.t -> Mixed.profile -> samples:int -> Prng.Rng.t -> float
+
+(** [optimum g] is the makespan optimum: the minimum over pure profiles
+    of {!max_congestion}, with an argmin (the classical OPT of [13]).
+    @raise Invalid_argument unless [g] is a KP instance or when [m^n]
+    exceeds [limit]. *)
+val optimum : ?limit:int -> Game.t -> Numeric.Rational.t * Pure.profile

@@ -1,0 +1,89 @@
+open Numeric
+
+type t = {
+  weights : Rational.t array;
+  beliefs : Belief.t array;
+  capacities : Rational.t array array; (* capacities.(i).(l) = c^l_i *)
+}
+
+let validate_weights weights =
+  if Array.length weights = 0 then invalid_arg "Game.make: no users";
+  Array.iter
+    (fun w -> if Rational.sign w <= 0 then invalid_arg "Game.make: traffics must be positive")
+    weights
+
+let make ~weights ~beliefs =
+  validate_weights weights;
+  if Array.length beliefs <> Array.length weights then
+    invalid_arg "Game.make: one belief per user required";
+  let m = Belief.links beliefs.(0) in
+  Array.iter
+    (fun b -> if Belief.links b <> m then invalid_arg "Game.make: beliefs disagree on link count")
+    beliefs;
+  if m < 2 then invalid_arg "Game.make: at least two links required";
+  {
+    weights = Array.copy weights;
+    beliefs = Array.copy beliefs;
+    capacities = Array.map Belief.effective_capacities beliefs;
+  }
+
+let of_capacities ~weights caps =
+  validate_weights weights;
+  if Array.length caps <> Array.length weights then
+    invalid_arg "Game.of_capacities: one capacity row per user required";
+  let beliefs =
+    Array.map (fun row -> Belief.certain (State.make row)) caps
+  in
+  make ~weights ~beliefs
+
+let kp ~weights ~capacities =
+  validate_weights weights;
+  let st = State.make capacities in
+  let beliefs = Array.map (fun _ -> Belief.certain st) weights in
+  make ~weights ~beliefs
+
+let users g = Array.length g.weights
+let links g = Array.length g.capacities.(0)
+
+let weight g i =
+  if i < 0 || i >= users g then invalid_arg "Game.weight: user out of range";
+  g.weights.(i)
+
+let weights g = Array.copy g.weights
+let total_traffic g = Rational.sum_array g.weights
+
+let belief g i =
+  if i < 0 || i >= users g then invalid_arg "Game.belief: user out of range";
+  g.beliefs.(i)
+
+let capacity g i l =
+  if i < 0 || i >= users g then invalid_arg "Game.capacity: user out of range";
+  if l < 0 || l >= links g then invalid_arg "Game.capacity: link out of range";
+  g.capacities.(i).(l)
+
+let capacity_row g i =
+  if i < 0 || i >= users g then invalid_arg "Game.capacity_row: user out of range";
+  Array.copy g.capacities.(i)
+
+let capacity_matrix g = Array.map Array.copy g.capacities
+
+let is_kp g =
+  let first = g.capacities.(0) in
+  Array.for_all (fun row -> Array.for_all2 Rational.equal first row) g.capacities
+
+let has_uniform_beliefs g =
+  Array.for_all (fun row -> Array.for_all (Rational.equal row.(0)) row) g.capacities
+
+let is_symmetric g = Array.for_all (Rational.equal g.weights.(0)) g.weights
+
+let restrict g ~drop =
+  if drop < 0 || drop >= users g then invalid_arg "Game.restrict: user out of range";
+  if users g <= 1 then invalid_arg "Game.restrict: cannot drop the last user";
+  let keep = List.filter (fun i -> i <> drop) (List.init (users g) Fun.id) in
+  let pick arr = Array.of_list (List.map (Array.get arr) keep) in
+  { weights = pick g.weights; beliefs = pick g.beliefs; capacities = pick g.capacities }
+
+let pp fmt g =
+  Format.fprintf fmt "game n=%d m=%d w=%a" (users g) (links g)
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ",") Rational.pp)
+    (Array.to_list g.weights)

@@ -1,0 +1,72 @@
+(** The routing game [G = (n, m, w, B)] (Section 2).
+
+    [n] users with positive traffics [w] route on [m] parallel links;
+    user [i]'s belief [b_i] over the network's state space induces the
+    effective capacities [c^ℓ_i] through which all of its expected
+    latencies are computed.  The game caches the full [n × m] effective
+    capacity matrix at construction.
+
+    Two constructors are provided: {!make} from explicit beliefs (the
+    generative form), and {!of_capacities} from a user-specific capacity
+    matrix directly (the reduced form; each row is realised as a Dirac
+    belief over a private singleton state space, so the two forms agree
+    on all quantities). *)
+
+type t
+
+(** [make ~weights ~beliefs] validates and builds a game.
+    @raise Invalid_argument when there are no users, any weight is
+    non-positive, beliefs disagree on the number of links, or there are
+    fewer than two links. *)
+val make : weights:Numeric.Rational.t array -> beliefs:Belief.t array -> t
+
+(** [of_capacities ~weights caps] builds the reduced form directly from
+    [caps.(i).(l) = c^l_i]. @raise Invalid_argument on dimension or
+    positivity violations. *)
+val of_capacities : weights:Numeric.Rational.t array -> Numeric.Rational.t array array -> t
+
+(** [kp ~weights ~capacities] is the classical KP-model instance: every
+    user is certain of the same capacity vector. *)
+val kp : weights:Numeric.Rational.t array -> capacities:Numeric.Rational.t array -> t
+
+val users : t -> int
+val links : t -> int
+
+(** [weight g i] is [w_i]. *)
+val weight : t -> int -> Numeric.Rational.t
+
+val weights : t -> Numeric.Rational.t array
+
+(** [total_traffic g] is [Σ_i w_i]. *)
+val total_traffic : t -> Numeric.Rational.t
+
+(** [belief g i] is user [i]'s belief. *)
+val belief : t -> int -> Belief.t
+
+(** [capacity g i l] is the effective capacity [c^l_i]. *)
+val capacity : t -> int -> int -> Numeric.Rational.t
+
+(** [capacity_row g i] is user [i]'s effective capacity vector. *)
+val capacity_row : t -> int -> Numeric.Rational.t array
+
+(** [capacity_matrix g] is the full [n × m] matrix (fresh copy). *)
+val capacity_matrix : t -> Numeric.Rational.t array array
+
+(** [is_kp g] holds when all users share the same effective capacity
+    vector — the game is (observationally) a KP-model instance. *)
+val is_kp : t -> bool
+
+(** [has_uniform_beliefs g] holds when every user sees all links with
+    equal effective capacity (the "uniform user beliefs" model). *)
+val has_uniform_beliefs : t -> bool
+
+(** [is_symmetric g] holds when all user weights are equal. *)
+val is_symmetric : t -> bool
+
+(** [restrict g ~drop] is the sub-game without user [drop] (used by the
+    recursive algorithms of Section 3).
+    @raise Invalid_argument when [drop] is out of range or the game has
+    a single user. *)
+val restrict : t -> drop:int -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,171 @@
+open Numeric
+
+let fail_line lineno msg = invalid_arg (Printf.sprintf "Game_io: line %d: %s" lineno msg)
+
+let split_words s =
+  String.split_on_char ' ' s |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let parse_rational lineno s =
+  try Rational.of_string s with Invalid_argument _ -> fail_line lineno (Printf.sprintf "bad number %S" s)
+
+type accum = {
+  mutable links : int option;
+  mutable weights : Rational.t array option;
+  mutable states : (string * State.t) list; (* reversed *)
+  mutable beliefs : (int * string) list; (* reversed raw belief lines *)
+  mutable capacities : Rational.t array list; (* reversed rows *)
+}
+
+let parse text =
+  let acc = { links = None; weights = None; states = []; beliefs = []; capacities = [] } in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let line = String.trim raw in
+      if line <> "" && line.[0] <> '#' then begin
+        match split_words line with
+        | "links" :: rest ->
+          (match rest with
+           | [ n ] ->
+             let n = try int_of_string n with Failure _ -> fail_line lineno "bad link count" in
+             if n < 2 then fail_line lineno "need at least two links";
+             acc.links <- Some n
+           | _ -> fail_line lineno "expected: links <m>")
+        | "weights" :: rest ->
+          if rest = [] then fail_line lineno "expected at least one weight";
+          acc.weights <- Some (Array.of_list (List.map (parse_rational lineno) rest))
+        | "state" :: name :: caps ->
+          if caps = [] then fail_line lineno "state needs capacities";
+          let caps = Array.of_list (List.map (parse_rational lineno) caps) in
+          (match acc.links with
+           | Some m when Array.length caps <> m -> fail_line lineno "state has wrong number of capacities"
+           | _ -> ());
+          if List.mem_assoc name acc.states then fail_line lineno (Printf.sprintf "duplicate state %S" name);
+          let st =
+            try State.make caps with Invalid_argument m -> fail_line lineno m
+          in
+          acc.states <- (name, st) :: acc.states
+        | "belief" :: _ ->
+          (* Re-split on the original line to keep "name: prob" pairs. *)
+          let body = String.sub line 6 (String.length line - 6) in
+          acc.beliefs <- (lineno, body) :: acc.beliefs
+        | "capacities" :: rest ->
+          if rest = [] then fail_line lineno "capacities row needs entries";
+          acc.capacities <- Array.of_list (List.map (parse_rational lineno) rest) :: acc.capacities
+        | word :: _ -> fail_line lineno (Printf.sprintf "unknown directive %S" word)
+        | [] -> ()
+      end)
+    lines;
+  let weights =
+    match acc.weights with
+    | Some w -> w
+    | None -> invalid_arg "Game_io: missing 'weights' line"
+  in
+  match acc.capacities, acc.beliefs with
+  | [], [] -> invalid_arg "Game_io: need either 'capacities' rows or 'belief' lines"
+  | _ :: _, _ :: _ -> invalid_arg "Game_io: cannot mix 'capacities' and 'belief' forms"
+  | rows, [] ->
+    let rows = Array.of_list (List.rev rows) in
+    (try Game.of_capacities ~weights rows with Invalid_argument m -> invalid_arg ("Game_io: " ^ m))
+  | [], raw_beliefs ->
+    if acc.states = [] then invalid_arg "Game_io: belief form requires 'state' lines";
+    let named = List.rev acc.states in
+    let space = State.space (List.map snd named) in
+    let index_of lineno name =
+      let rec find i = function
+        | [] -> fail_line lineno (Printf.sprintf "unknown state %S" name)
+        | (n, _) :: rest -> if n = name then i else find (i + 1) rest
+      in
+      find 0 named
+    in
+    let parse_belief (lineno, body) =
+      (* body: "fast: 1/2, slow: 1/2" *)
+      let probs = Array.make (State.space_size space) Rational.zero in
+      List.iter
+        (fun part ->
+          let part = String.trim part in
+          if part <> "" then begin
+            match String.index_opt part ':' with
+            | None -> fail_line lineno (Printf.sprintf "expected 'state: prob' in %S" part)
+            | Some i ->
+              let name = String.trim (String.sub part 0 i) in
+              let prob =
+                parse_rational lineno (String.trim (String.sub part (i + 1) (String.length part - i - 1)))
+              in
+              let k = index_of lineno name in
+              probs.(k) <- Rational.add probs.(k) prob
+          end)
+        (String.split_on_char ',' body);
+      try Belief.make space probs with Invalid_argument m -> fail_line lineno m
+    in
+    let beliefs = Array.of_list (List.rev_map parse_belief raw_beliefs) in
+    (try Game.make ~weights ~beliefs with Invalid_argument m -> invalid_arg ("Game_io: " ^ m))
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse text
+
+let to_generative_string g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "links %d\n" (Game.links g));
+  Buffer.add_string buf "weights";
+  Array.iter (fun w -> Buffer.add_string buf (" " ^ Rational.to_string w)) (Game.weights g);
+  Buffer.add_char buf '\n';
+  (* Union of states across the users' (possibly private) spaces,
+     deduplicated structurally; remember each (user, local index) →
+     global name. *)
+  let states = ref [] in
+  let count = ref 0 in
+  let global_name st =
+    match List.find_opt (fun (_, s) -> State.equal s st) !states with
+    | Some (name, _) -> name
+    | None ->
+      incr count;
+      let name = Printf.sprintf "s%d" !count in
+      states := !states @ [ (name, st) ];
+      name
+  in
+  let belief_lines =
+    List.init (Game.users g) (fun i ->
+        let b = Game.belief g i in
+        let space = Belief.space b in
+        let parts = ref [] in
+        for k = State.space_size space - 1 downto 0 do
+          let p = Belief.prob b k in
+          if not (Rational.is_zero p) then begin
+            let name = global_name (State.state space k) in
+            parts := Printf.sprintf "%s: %s" name (Rational.to_string p) :: !parts
+          end
+        done;
+        "belief " ^ String.concat ", " !parts)
+  in
+  List.iter
+    (fun (name, st) ->
+      Buffer.add_string buf ("state " ^ name);
+      Array.iter
+        (fun c -> Buffer.add_string buf (" " ^ Rational.to_string c))
+        (State.capacities st);
+      Buffer.add_char buf '\n')
+    !states;
+  List.iter (fun line -> Buffer.add_string buf (line ^ "\n")) belief_lines;
+  Buffer.contents buf
+
+let to_string g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "links %d\n" (Game.links g));
+  Buffer.add_string buf "weights";
+  Array.iter (fun w -> Buffer.add_string buf (" " ^ Rational.to_string w)) (Game.weights g);
+  Buffer.add_char buf '\n';
+  (* Reduced form keeps the file small and is always faithful to the
+     latencies (everything factors through the effective capacities). *)
+  for i = 0 to Game.users g - 1 do
+    Buffer.add_string buf "capacities";
+    Array.iter (fun c -> Buffer.add_string buf (" " ^ Rational.to_string c)) (Game.capacity_row g i);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

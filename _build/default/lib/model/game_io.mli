@@ -1,0 +1,48 @@
+(** Plain-text game descriptions for the command-line tools.
+
+    Two forms are accepted.  The {e generative} form spells out the
+    state space and one belief per user:
+
+    {v
+    # three users, two links, two possible network states
+    links 2
+    weights 4 3 2
+    state fast 10 4
+    state slow 3 4
+    belief fast: 1
+    belief slow: 1
+    belief fast: 1/2, slow: 1/2
+    v}
+
+    The {e reduced} form gives the effective capacity matrix directly,
+    one row per user:
+
+    {v
+    links 2
+    weights 3 2
+    capacities 2 1
+    capacities 1 3
+    v}
+
+    Numbers are exact rationals ([3], [1/2], [0.75]).  Lines starting
+    with [#] and blank lines are ignored. *)
+
+(** [parse text] builds the game described by [text].
+    @raise Invalid_argument with a line-numbered message on malformed
+    input. *)
+val parse : string -> Game.t
+
+(** [parse_file path] reads and parses [path]. *)
+val parse_file : string -> Game.t
+
+(** [to_string g] renders [g] in the reduced form (which is always
+    faithful: every latency in the game factors through the effective
+    capacities); [parse (to_string g)] yields a game with identical
+    dimensions, weights and effective capacities. *)
+val to_string : Game.t -> string
+
+(** [to_generative_string g] renders [g] in the belief form, collecting
+    the (structurally deduplicated) union of the users' state spaces
+    under names [s1, s2, …].  [parse] of the result has the same
+    dimensions, weights and effective capacities as [g]. *)
+val to_generative_string : Game.t -> string

@@ -1,0 +1,87 @@
+open Numeric
+
+type profile = Qvec.t array
+
+let validate g p =
+  if Array.length p <> Game.users g then
+    invalid_arg "Mixed.validate: one distribution per user required";
+  Array.iter
+    (fun row ->
+      if Qvec.dim row <> Game.links g then
+        invalid_arg "Mixed.validate: distribution dimension differs from link count";
+      if not (Qvec.is_distribution row) then
+        invalid_arg "Mixed.validate: rows must be probability distributions")
+    p
+
+let of_pure g sigma =
+  Pure.validate g sigma;
+  Array.map
+    (fun l ->
+      let row = Array.make (Game.links g) Rational.zero in
+      row.(l) <- Rational.one;
+      row)
+    sigma
+
+let uniform g =
+  let m = Game.links g in
+  Array.init (Game.users g) (fun _ -> Array.make m (Rational.of_ints 1 m))
+
+let expected_traffic g p l =
+  let acc = ref Rational.zero in
+  Array.iteri (fun i row -> acc := Rational.add !acc (Rational.mul row.(l) (Game.weight g i))) p;
+  !acc
+
+let expected_traffics g p = Array.init (Game.links g) (expected_traffic g p)
+
+let latency_on_link g p i l =
+  let w_i = Game.weight g i in
+  let own = Rational.mul (Rational.sub Rational.one p.(i).(l)) w_i in
+  Rational.div (Rational.add own (expected_traffic g p l)) (Game.capacity g i l)
+
+let min_latency g p i =
+  let best = ref (latency_on_link g p i 0) in
+  for l = 1 to Game.links g - 1 do
+    best := Rational.min !best (latency_on_link g p i l)
+  done;
+  !best
+
+let support p i =
+  let row = p.(i) in
+  List.filter (fun l -> Rational.sign row.(l) > 0) (List.init (Array.length row) Fun.id)
+
+let is_fully_mixed p =
+  Array.for_all (Array.for_all (fun q -> Rational.sign q > 0)) p
+
+let is_nash g p =
+  let rec check_user i =
+    if i >= Game.users g then true
+    else begin
+      let lambda = min_latency g p i in
+      let rec check_link l =
+        if l >= Game.links g then true
+        else begin
+          let on_l = latency_on_link g p i l in
+          let ok =
+            if Rational.sign p.(i).(l) > 0 then Rational.equal on_l lambda
+            else Rational.compare on_l lambda >= 0
+          in
+          ok && check_link (l + 1)
+        end
+      in
+      check_link 0 && check_user (i + 1)
+    end
+  in
+  check_user 0
+
+let social_cost1 g p = Rational.sum (List.init (Game.users g) (min_latency g p))
+
+let social_cost2 g p =
+  List.fold_left Rational.max Rational.zero (List.init (Game.users g) (min_latency g p))
+
+let equal (a : profile) b =
+  Array.length a = Array.length b && Array.for_all2 Qvec.equal a b
+
+let pp fmt p =
+  Format.fprintf fmt "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Qvec.pp)
+    (Array.to_list p)

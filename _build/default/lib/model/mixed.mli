@@ -1,0 +1,57 @@
+(** Mixed strategy profiles: one probability distribution over links per
+    user, with exact expected latencies (Section 2).
+
+    For a profile [P], the expected traffic on link [ℓ] is
+    [W^ℓ = Σ_i p^ℓ_i w_i] and user [i]'s expected latency on [ℓ] is
+
+    {v λ^ℓ_{i,b_i}(P) = ((1 - p^ℓ_i)·w_i + W^ℓ) / c^ℓ_i v}
+
+    [P] is a Nash equilibrium when every user puts positive probability
+    only on links attaining its minimum expected latency. *)
+
+type profile = Numeric.Qvec.t array
+(** [profile.(i)] is user [i]'s distribution over the [m] links. *)
+
+(** [validate g p] checks that [p] is an [n × m] stack of exact
+    probability distributions. @raise Invalid_argument otherwise. *)
+val validate : Game.t -> profile -> unit
+
+(** [of_pure g sigma] embeds a pure profile as a 0/1 mixed profile. *)
+val of_pure : Game.t -> Pure.profile -> profile
+
+(** [uniform g] assigns every user the equiprobable distribution. *)
+val uniform : Game.t -> profile
+
+(** [expected_traffic g p l] is [W^l]. *)
+val expected_traffic : Game.t -> profile -> int -> Numeric.Rational.t
+
+(** [expected_traffics g p] is the vector [W]. *)
+val expected_traffics : Game.t -> profile -> Numeric.Rational.t array
+
+(** [latency_on_link g p i l] is [λ^l_{i,b_i}(P)]. *)
+val latency_on_link : Game.t -> profile -> int -> int -> Numeric.Rational.t
+
+(** [min_latency g p i] is [λ_{i,b_i}(P) = min_l λ^l_{i,b_i}(P)]. *)
+val min_latency : Game.t -> profile -> int -> Numeric.Rational.t
+
+(** [support p i] is the set of links user [i] plays with positive
+    probability. *)
+val support : profile -> int -> int list
+
+(** [is_fully_mixed p] holds when every probability is strictly
+    positive. *)
+val is_fully_mixed : profile -> bool
+
+(** [is_nash g p] holds when, for every user [i] and link [l]:
+    [p^l_i > 0] implies [λ^l_i = λ_i], and [p^l_i = 0] implies
+    [λ^l_i >= λ_i] (exact comparisons). *)
+val is_nash : Game.t -> profile -> bool
+
+(** [social_cost1 g p] is [SC1 = Σ_i λ_{i,b_i}(P)]. *)
+val social_cost1 : Game.t -> profile -> Numeric.Rational.t
+
+(** [social_cost2 g p] is [SC2 = max_i λ_{i,b_i}(P)]. *)
+val social_cost2 : Game.t -> profile -> Numeric.Rational.t
+
+val equal : profile -> profile -> bool
+val pp : Format.formatter -> profile -> unit

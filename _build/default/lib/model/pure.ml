@@ -1,0 +1,105 @@
+open Numeric
+
+type profile = int array
+
+let zero_initial g = Array.make (Game.links g) Rational.zero
+
+let validate g ?initial p =
+  if Array.length p <> Game.users g then
+    invalid_arg "Pure.validate: profile length differs from user count";
+  Array.iter
+    (fun l -> if l < 0 || l >= Game.links g then invalid_arg "Pure.validate: link out of range")
+    p;
+  match initial with
+  | None -> ()
+  | Some t ->
+    if Array.length t <> Game.links g then
+      invalid_arg "Pure.validate: initial traffic length differs from link count";
+    Array.iter
+      (fun q -> if Rational.sign q < 0 then invalid_arg "Pure.validate: negative initial traffic")
+      t
+
+let loads g ?initial p =
+  let t = match initial with Some t -> Array.copy t | None -> zero_initial g in
+  Array.iteri (fun i l -> t.(l) <- Rational.add t.(l) (Game.weight g i)) p;
+  t
+
+let load_on g ?initial p l =
+  let base = match initial with Some t -> t.(l) | None -> Rational.zero in
+  let acc = ref base in
+  Array.iteri (fun k lk -> if lk = l then acc := Rational.add !acc (Game.weight g k)) p;
+  !acc
+
+let latency g ?initial p i =
+  let l = p.(i) in
+  Rational.div (load_on g ?initial p l) (Game.capacity g i l)
+
+let latency_in_state g p i k =
+  let b = Game.belief g i in
+  let st = State.state (Belief.space b) k in
+  let l = p.(i) in
+  Rational.div (load_on g p l) (State.capacity st l)
+
+let expected_latency_via_states g p i =
+  let b = Game.belief g i in
+  let acc = ref Rational.zero in
+  for k = 0 to State.space_size (Belief.space b) - 1 do
+    let pk = Belief.prob b k in
+    if not (Rational.is_zero pk) then
+      acc := Rational.add !acc (Rational.mul pk (latency_in_state g p i k))
+  done;
+  !acc
+
+let latency_on_link g ?initial p i l =
+  let base = load_on g ?initial p l in
+  let load = if p.(i) = l then base else Rational.add base (Game.weight g i) in
+  Rational.div load (Game.capacity g i l)
+
+let best_response g ?initial p i =
+  let best_link = ref 0 and best = ref (latency_on_link g ?initial p i 0) in
+  for l = 1 to Game.links g - 1 do
+    let lat = latency_on_link g ?initial p i l in
+    if Rational.compare lat !best < 0 then begin
+      best_link := l;
+      best := lat
+    end
+  done;
+  (!best_link, !best)
+
+let improving_moves g ?initial p i =
+  let current = latency g ?initial p i in
+  let moves = ref [] in
+  for l = Game.links g - 1 downto 0 do
+    if l <> p.(i) && Rational.compare (latency_on_link g ?initial p i l) current < 0 then
+      moves := l :: !moves
+  done;
+  !moves
+
+let is_defector g ?initial p i =
+  let current = latency g ?initial p i in
+  let rec scan l =
+    if l >= Game.links g then false
+    else if l <> p.(i) && Rational.compare (latency_on_link g ?initial p i l) current < 0 then true
+    else scan (l + 1)
+  in
+  scan 0
+
+let is_nash g ?initial p =
+  let rec check i = i >= Game.users g || ((not (is_defector g ?initial p i)) && check (i + 1)) in
+  check 0
+
+let defectors g ?initial p =
+  List.filter (is_defector g ?initial p) (List.init (Game.users g) Fun.id)
+
+let social_cost1 g ?initial p =
+  Rational.sum (List.init (Game.users g) (latency g ?initial p))
+
+let social_cost2 g ?initial p =
+  List.fold_left Rational.max Rational.zero (List.init (Game.users g) (latency g ?initial p))
+
+let equal (a : profile) b = a = b
+
+let pp fmt p =
+  Format.fprintf fmt "⟨%a⟩"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ",") Format.pp_print_int)
+    (Array.to_list p)

@@ -1,0 +1,128 @@
+open Numeric
+
+let iter_profiles g f =
+  let n = Game.users g and m = Game.links g in
+  let p = Array.make n 0 in
+  (* Odometer enumeration of [m^n] profiles. *)
+  let rec next i =
+    if i < 0 then false
+    else if p.(i) + 1 < m then begin
+      p.(i) <- p.(i) + 1;
+      true
+    end
+    else begin
+      p.(i) <- 0;
+      next (i - 1)
+    end
+  in
+  let continue = ref true in
+  while !continue do
+    f p;
+    continue := next (n - 1)
+  done
+
+let profile_count g =
+  let n = Game.users g and m = Game.links g in
+  let rec go acc i =
+    if i = 0 then Some acc
+    else if acc > max_int / m then None
+    else go (acc * m) (i - 1)
+  in
+  go 1 n
+
+let guard name limit g =
+  match profile_count g with
+  | Some c when c <= limit -> ()
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Social.%s: %d^%d pure profiles exceed the limit %d" name (Game.links g)
+         (Game.users g) limit)
+
+let optimum name cost ?(limit = 10_000_000) g =
+  guard name limit g;
+  let best_value = ref None and best_profile = ref [||] in
+  iter_profiles g (fun p ->
+      let v = cost g p in
+      match !best_value with
+      | Some b when Rational.compare b v <= 0 -> ()
+      | _ ->
+        best_value := Some v;
+        best_profile := Array.copy p);
+  match !best_value with
+  | Some v -> (v, !best_profile)
+  | None -> assert false (* iter_profiles visits at least one profile *)
+
+let opt1 ?limit g = optimum "opt1" (fun g p -> Pure.social_cost1 g p) ?limit g
+let opt2 ?limit g = optimum "opt2" (fun g p -> Pure.social_cost2 g p) ?limit g
+
+let ratio1 ?limit g p =
+  let opt, _ = opt1 ?limit g in
+  Rational.div (Mixed.social_cost1 g p) opt
+
+let ratio2 ?limit g p =
+  let opt, _ = opt2 ?limit g in
+  Rational.div (Mixed.social_cost2 g p) opt
+
+(* Branch-and-bound over users in decreasing weight order.  The bound
+   argument: once user [i] is placed on link [ℓ], its latency
+   load(ℓ)/c^ℓ_i can only grow as later users join ℓ, so the partial
+   cost (sum or max over placed users, at current loads) lower-bounds
+   every completion.  Heavy users first makes early partial costs
+   large, so pruning bites. *)
+let optimum_bb name cost_of_partial g =
+  let n = Game.users g and m = Game.links g in
+  ignore name;
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      let c = Rational.compare (Game.weight g b) (Game.weight g a) in
+      if c <> 0 then c else Stdlib.compare a b)
+    order;
+  let loads = Array.make m Rational.zero in
+  let assignment = Array.make n 0 in
+  let best_value = ref None and best_profile = ref [||] in
+  let beats_best v =
+    match !best_value with Some b -> Rational.compare v b < 0 | None -> true
+  in
+  let rec place depth =
+    if depth = n then begin
+      let v = cost_of_partial g order assignment loads depth in
+      if beats_best v then begin
+        best_value := Some v;
+        best_profile := Array.copy assignment
+      end
+    end
+    else begin
+      let user = order.(depth) in
+      for l = 0 to m - 1 do
+        loads.(l) <- Rational.add loads.(l) (Game.weight g user);
+        assignment.(user) <- l;
+        let lower = cost_of_partial g order assignment loads (depth + 1) in
+        if beats_best lower then place (depth + 1);
+        loads.(l) <- Rational.sub loads.(l) (Game.weight g user)
+      done
+    end
+  in
+  place 0;
+  match !best_value with
+  | Some v -> (v, !best_profile)
+  | None -> assert false
+
+let partial_sc1 g order assignment loads placed =
+  let acc = ref Rational.zero in
+  for d = 0 to placed - 1 do
+    let i = order.(d) in
+    acc := Rational.add !acc (Rational.div loads.(assignment.(i)) (Game.capacity g i assignment.(i)))
+  done;
+  !acc
+
+let partial_sc2 g order assignment loads placed =
+  let acc = ref Rational.zero in
+  for d = 0 to placed - 1 do
+    let i = order.(d) in
+    acc := Rational.max !acc (Rational.div loads.(assignment.(i)) (Game.capacity g i assignment.(i)))
+  done;
+  !acc
+
+let opt1_bb g = optimum_bb "opt1_bb" partial_sc1 g
+let opt2_bb g = optimum_bb "opt2_bb" partial_sc2 g

@@ -1,0 +1,1 @@
+lib/numeric/bignat.ml: Array Buffer Format Hashtbl List Printf Stdlib String

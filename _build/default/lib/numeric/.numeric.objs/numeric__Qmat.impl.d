@@ -1,0 +1,1 @@
+lib/numeric/qmat.ml: Array Format List Rational

@@ -1,0 +1,1 @@
+lib/numeric/qmat.mli: Format Qvec Rational

@@ -1,0 +1,1 @@
+lib/numeric/qvec.ml: Array Format Printf Rational

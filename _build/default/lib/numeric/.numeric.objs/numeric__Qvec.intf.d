@@ -1,0 +1,1 @@
+lib/numeric/qvec.mli: Format Rational

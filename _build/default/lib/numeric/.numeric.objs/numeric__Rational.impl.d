@@ -1,0 +1,1 @@
+lib/numeric/rational.ml: Array Bigint Bignat Char Float Format Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/numeric/rational.mli: Bigint Format

@@ -1,0 +1,1 @@
+lib/numeric/simplex.ml: Array List Rational

@@ -1,0 +1,1 @@
+lib/numeric/simplex.mli: Rational

@@ -1,0 +1,124 @@
+type t =
+  | Zero
+  | Pos of Bignat.t (* invariant: magnitude non-zero *)
+  | Neg of Bignat.t (* invariant: magnitude non-zero *)
+
+let zero = Zero
+let one = Pos Bignat.one
+let minus_one = Neg Bignat.one
+
+let of_nat n = if Bignat.is_zero n then Zero else Pos n
+
+let of_int n =
+  if n = 0 then Zero
+  else if n > 0 then Pos (Bignat.of_int n)
+  else if n = min_int then
+    (* [-min_int] overflows; build from the magnitude of [min_int + 1]. *)
+    Neg (Bignat.succ (Bignat.of_int (-(n + 1))))
+  else Neg (Bignat.of_int (-n))
+
+let to_int_opt = function
+  | Zero -> Some 0
+  | Pos m -> Bignat.to_int_opt m
+  | Neg m ->
+    (match Bignat.to_int_opt (Bignat.pred m) with
+     | Some i when i < max_int -> Some (-(i + 1))
+     | Some i -> Some (-i - 1)
+     | None -> None)
+
+let to_int_exn n =
+  match to_int_opt n with
+  | Some i -> i
+  | None -> failwith "Bigint.to_int_exn: value exceeds native int range"
+
+let to_nat_exn = function
+  | Zero -> Bignat.zero
+  | Pos m -> m
+  | Neg _ -> invalid_arg "Bigint.to_nat_exn: negative value"
+
+let abs_nat = function Zero -> Bignat.zero | Pos m | Neg m -> m
+let sign = function Zero -> 0 | Pos _ -> 1 | Neg _ -> -1
+let is_zero n = n = Zero
+
+let equal (a : t) (b : t) =
+  match a, b with
+  | Zero, Zero -> true
+  | Pos x, Pos y | Neg x, Neg y -> Bignat.equal x y
+  | _ -> false
+
+let compare a b =
+  match a, b with
+  | Zero, Zero -> 0
+  | Zero, Pos _ | Neg _, (Zero | Pos _) -> -1
+  | Zero, Neg _ | Pos _, (Zero | Neg _) -> 1
+  | Pos x, Pos y -> Bignat.compare x y
+  | Neg x, Neg y -> Bignat.compare y x
+
+let hash = function
+  | Zero -> 0
+  | Pos m -> Bignat.hash m
+  | Neg m -> lnot (Bignat.hash m)
+
+let neg = function Zero -> Zero | Pos m -> Neg m | Neg m -> Pos m
+let abs = function Neg m -> Pos m | n -> n
+
+let add a b =
+  match a, b with
+  | Zero, n | n, Zero -> n
+  | Pos x, Pos y -> Pos (Bignat.add x y)
+  | Neg x, Neg y -> Neg (Bignat.add x y)
+  | Pos x, Neg y | Neg y, Pos x ->
+    let c = Bignat.compare x y in
+    if c = 0 then Zero
+    else if c > 0 then Pos (Bignat.sub x y)
+    else Neg (Bignat.sub y x)
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  match a, b with
+  | Zero, _ | _, Zero -> Zero
+  | Pos x, Pos y | Neg x, Neg y -> Pos (Bignat.mul x y)
+  | Pos x, Neg y | Neg x, Pos y -> Neg (Bignat.mul x y)
+
+let divmod a b =
+  if is_zero b then raise Division_by_zero;
+  let q, r = Bignat.divmod (abs_nat a) (abs_nat b) in
+  let quotient =
+    if sign a * sign b >= 0 then of_nat q
+    else neg (of_nat q)
+  in
+  let remainder = if sign a >= 0 then of_nat r else neg (of_nat r) in
+  (quotient, remainder)
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+let gcd a b = of_nat (Bignat.gcd (abs_nat a) (abs_nat b))
+
+let pow b e =
+  if e < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let mag = Bignat.pow (abs_nat b) e in
+  match sign b with
+  | 0 -> if e = 0 then one else Zero
+  | 1 -> of_nat mag
+  | _ -> if e land 1 = 0 then of_nat mag else neg (of_nat mag)
+
+let to_string = function
+  | Zero -> "0"
+  | Pos m -> Bignat.to_string m
+  | Neg m -> "-" ^ Bignat.to_string m
+
+let of_string s =
+  if s = "" then invalid_arg "Bigint.of_string: empty string"
+  else if s.[0] = '-' then
+    neg (of_nat (Bignat.of_string (String.sub s 1 (String.length s - 1))))
+  else if s.[0] = '+' then
+    of_nat (Bignat.of_string (String.sub s 1 (String.length s - 1)))
+  else of_nat (Bignat.of_string s)
+
+let pp fmt n = Format.pp_print_string fmt (to_string n)
+
+let to_float = function
+  | Zero -> 0.0
+  | Pos m -> Bignat.to_float m
+  | Neg m -> -.Bignat.to_float m

@@ -1,0 +1,59 @@
+(** Arbitrary-precision signed integers, layered over {!Bignat}.
+
+    The representation is a sign and a magnitude; zero is unsigned, so
+    every integer has exactly one representation and structural equality
+    coincides with numerical equality. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val of_int : int -> t
+val to_int_opt : t -> int option
+val to_int_exn : t -> int
+
+(** [of_nat n] embeds a natural number. *)
+val of_nat : Bignat.t -> t
+
+(** [to_nat_exn n] is the magnitude of a non-negative [n].
+    @raise Invalid_argument when [n < 0]. *)
+val to_nat_exn : t -> Bignat.t
+
+(** [abs_nat n] is the magnitude |n| as a natural. *)
+val abs_nat : t -> Bignat.t
+
+(** [sign n] is [-1], [0] or [1]. *)
+val sign : t -> int
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** [divmod a b] is truncated division: the quotient rounds toward zero
+    and the remainder has the sign of [a], with [a = q*b + r] and
+    [|r| < |b|].  @raise Division_by_zero when [b] is zero. *)
+val divmod : t -> t -> t * t
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+(** [gcd a b] is the non-negative greatest common divisor. *)
+val gcd : t -> t -> t
+
+(** [pow b e] raises [b] to a non-negative exponent.
+    @raise Invalid_argument when [e < 0]. *)
+val pow : t -> int -> t
+
+val of_string : string -> t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val to_float : t -> float

@@ -1,0 +1,86 @@
+(** Arbitrary-precision natural numbers.
+
+    Values are immutable. The representation is a little-endian array of
+    30-bit limbs with no leading zero limb, so every mathematical natural
+    has exactly one representation and structural equality coincides with
+    numerical equality.
+
+    This module exists because the execution environment provides no
+    big-integer package; exact rational arithmetic over these naturals
+    backs every Nash-condition test in the library. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+
+(** [of_int n] converts a non-negative [n].
+    @raise Invalid_argument if [n < 0]. *)
+val of_int : int -> t
+
+(** [to_int_opt n] is [Some i] when [n] fits in a native [int]. *)
+val to_int_opt : t -> int option
+
+(** [to_int_exn n] is [n] as a native int.
+    @raise Failure when [n] does not fit. *)
+val to_int_exn : t -> int
+
+val is_zero : t -> bool
+val is_one : t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val add : t -> t -> t
+
+(** [sub a b] is [a - b].
+    @raise Invalid_argument when [b > a]. *)
+val sub : t -> t -> t
+
+val succ : t -> t
+
+(** [pred n] is [n - 1]. @raise Invalid_argument on [zero]. *)
+val pred : t -> t
+
+val mul : t -> t -> t
+
+(** [mul_schoolbook a b] is the quadratic multiplication used below the
+    Karatsuba threshold; exposed for differential testing. *)
+val mul_schoolbook : t -> t -> t
+
+(** [divmod a b] is [(a / b, a mod b)] with Euclidean semantics.
+    @raise Division_by_zero when [b] is zero. *)
+val divmod : t -> t -> t * t
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+(** [gcd a b] is the greatest common divisor; [gcd zero zero = zero]. *)
+val gcd : t -> t -> t
+
+(** [pow b e] is [b] raised to the non-negative native exponent [e].
+    @raise Invalid_argument if [e < 0]. *)
+val pow : t -> int -> t
+
+(** [shift_left n k] is [n * 2^k]. @raise Invalid_argument if [k < 0]. *)
+val shift_left : t -> int -> t
+
+(** [shift_right n k] is [n / 2^k]. @raise Invalid_argument if [k < 0]. *)
+val shift_right : t -> int -> t
+
+(** [num_bits n] is the position of the highest set bit plus one;
+    [num_bits zero = 0]. *)
+val num_bits : t -> int
+
+(** [of_string s] parses a decimal numeral (optional [_] separators).
+    @raise Invalid_argument on malformed input. *)
+val of_string : string -> t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** [to_float n] is the nearest (up to rounding in the conversion chain)
+    float; large values may overflow to [infinity]. *)
+val to_float : t -> float

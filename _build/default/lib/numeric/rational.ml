@@ -1,0 +1,142 @@
+type t = { num : Bigint.t; den : Bigint.t }
+(* Invariant: den > 0 and gcd(|num|, den) = 1. *)
+
+let make num den =
+  if Bigint.is_zero den then raise Division_by_zero;
+  if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
+  else begin
+    let num, den = if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den) else (num, den) in
+    let g = Bigint.gcd num den in
+    { num = Bigint.div num g; den = Bigint.div den g }
+  end
+
+let of_ints a b = make (Bigint.of_int a) (Bigint.of_int b)
+let of_int n = { num = Bigint.of_int n; den = Bigint.one }
+let of_bigint n = { num = n; den = Bigint.one }
+
+let zero = of_int 0
+let one = of_int 1
+let two = of_int 2
+let half = of_ints 1 2
+let minus_one = of_int (-1)
+
+let num q = q.num
+let den q = q.den
+
+let to_float q = Bigint.to_float q.num /. Bigint.to_float q.den
+
+let of_float_dyadic f =
+  if not (Float.is_finite f) then invalid_arg "Rational.of_float_dyadic: not finite";
+  let mantissa, exponent = Float.frexp f in
+  (* mantissa * 2^53 is integral for every finite float. *)
+  let scaled = Int64.to_int (Int64.of_float (Float.ldexp mantissa 53)) in
+  let num = Bigint.of_int scaled in
+  let e = exponent - 53 in
+  if e >= 0 then make (Bigint.mul num (Bigint.pow (Bigint.of_int 2) e)) Bigint.one
+  else make num (Bigint.pow (Bigint.of_int 2) (-e))
+
+let is_zero q = Bigint.is_zero q.num
+let is_integer q = Bigint.equal q.den Bigint.one
+let sign q = Bigint.sign q.num
+
+let equal a b = Bigint.equal a.num b.num && Bigint.equal a.den b.den
+
+let compare a b =
+  (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den  (dens > 0) *)
+  Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+
+let hash q = (Bigint.hash q.num * 31) + Bigint.hash q.den
+
+let neg q = { q with num = Bigint.neg q.num }
+let abs q = { q with num = Bigint.abs q.num }
+
+let inv q =
+  if is_zero q then raise Division_by_zero;
+  if Bigint.sign q.num > 0 then { num = q.den; den = q.num }
+  else { num = Bigint.neg q.den; den = Bigint.neg q.num }
+
+let add a b =
+  make
+    (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
+    (Bigint.mul a.den b.den)
+
+let sub a b = add a (neg b)
+let mul a b = make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+let div a b = mul a (inv b)
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let sum qs = List.fold_left add zero qs
+let sum_array qs = Array.fold_left add zero qs
+
+let mean = function
+  | [] -> invalid_arg "Rational.mean: empty list"
+  | qs -> div (sum qs) (of_int (List.length qs))
+
+let floor q =
+  let quot, rem = Bigint.divmod q.num q.den in
+  if Bigint.is_zero rem || Bigint.sign q.num >= 0 then of_bigint quot
+  else of_bigint (Bigint.sub quot Bigint.one)
+
+let ceil q = neg (floor (neg q))
+
+let of_string s =
+  let s = String.trim s in
+  if String.equal s "" then invalid_arg "Rational.of_string: empty string";
+  match String.index_opt s '/' with
+  | Some i ->
+    let n = Bigint.of_string (String.sub s 0 i) in
+    let d = Bigint.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+    make n d
+  | None ->
+    (match String.index_opt s '.' with
+     | None -> of_bigint (Bigint.of_string s)
+     | Some i ->
+       let whole = String.sub s 0 i in
+       let frac = String.sub s (i + 1) (String.length s - i - 1) in
+       if String.equal frac "" then invalid_arg (Printf.sprintf "Rational.of_string: %S" s);
+       let negative = String.length whole > 0 && Char.equal whole.[0] '-' in
+       let whole_part =
+         if String.equal whole "" || String.equal whole "-" || String.equal whole "+"
+         then Bigint.zero
+         else Bigint.abs (Bigint.of_string whole)
+       in
+       let scale = Bigint.pow (Bigint.of_int 10) (String.length frac) in
+       let frac_part = Bigint.of_string frac in
+       let total = Bigint.add (Bigint.mul whole_part scale) frac_part in
+       let q = make total scale in
+       if negative then neg q else q)
+
+let to_string q =
+  if is_integer q then Bigint.to_string q.num
+  else Bigint.to_string q.num ^ "/" ^ Bigint.to_string q.den
+
+let to_decimal_string q ~digits =
+  if digits < 0 then invalid_arg "Rational.to_decimal_string: negative digit count";
+  let num = Bigint.abs_nat q.num and den = Bigint.abs_nat q.den in
+  let whole, rem = Bignat.divmod num den in
+  let sign = if Bigint.sign q.num < 0 then "-" else "" in
+  if digits = 0 then sign ^ Bignat.to_string whole
+  else begin
+    (* Scale the remainder by 10^digits and divide once more. *)
+    let scaled = Bignat.mul rem (Bignat.pow (Bignat.of_int 10) digits) in
+    let frac, _ = Bignat.divmod scaled den in
+    let frac_str = Bignat.to_string frac in
+    let padded = String.make (digits - String.length frac_str) '0' ^ frac_str in
+    sign ^ Bignat.to_string whole ^ "." ^ padded
+  end
+
+let pp fmt q = Format.pp_print_string fmt (to_string q)
+
+(* Infix aliases, defined last so the rest of the module keeps the
+   standard operators in scope. *)
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div
+let ( = ) = equal
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0

@@ -1,0 +1,197 @@
+type relation = Le | Ge | Eq
+
+type constraint_ = { coeffs : Rational.t array; relation : relation; rhs : Rational.t }
+
+type outcome =
+  | Optimal of Rational.t * Rational.t array
+  | Infeasible
+  | Unbounded
+
+(* Dense tableau: [rows] constraint rows over [total + 1] columns (the
+   last column is the right-hand side), plus an explicit basis map.
+   All pivoting is exact; Bland's smallest-index rule on both the
+   entering and leaving choices prevents cycling. *)
+
+let q0 = Rational.zero
+let q1 = Rational.one
+
+let pivot tableau basis ~row ~col =
+  let nrows = Array.length tableau in
+  let ncols = Array.length tableau.(0) in
+  let inv = Rational.inv tableau.(row).(col) in
+  for j = 0 to ncols - 1 do
+    tableau.(row).(j) <- Rational.mul inv tableau.(row).(j)
+  done;
+  for r = 0 to nrows - 1 do
+    if r <> row && not (Rational.is_zero tableau.(r).(col)) then begin
+      let factor = tableau.(r).(col) in
+      for j = 0 to ncols - 1 do
+        tableau.(r).(j) <-
+          Rational.sub tableau.(r).(j) (Rational.mul factor tableau.(row).(j))
+      done
+    end
+  done;
+  basis.(row) <- col
+
+(* One simplex run for [maximize cost·x] on the current tableau.
+   [allowed j] filters candidate entering columns.  Returns [`Optimal]
+   or [`Unbounded]. *)
+let optimize tableau basis ~cost ~allowed =
+  let nrows = Array.length tableau in
+  let ncols = Array.length tableau.(0) - 1 in
+  let rhs_col = ncols in
+  let reduced j =
+    (* r_j = c_j − Σ_r c_{basis r} · T[r][j] *)
+    let acc = ref cost.(j) in
+    for r = 0 to nrows - 1 do
+      if not (Rational.is_zero cost.(basis.(r))) then
+        acc := Rational.sub !acc (Rational.mul cost.(basis.(r)) tableau.(r).(j))
+    done;
+    !acc
+  in
+  let rec iterate () =
+    (* Bland: smallest-index column with positive reduced cost. *)
+    let entering = ref (-1) in
+    (try
+       for j = 0 to ncols - 1 do
+         if allowed j && Rational.sign (reduced j) > 0 then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then `Optimal
+    else begin
+      let col = !entering in
+      (* Ratio test; Bland tie-break on the smallest leaving basis var. *)
+      let best = ref None in
+      for r = 0 to nrows - 1 do
+        if Rational.sign tableau.(r).(col) > 0 then begin
+          let ratio = Rational.div tableau.(r).(rhs_col) tableau.(r).(col) in
+          match !best with
+          | Some (best_ratio, best_row) ->
+            let c = Rational.compare ratio best_ratio in
+            if c < 0 || (c = 0 && basis.(r) < basis.(best_row)) then best := Some (ratio, r)
+          | None -> best := Some (ratio, r)
+        end
+      done;
+      match !best with
+      | None -> `Unbounded
+      | Some (_, row) ->
+        pivot tableau basis ~row ~col;
+        iterate ()
+    end
+  in
+  iterate ()
+
+let maximize ~objective constraints =
+  let nvars = Array.length objective in
+  if nvars = 0 then invalid_arg "Simplex.maximize: no variables";
+  if constraints = [] then invalid_arg "Simplex.maximize: no constraints";
+  List.iter
+    (fun c ->
+      if Array.length c.coeffs <> nvars then
+        invalid_arg "Simplex.maximize: constraint dimension mismatch")
+    constraints;
+  (* Normalise to non-negative right-hand sides. *)
+  let constraints =
+    List.map
+      (fun c ->
+        if Rational.sign c.rhs >= 0 then c
+        else
+          {
+            coeffs = Array.map Rational.neg c.coeffs;
+            rhs = Rational.neg c.rhs;
+            relation = (match c.relation with Le -> Ge | Ge -> Le | Eq -> Eq);
+          })
+      constraints
+  in
+  let nrows = List.length constraints in
+  let n_slack = List.length (List.filter (fun c -> c.relation <> Eq) constraints) in
+  let n_art = List.length (List.filter (fun c -> c.relation <> Le) constraints) in
+  let total = nvars + n_slack + n_art in
+  let tableau = Array.make_matrix nrows (total + 1) q0 in
+  let basis = Array.make nrows (-1) in
+  let art_start = nvars + n_slack in
+  let slack = ref nvars and art = ref art_start in
+  List.iteri
+    (fun r c ->
+      Array.blit c.coeffs 0 tableau.(r) 0 nvars;
+      tableau.(r).(total) <- c.rhs;
+      (match c.relation with
+       | Le ->
+         tableau.(r).(!slack) <- q1;
+         basis.(r) <- !slack;
+         incr slack
+       | Ge ->
+         tableau.(r).(!slack) <- Rational.neg q1;
+         incr slack;
+         tableau.(r).(!art) <- q1;
+         basis.(r) <- !art;
+         incr art
+       | Eq ->
+         tableau.(r).(!art) <- q1;
+         basis.(r) <- !art;
+         incr art))
+    constraints;
+  let is_artificial j = j >= art_start in
+  (* Phase 1: maximize −Σ artificials. *)
+  let feasible =
+    if n_art = 0 then true
+    else begin
+      let phase1_cost =
+        Array.init (total + 1) (fun j ->
+            if j < total && is_artificial j then Rational.minus_one else q0)
+      in
+      match optimize tableau basis ~cost:phase1_cost ~allowed:(fun _ -> true) with
+      | `Unbounded -> assert false (* phase-1 objective is bounded by 0 *)
+      | `Optimal ->
+        let value =
+          (* −Σ artificial basics' values *)
+          let acc = ref q0 in
+          Array.iteri
+            (fun r b -> if is_artificial b then acc := Rational.add !acc tableau.(r).(total))
+            basis;
+          !acc
+        in
+        if Rational.sign value > 0 then false
+        else begin
+          (* Drive surviving zero-valued artificials out of the basis;
+             rows that cannot pivot are redundant but harmless since the
+             artificial is fixed at zero and barred from re-entering. *)
+          Array.iteri
+            (fun r b ->
+              if is_artificial b then begin
+                let col = ref (-1) in
+                for j = total - 1 downto 0 do
+                  if (not (is_artificial j)) && not (Rational.is_zero tableau.(r).(j)) then
+                    col := j
+                done;
+                if !col >= 0 then pivot tableau basis ~row:r ~col:!col
+              end)
+            basis;
+          true
+        end
+    end
+  in
+  if not feasible then Infeasible
+  else begin
+    let phase2_cost =
+      Array.init (total + 1) (fun j -> if j < nvars then objective.(j) else q0)
+    in
+    match
+      optimize tableau basis ~cost:phase2_cost ~allowed:(fun j -> not (is_artificial j))
+    with
+    | `Unbounded -> Unbounded
+    | `Optimal ->
+      let x = Array.make nvars q0 in
+      Array.iteri (fun r b -> if b < nvars then x.(b) <- tableau.(r).(total)) basis;
+      let value = ref q0 in
+      Array.iteri (fun j c -> value := Rational.add !value (Rational.mul c x.(j))) objective;
+      Optimal (!value, x)
+  end
+
+let minimize ~objective constraints =
+  match maximize ~objective:(Array.map Rational.neg objective) constraints with
+  | Optimal (v, x) -> Optimal (Rational.neg v, x)
+  | (Infeasible | Unbounded) as o -> o

@@ -1,0 +1,33 @@
+(** Exact linear programming (two-phase primal simplex, Bland's rule).
+
+    Everything is over rationals, so optima are exact and cycling is
+    impossible (Bland).  Built for the correlated-equilibrium
+    computations in {!Algo.Correlated}: those LPs are small (hundreds of
+    variables) but need exact feasibility — a float LP cannot certify
+    that an incentive constraint holds with equality.
+
+    Problems are stated as: optimise [objective · x] subject to the
+    given constraints and [x >= 0]. *)
+
+type relation = Le | Ge | Eq
+
+type constraint_ = {
+  coeffs : Rational.t array;  (** one coefficient per variable *)
+  relation : relation;
+  rhs : Rational.t;
+}
+
+type outcome =
+  | Optimal of Rational.t * Rational.t array  (** value and a solution *)
+  | Infeasible
+  | Unbounded
+
+(** [maximize ~objective constraints] solves
+    [max objective·x  s.t.  constraints, x >= 0].
+    @raise Invalid_argument on dimension mismatches or an empty
+    problem. *)
+val maximize : objective:Rational.t array -> constraint_ list -> outcome
+
+(** [minimize ~objective constraints] is
+    [maximize ~objective:(-objective)] with the value negated back. *)
+val minimize : objective:Rational.t array -> constraint_ list -> outcome

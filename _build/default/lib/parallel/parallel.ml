@@ -1,0 +1,63 @@
+let available_domains () = Domain.recommended_domain_count ()
+
+let check_domains domains =
+  if domains <= 0 then invalid_arg "Parallel: domains must be positive"
+
+(* Run [work w] for w in [0, workers) on separate domains and collect
+   the results in worker order, re-raising the first failure. *)
+let fork_join ~workers work =
+  if workers <= 1 then [| work 0 |]
+  else begin
+    let spawned = Array.init (workers - 1) (fun w -> Domain.spawn (fun () -> work (w + 1))) in
+    (* Join every domain before re-raising, so no worker leaks when one
+       fails; the first failure in worker order wins. *)
+    let first = try Ok (work 0) with e -> Error e in
+    let rest = Array.map (fun d -> try Ok (Domain.join d) with e -> Error e) spawned in
+    Array.map (function Ok v -> v | Error e -> raise e) (Array.append [| first |] rest)
+  end
+
+let map_array ~domains f xs =
+  check_domains domains;
+  let len = Array.length xs in
+  if len = 0 then [||]
+  else begin
+    let workers = min domains len in
+    if workers = 1 then Array.map f xs
+    else begin
+      (* Interleaved: worker w takes indices w, w+workers, …  Each
+         worker returns (index, value) pairs; we scatter them back. *)
+      let work w =
+        let rec go i acc = if i >= len then acc else go (i + workers) ((i, f xs.(i)) :: acc) in
+        go w []
+      in
+      let chunks = fork_join ~workers work in
+      let out = Array.make len None in
+      Array.iter (List.iter (fun (i, v) -> out.(i) <- Some v)) chunks;
+      Array.map (function Some v -> v | None -> assert false) out
+    end
+  end
+
+let map ~domains f xs = Array.to_list (map_array ~domains f (Array.of_list xs))
+
+let reduce ~domains ~neutral ~combine f xs =
+  check_domains domains;
+  let xs = Array.of_list xs in
+  let len = Array.length xs in
+  if len = 0 then neutral
+  else begin
+    let workers = min domains len in
+    let work w =
+      (* Block distribution keeps the per-worker fold order equal to the
+         global order restricted to the block, so the final left-to-right
+         combine of worker results reproduces the serial fold for any
+         associative [combine]. *)
+      let lo = w * len / workers and hi = ((w + 1) * len / workers) - 1 in
+      let acc = ref neutral in
+      for i = lo to hi do
+        acc := combine !acc (f xs.(i))
+      done;
+      !acc
+    in
+    let partials = fork_join ~workers work in
+    Array.fold_left combine neutral partials
+  end

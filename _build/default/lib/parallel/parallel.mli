@@ -1,0 +1,32 @@
+(** Deterministic fork–join parallelism over OCaml 5 domains.
+
+    The experiment sweeps are embarrassingly parallel across instances:
+    each cell derives its own PRNG from a fixed seed, so results are
+    identical no matter how work is scheduled.  This module provides the
+    minimal fork–join layer the harness needs — no dependency on
+    domainslib (not installed in this environment).
+
+    All functions run [f] in the calling domain when [domains <= 1], so
+    code paths stay identical in serial mode. *)
+
+(** [available_domains ()] is a sensible default worker count:
+    [Domain.recommended_domain_count ()]. *)
+val available_domains : unit -> int
+
+(** [map ~domains f xs] is [List.map f xs], computed by up to [domains]
+    domains with a block distribution.  Results keep list order.  The
+    first exception raised by any worker is re-raised.
+    @raise Invalid_argument when [domains <= 0]. *)
+val map : domains:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [map_array ~domains f xs] is the array counterpart of {!map} with an
+    index-interleaved distribution (better balance when cost grows along
+    the array). *)
+val map_array : domains:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [reduce ~domains ~neutral ~combine f xs] maps [f] over [xs] and
+    folds the results with [combine]; [combine] must be associative and
+    [neutral] its unit.  Combination order is deterministic (worker 0
+    first), so non-commutative monoids are safe. *)
+val reduce :
+  domains:int -> neutral:'b -> combine:('b -> 'b -> 'b) -> ('a -> 'b) -> 'a list -> 'b

@@ -1,0 +1,1 @@
+lib/prng/alias.ml: Array Float Numeric Rng

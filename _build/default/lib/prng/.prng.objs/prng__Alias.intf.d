@@ -1,0 +1,1 @@
+lib/prng/alias.mli: Numeric Rng

@@ -1,0 +1,1 @@
+lib/prng/rng.ml: Array Int64 List Numeric Rational Stdlib Xoshiro256

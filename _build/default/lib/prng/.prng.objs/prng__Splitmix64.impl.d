@@ -1,0 +1,1 @@
+lib/prng/splitmix64.ml: Int64

@@ -1,0 +1,11 @@
+type t = int64
+
+let create seed = seed
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let next state =
+  let z = Int64.add state golden_gamma in
+  let z' = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z'' = Int64.mul (Int64.logxor z' (Int64.shift_right_logical z' 27)) 0x94D049BB133111EBL in
+  (Int64.logxor z'' (Int64.shift_right_logical z'' 31), z)

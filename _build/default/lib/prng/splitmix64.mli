@@ -1,0 +1,13 @@
+(** SplitMix64 pseudo-random generator (Steele, Lea & Flood 2014).
+
+    A tiny, fast generator with a single 64-bit word of state.  Its main
+    job here is to expand a user-supplied seed into the 256-bit state of
+    {!Xoshiro256}, which is the recommended seeding procedure for the
+    xoshiro family. *)
+
+type t
+
+val create : int64 -> t
+
+(** [next s] is the next 64-bit output and the advanced state. *)
+val next : t -> int64 * t

@@ -1,0 +1,1 @@
+lib/stats/table.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/stats/welford.ml: Float List

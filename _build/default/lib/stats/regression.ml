@@ -1,0 +1,27 @@
+type fit = { slope : float; intercept : float; r_squared : float }
+
+let linear points =
+  let n = List.length points in
+  if n < 2 then invalid_arg "Regression.linear: need at least two points";
+  let nf = float_of_int n in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 points in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 points in
+  let mx = sx /. nf and my = sy /. nf in
+  let sxx = List.fold_left (fun a (x, _) -> a +. ((x -. mx) ** 2.0)) 0.0 points in
+  let sxy = List.fold_left (fun a (x, y) -> a +. ((x -. mx) *. (y -. my))) 0.0 points in
+  if sxx = 0.0 then invalid_arg "Regression.linear: all x values coincide";
+  let slope = sxy /. sxx in
+  let intercept = my -. (slope *. mx) in
+  let ss_res =
+    List.fold_left (fun a (x, y) -> a +. ((y -. intercept -. (slope *. x)) ** 2.0)) 0.0 points
+  in
+  let ss_tot = List.fold_left (fun a (_, y) -> a +. ((y -. my) ** 2.0)) 0.0 points in
+  let r_squared = if ss_tot = 0.0 then 1.0 else 1.0 -. (ss_res /. ss_tot) in
+  { slope; intercept; r_squared }
+
+let log_log points =
+  List.iter
+    (fun (x, y) ->
+      if x <= 0.0 || y <= 0.0 then invalid_arg "Regression.log_log: coordinates must be positive")
+    points;
+  linear (List.map (fun (x, y) -> (log x, log y)) points)

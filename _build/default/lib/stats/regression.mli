@@ -1,0 +1,23 @@
+(** Least-squares line fitting.
+
+    Used by the scaling experiments to turn (size, time) measurements
+    into an empirical complexity exponent: fitting
+    [log t = a + b·log n] estimates [t = e^a · n^b], so [b] is directly
+    comparable to the theorems' O(n^k) claims. *)
+
+type fit = {
+  slope : float;
+  intercept : float;
+  r_squared : float;  (** coefficient of determination in [0, 1] *)
+}
+
+(** [linear points] fits [y = intercept + slope·x] by ordinary least
+    squares. @raise Invalid_argument with fewer than two points or when
+    all x coincide. *)
+val linear : (float * float) list -> fit
+
+(** [log_log points] fits a power law [y = e^intercept · x^slope] by
+    regressing [log y] on [log x].
+    @raise Invalid_argument on non-positive coordinates or fewer than
+    two points. *)
+val log_log : (float * float) list -> fit

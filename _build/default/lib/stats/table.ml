@@ -1,0 +1,27 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: expected %d cells, got %d" (List.length t.headers)
+         (List.length cells));
+  t.rows <- cells :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.length t.headers in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let line cells =
+    String.concat "  "
+      (List.map2 (fun cell w -> cell ^ String.make (w - String.length cell) ' ') cells widths)
+  in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" ((line t.headers :: sep :: List.map line rows) @ [ "" ])
+
+let print t = print_string (render t)

@@ -1,0 +1,20 @@
+(** Aligned ASCII tables.
+
+    Every experiment in [bench/main.exe] prints its results through this
+    module so the reproduction rows have a uniform, diffable format. *)
+
+type t
+
+(** [create headers] starts a table with the given column headers. *)
+val create : string list -> t
+
+(** [add_row t cells] appends a row.
+    @raise Invalid_argument when the arity differs from the header. *)
+val add_row : t -> string list -> unit
+
+(** [render t] lays the table out with a header separator and columns
+    padded to their widest cell. *)
+val render : t -> string
+
+(** [print t] writes [render t] to standard output. *)
+val print : t -> unit

@@ -1,0 +1,43 @@
+  $ SR=../../bin/selfish_routing.exe
+  $ cat > quickstart.game <<'GAME'
+  > links 2
+  > weights 4 3 2
+  > state fast 10 4
+  > state slow 3 4
+  > belief fast: 1
+  > belief slow: 1
+  > belief fast: 1/2, slow: 1/2
+  > GAME
+  $ $SR solve quickstart.game
+  $ cat > uniform.game <<'GAME'
+  > links 2
+  > weights 5 4 3
+  > capacities 2 2
+  > capacities 3 3
+  > capacities 1 1
+  > GAME
+  $ $SR fmne uniform.game
+  $ $SR enumerate quickstart.game
+  $ $SR bounds quickstart.game
+  $ $SR bounds uniform.game
+  $ $SR solve --initial 10,0 quickstart.game
+  $ cat > broken.game <<'GAME'
+  > links 2
+  > weights 1 x
+  > GAME
+  $ $SR solve broken.game
+  $ $SR sweep --trials 5 --max-users 3 --max-links 2 --seed 7 | head -3
+  $ $SR mixed uniform.game | head -4
+  $ $SR potential quickstart.game
+  $ $SR fictitious quickstart.game --rounds 500 --seed 2 | head -2
+  $ cat > witness.game <<'GAME'
+  > links 3
+  > weights 3 6 8 4 3 3
+  > capacities 1 1 1
+  > capacities 21 1 37
+  > capacities 1 20 38
+  > capacities 1 1 1
+  > capacities 1 1 1
+  > capacities 26 14 21
+  > GAME
+  $ $SR solve --algo best-response --seed 4 witness.game | tail -1

@@ -1,0 +1,1 @@
+test/test_algo.ml: Alcotest Algo Array Bigint Experiments Fun Game List Mixed Model Numeric Printf Prng Pure QCheck2 QCheck_alcotest Qvec Rational Social

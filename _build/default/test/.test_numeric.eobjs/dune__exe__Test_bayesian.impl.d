@@ -1,0 +1,1 @@
+test/test_bayesian.ml: Alcotest Array Kp Model Numeric Prng QCheck2 QCheck_alcotest Rational

@@ -1,0 +1,1 @@
+test/test_congestion.ml: Alcotest Algo Array Congestion Experiments Float Game List Mixed Model Numeric Prng Pure QCheck2 QCheck_alcotest Rational Social

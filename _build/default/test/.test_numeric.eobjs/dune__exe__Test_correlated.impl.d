@@ -1,0 +1,1 @@
+test/test_correlated.ml: Alcotest Algo Array Experiments Game List Model Numeric Prng Pure QCheck2 QCheck_alcotest Rational Simplex Social

@@ -1,0 +1,1 @@
+test/test_equilibria.ml: Alcotest Algo Array Experiments Fun Game List Mixed Model Numeric Prng Pure QCheck2 QCheck_alcotest Rational Social

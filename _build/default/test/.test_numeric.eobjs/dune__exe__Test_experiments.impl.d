@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Experiments Fun Game List Model Numeric Printf Prng Pure QCheck2 QCheck_alcotest Rational Stats String Sys

@@ -1,0 +1,1 @@
+test/test_game_io.ml: Alcotest Experiments Fun Game Game_io List Model Numeric Prng QCheck2 QCheck_alcotest Rational String

@@ -1,0 +1,1 @@
+test/test_kp.ml: Alcotest Algo Array Belief Experiments Fun Game Kp List Model Numeric Prng Pure QCheck2 QCheck_alcotest Rational State

@@ -1,0 +1,1 @@
+test/test_learning.ml: Alcotest Algo Array Belief Experiments Game Model Numeric Prng Pure QCheck2 QCheck_alcotest Qvec Rational State

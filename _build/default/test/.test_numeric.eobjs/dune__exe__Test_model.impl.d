@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Algo Array Belief Bounds Experiments Fun Game List Mixed Model Numeric Prng Pure QCheck2 QCheck_alcotest Rational Social State

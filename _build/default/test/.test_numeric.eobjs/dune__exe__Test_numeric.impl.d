@@ -1,0 +1,1 @@
+test/test_numeric.ml: Alcotest Bigint Bignat Float List Numeric Printf QCheck2 QCheck_alcotest Qvec Rational

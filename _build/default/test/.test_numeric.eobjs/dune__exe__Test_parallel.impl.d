@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Char Experiments Fun List Parallel Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Float Fun List Numeric Prng QCheck2 QCheck_alcotest Qvec Rational

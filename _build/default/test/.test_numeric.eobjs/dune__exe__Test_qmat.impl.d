@@ -1,0 +1,1 @@
+test/test_qmat.ml: Alcotest Array Numeric Prng QCheck2 QCheck_alcotest Qmat Rational

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Float List QCheck2 QCheck_alcotest Stats String

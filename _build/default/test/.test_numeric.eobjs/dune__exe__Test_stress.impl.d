@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Algo Array Bignat Char Experiments Model Numeric Prng Pure Qvec Rational Social String

@@ -1,0 +1,125 @@
+The CLI solves a game file with the paper's two-link algorithm:
+
+  $ SR=../../bin/selfish_routing.exe
+  $ cat > quickstart.game <<'GAME'
+  > links 2
+  > weights 4 3 2
+  > state fast 10 4
+  > state slow 3 4
+  > belief fast: 1
+  > belief slow: 1
+  > belief fast: 1/2, slow: 1/2
+  > GAME
+  $ $SR solve quickstart.game
+  algorithm: A_twolinks (Theorem 3.3)
+  profile: [0; 1; 1]
+  is Nash equilibrium: true
+    user 0: link 0, expected latency 2/5
+    user 1: link 1, expected latency 5/4
+    user 2: link 1, expected latency 5/4
+  SC1 = 29/10, SC2 = 5/4
+
+The fully mixed equilibrium of a uniform-beliefs game is equiprobable
+(Theorem 4.8):
+
+  $ cat > uniform.game <<'GAME'
+  > links 2
+  > weights 5 4 3
+  > capacities 2 2
+  > capacities 3 3
+  > capacities 1 1
+  > GAME
+  $ $SR fmne uniform.game
+  candidate probabilities (Lemma 4.3):
+    user 0: [1/2; 1/2]
+    user 1: [1/2; 1/2]
+    user 2: [1/2; 1/2]
+  this is the unique fully mixed Nash equilibrium (Theorem 4.6).
+    user 0 equilibrium latency: 17/4
+    user 1 equilibrium latency: 8/3
+    user 2 equilibrium latency: 15/2
+  SC1 = 173/12, SC2 = 15/2
+
+Exhaustive enumeration reports every pure equilibrium with its
+coordination ratios:
+
+  $ $SR enumerate quickstart.game
+  1 pure Nash equilibria (out of 8 profiles):
+    [0; 1; 1]  SC1=29/10 (ratio 58/53)  SC2=5/4 (ratio 1)
+  OPT1 = 53/20, OPT2 = 5/4
+
+The price-of-anarchy bounds of Section 4:
+
+  $ $SR bounds quickstart.game
+  Theorem 4.14 (general) bound: 400/21 ≈ 19.0476
+  Theorem 4.13 does not apply (beliefs are not uniform).
+
+  $ $SR bounds uniform.game
+  Theorem 4.14 (general) bound: 18 ≈ 18.0000
+  Theorem 4.13 (uniform beliefs) bound: 6 ≈ 6.0000
+
+Solving with initial link traffic (the Definition 3.1 setting):
+
+  $ $SR solve --initial 10,0 quickstart.game
+  algorithm: A_twolinks (Theorem 3.3)
+  profile: [0; 1; 1]
+  is Nash equilibrium: true
+    user 0: link 0, expected latency 7/5
+    user 1: link 1, expected latency 5/4
+    user 2: link 1, expected latency 5/4
+  SC1 = 39/10, SC2 = 7/5
+
+A malformed game file is rejected with a line-numbered error:
+
+  $ cat > broken.game <<'GAME'
+  > links 2
+  > weights 1 x
+  > GAME
+  $ $SR solve broken.game
+  selfish_routing: internal error, uncaught exception:
+                   Invalid_argument("Game_io: line 2: bad number \"x\"")
+                   
+  [125]
+
+The existence sweep prints the Conjecture 3.7 table:
+
+  $ $SR sweep --trials 5 --max-users 3 --max-links 2 --seed 7 | head -3
+  n  m  weights  beliefs          trials  pure NE  min#  mean#  max#  BR conv  BR steps
+  -  -  -------  ---------------  ------  -------  ----  -----  ----  -------  --------
+  2  2  rat<=5   shared-space(3)  5       100.0%   1     1.4    2     100.0%   0.4     
+
+Support enumeration finds every mixed equilibrium of the uniform game:
+
+  $ $SR mixed uniform.game | head -4
+  5 mixed Nash equilibria found by support enumeration (12 singular support systems skipped)
+    supports {0} {1} {1}:
+      user 0: [1; 0]  λ=5/2
+      user 1: [0; 1]  λ=7/3
+
+The exact-potential check prints a Monderer-Shapley witness:
+
+  $ $SR potential quickstart.game
+  NOT an exact potential game (Section 3.2): witness square
+    at profile [0; 0; 0], user 0: 0→1, user 1: 0→1, defect 77/60
+
+Fictitious play stabilises on the quickstart game:
+
+  $ $SR fictitious quickstart.game --rounds 500 --seed 2 | head -2
+  fictitious play: 20 rounds, stabilised at a pure NE: true
+  last round actions: [0; 1; 1]
+
+The E6 witness game file ships with the repository; the solver still
+finds one of its pure equilibria:
+
+  $ cat > witness.game <<'GAME'
+  > links 3
+  > weights 3 6 8 4 3 3
+  > capacities 1 1 1
+  > capacities 21 1 37
+  > capacities 1 20 38
+  > capacities 1 1 1
+  > capacities 1 1 1
+  > capacities 26 14 21
+  > GAME
+  $ $SR solve --algo best-response --seed 4 witness.game | tail -1
+  SC1 = 191714/9139, SC2 = 7

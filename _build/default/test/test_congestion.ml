@@ -1,0 +1,122 @@
+(* Tests for the classical expected-maximum-congestion social cost on
+   the KP special case, including the fully-mixed-NE conjecture of the
+   paper's references [7]/[14] checked on KP instances. *)
+
+open Model
+open Numeric
+
+let qi = Rational.of_int
+let q = Rational.of_ints
+let check_q = Alcotest.testable Rational.pp Rational.equal
+
+let prop name ?(count = 60) gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen law)
+
+let seed_gen = QCheck2.Gen.(int_bound 1_000_000)
+
+let kp_fixture () = Game.kp ~weights:[| qi 2; qi 1 |] ~capacities:[| qi 2; qi 1 |]
+
+let random_kp seed =
+  let rng = Prng.Rng.create seed in
+  let n = Prng.Rng.int_in rng 2 4 and m = Prng.Rng.int_in rng 2 3 in
+  ( rng,
+    Experiments.Generators.game rng ~n ~m
+      ~weights:(Experiments.Generators.Integer_weights 4)
+      ~beliefs:(Experiments.Generators.Shared_point { cap_bound = 5 }) )
+
+let test_max_congestion_hand () =
+  let g = kp_fixture () in
+  (* ⟨0,0⟩: link0 load 3, congestion 3/2; link1 empty. *)
+  Alcotest.check check_q "pile" (q 3 2) (Congestion.max_congestion g [| 0; 0 |]);
+  (* ⟨0,1⟩: max(2/2, 1/1) = 1. *)
+  Alcotest.check check_q "split" (qi 1) (Congestion.max_congestion g [| 0; 1 |]);
+  (* ⟨1,0⟩: max(1/2, 2/1) = 2. *)
+  Alcotest.check check_q "swapped" (qi 2) (Congestion.max_congestion g [| 1; 0 |])
+
+let test_requires_kp () =
+  let g = Game.of_capacities ~weights:[| qi 1; qi 1 |] [| [| qi 1; qi 2 |]; [| qi 2; qi 1 |] |] in
+  Alcotest.check_raises "non-KP"
+    (Invalid_argument "Congestion.max_congestion: the classical social cost needs a KP instance")
+    (fun () -> ignore (Congestion.max_congestion g [| 0; 1 |]))
+
+let test_expected_max_hand () =
+  let g = kp_fixture () in
+  (* user0 mixes 1/2–1/2, user1 pure on link0:
+     E = 1/2·cong(0,0) + 1/2·cong(1,0) = 1/2·3/2 + 1/2·2 = 7/4. *)
+  let p = [| [| q 1 2; q 1 2 |]; [| Rational.one; Rational.zero |] |] in
+  Alcotest.check check_q "expectation" (q 7 4) (Congestion.expected_max_congestion g p)
+
+let test_expected_max_of_pure () =
+  let g = kp_fixture () in
+  let sigma = [| 0; 1 |] in
+  Alcotest.check check_q "degenerate expectation"
+    (Congestion.max_congestion g sigma)
+    (Congestion.expected_max_congestion g (Mixed.of_pure g sigma))
+
+let test_optimum () =
+  let g = kp_fixture () in
+  let v, sigma = Congestion.optimum g in
+  Alcotest.check check_q "makespan optimum" (qi 1) v;
+  Alcotest.(check (array int)) "argmin" [| 0; 1 |] sigma
+
+let test_estimate_close () =
+  let g = kp_fixture () in
+  let p = [| [| q 1 2; q 1 2 |]; [| q 1 3; q 2 3 |] |] in
+  let exact = Rational.to_float (Congestion.expected_max_congestion g p) in
+  let rng = Prng.Rng.create 5 in
+  let estimate = Congestion.estimate g p ~samples:200_000 rng in
+  Alcotest.(check bool) "within 1%" true (Float.abs (estimate -. exact) /. exact < 0.01)
+
+let congestion_properties =
+  [
+    prop "expected max congestion >= max congestion of the optimum" seed_gen (fun seed ->
+        let rng, g = random_kp seed in
+        let p =
+          Array.init (Game.users g) (fun _ ->
+              Prng.Rng.positive_simplex rng ~dim:(Game.links g) ~grain:(Game.links g + 2))
+        in
+        let opt, _ = Congestion.optimum g in
+        Rational.compare (Congestion.expected_max_congestion g p) opt >= 0);
+    prop "optimum lower-bounds every pure profile" seed_gen (fun seed ->
+        let _, g = random_kp seed in
+        let opt, _ = Congestion.optimum g in
+        let ok = ref true in
+        Social.iter_profiles g (fun sigma ->
+            if Rational.compare (Congestion.max_congestion g sigma) opt < 0 then ok := false);
+        !ok);
+    prop "FMNE conjecture of [7]/[14] on KP instances" seed_gen (fun seed ->
+        (* Among the equilibria we can enumerate (all pure NE), none has
+           a larger expected maximum congestion than the fully mixed
+           equilibrium, when the latter exists — the classical
+           fully-mixed-NE conjecture restricted to this class. *)
+        let _, g = random_kp seed in
+        match Algo.Fully_mixed.compute g with
+        | None -> true
+        | Some fm ->
+          let fm_cost = Congestion.expected_max_congestion g fm in
+          List.for_all
+            (fun ne ->
+              Rational.compare (Congestion.max_congestion g ne) fm_cost <= 0)
+            (Algo.Enumerate.pure_nash g));
+    prop "SC2 of the paper lower-bounds the classical SC on KP instances" seed_gen
+      (fun seed ->
+        (* On KP instances all users share the objective latencies, so
+           the max individual cost (SC2) of a pure profile is exactly
+           the congestion of the most loaded *used* link — never more
+           than the max over all links. *)
+        let rng, g = random_kp seed in
+        let sigma = Array.init (Game.users g) (fun _ -> Prng.Rng.int rng (Game.links g)) in
+        Rational.compare (Pure.social_cost2 g sigma) (Congestion.max_congestion g sigma) <= 0);
+  ]
+
+let suite =
+  [
+    ("max congestion hand case", `Quick, test_max_congestion_hand);
+    ("requires KP", `Quick, test_requires_kp);
+    ("expected max hand case", `Quick, test_expected_max_hand);
+    ("expectation of a pure profile", `Quick, test_expected_max_of_pure);
+    ("makespan optimum", `Quick, test_optimum);
+    ("Monte-Carlo estimate", `Slow, test_estimate_close);
+  ]
+
+let () = Alcotest.run "congestion" [ ("unit", suite); ("properties", congestion_properties) ]

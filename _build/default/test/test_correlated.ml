@@ -1,0 +1,198 @@
+(* Tests for the exact LP solver and the correlated-equilibrium layer
+   built on it. *)
+
+open Model
+open Numeric
+
+let q = Rational.of_ints
+let qi = Rational.of_int
+let check_q = Alcotest.testable Rational.pp Rational.equal
+
+let prop name ?(count = 50) gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen law)
+
+let seed_gen = QCheck2.Gen.(int_bound 1_000_000)
+
+let c coeffs relation rhs = Simplex.{ coeffs; relation; rhs }
+
+(* ------------------------------------------------------------------ *)
+(* Simplex                                                             *)
+
+let test_lp_textbook () =
+  (* max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → 36 at (2, 6). *)
+  match
+    Simplex.maximize ~objective:[| qi 3; qi 5 |]
+      [
+        c [| qi 1; qi 0 |] Simplex.Le (qi 4);
+        c [| qi 0; qi 2 |] Simplex.Le (qi 12);
+        c [| qi 3; qi 2 |] Simplex.Le (qi 18);
+      ]
+  with
+  | Simplex.Optimal (v, x) ->
+    Alcotest.check check_q "value" (qi 36) v;
+    Alcotest.check check_q "x" (qi 2) x.(0);
+    Alcotest.check check_q "y" (qi 6) x.(1)
+  | _ -> Alcotest.fail "expected an optimum"
+
+let test_lp_minimize_with_ge () =
+  match
+    Simplex.minimize ~objective:[| qi 1; qi 1 |]
+      [ c [| qi 1; qi 1 |] Simplex.Ge (qi 2); c [| qi 1; qi 0 |] Simplex.Le (qi 10) ]
+  with
+  | Simplex.Optimal (v, _) -> Alcotest.check check_q "value" (qi 2) v
+  | _ -> Alcotest.fail "expected an optimum"
+
+let test_lp_infeasible () =
+  Alcotest.(check bool) "infeasible detected" true
+    (Simplex.maximize ~objective:[| qi 1 |]
+       [ c [| qi 1 |] Simplex.Le (qi 1); c [| qi 1 |] Simplex.Ge (qi 2) ]
+     = Simplex.Infeasible)
+
+let test_lp_unbounded () =
+  Alcotest.(check bool) "unbounded detected" true
+    (Simplex.maximize ~objective:[| qi 1; qi 0 |]
+       [ c [| qi 1; qi (-1) |] Simplex.Le (qi 1) ]
+     = Simplex.Unbounded)
+
+let test_lp_equality_and_fractions () =
+  (match Simplex.maximize ~objective:[| qi 1; qi 2 |] [ c [| qi 1; qi 1 |] Simplex.Eq (qi 1) ] with
+   | Simplex.Optimal (v, _) -> Alcotest.check check_q "equality LP" (qi 2) v
+   | _ -> Alcotest.fail "expected an optimum");
+  match Simplex.maximize ~objective:[| qi 1 |] [ c [| qi 3 |] Simplex.Le (qi 2) ] with
+  | Simplex.Optimal (v, _) -> Alcotest.check check_q "fractional optimum" (q 2 3) v
+  | _ -> Alcotest.fail "expected an optimum"
+
+let test_lp_beale_no_cycling () =
+  (* Beale's classic degenerate LP that cycles without an anti-cycling
+     rule; the optimum is 1/20. *)
+  match
+    Simplex.maximize
+      ~objective:[| q 3 4; qi (-150); q 1 50; qi (-6) |]
+      [
+        c [| q 1 4; qi (-60); q (-1) 25; qi 9 |] Simplex.Le (qi 0);
+        c [| q 1 2; qi (-90); q (-1) 50; qi 3 |] Simplex.Le (qi 0);
+        c [| qi 0; qi 0; qi 1; qi 0 |] Simplex.Le (qi 1);
+      ]
+  with
+  | Simplex.Optimal (v, _) -> Alcotest.check check_q "Beale optimum" (q 1 20) v
+  | _ -> Alcotest.fail "expected an optimum"
+
+let test_lp_validation () =
+  Alcotest.check_raises "no constraints" (Invalid_argument "Simplex.maximize: no constraints")
+    (fun () -> ignore (Simplex.maximize ~objective:[| qi 1 |] []));
+  Alcotest.check_raises "dimension" (Invalid_argument "Simplex.maximize: constraint dimension mismatch")
+    (fun () -> ignore (Simplex.maximize ~objective:[| qi 1 |] [ c [| qi 1; qi 2 |] Simplex.Le (qi 1) ]))
+
+let lp_properties =
+  [
+    prop "optimal solutions are feasible" seed_gen (fun seed ->
+        let rng = Prng.Rng.create seed in
+        let nvars = Prng.Rng.int_in rng 1 4 and nrows = Prng.Rng.int_in rng 1 4 in
+        let objective = Array.init nvars (fun _ -> qi (Prng.Rng.int_in rng (-3) 3)) in
+        let constraints =
+          List.init nrows (fun _ ->
+              c
+                (Array.init nvars (fun _ -> qi (Prng.Rng.int_in rng (-3) 3)))
+                (match Prng.Rng.int rng 3 with 0 -> Simplex.Le | 1 -> Simplex.Ge | _ -> Simplex.Eq)
+                (qi (Prng.Rng.int_in rng (-3) 3)))
+        in
+        match Simplex.maximize ~objective constraints with
+        | Simplex.Infeasible | Simplex.Unbounded -> true
+        | Simplex.Optimal (v, x) ->
+          Array.for_all (fun q -> Rational.sign q >= 0) x
+          && List.for_all
+               (fun (ct : Simplex.constraint_) ->
+                 let lhs = ref Rational.zero in
+                 Array.iteri
+                   (fun j a -> lhs := Rational.add !lhs (Rational.mul a x.(j)))
+                   ct.coeffs;
+                 match ct.relation with
+                 | Simplex.Le -> Rational.compare !lhs ct.rhs <= 0
+                 | Simplex.Ge -> Rational.compare !lhs ct.rhs >= 0
+                 | Simplex.Eq -> Rational.equal !lhs ct.rhs)
+               constraints
+          && Rational.equal v
+               (let acc = ref Rational.zero in
+                Array.iteri (fun j o -> acc := Rational.add !acc (Rational.mul o x.(j))) objective;
+                !acc));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Correlated equilibria                                               *)
+
+let random_game seed =
+  let rng = Prng.Rng.create seed in
+  let n = Prng.Rng.int_in rng 2 3 and m = Prng.Rng.int_in rng 2 3 in
+  Experiments.Generators.game rng ~n ~m
+    ~weights:(Experiments.Generators.Integer_weights 4)
+    ~beliefs:(Experiments.Generators.Shared_space { states = 3; cap_bound = 5; grain = 4 })
+
+let test_ce_validation () =
+  let g = Game.kp ~weights:[| qi 1; qi 1 |] ~capacities:[| qi 1; qi 2 |] in
+  Alcotest.check_raises "not a distribution"
+    (Invalid_argument "Correlated.is_correlated_equilibrium: probabilities must sum to 1")
+    (fun () ->
+      ignore (Algo.Correlated.is_correlated_equilibrium g [ ([| 0; 0 |], q 1 2) ]))
+
+let test_ce_rejects_non_equilibrium () =
+  (* Both users on the slow link with probability 1 is not a CE. *)
+  let g = Game.kp ~weights:[| qi 1; qi 1 |] ~capacities:[| qi 10; qi 1 |] in
+  Alcotest.(check bool) "pile on slow link rejected" false
+    (Algo.Correlated.is_correlated_equilibrium g [ ([| 1; 1 |], Rational.one) ])
+
+let test_ce_traffic_light () =
+  (* The classic mediation pattern: a fair coin between the two opposite
+     pure equilibria is a CE. *)
+  let g = Game.kp ~weights:[| qi 1; qi 1 |] ~capacities:[| qi 1; qi 1 |] in
+  Alcotest.(check bool) "traffic light is a CE" true
+    (Algo.Correlated.is_correlated_equilibrium g
+       [ ([| 0; 1 |], q 1 2); ([| 1; 0 |], q 1 2) ])
+
+let ce_properties =
+  [
+    prop "every pure NE is a correlated equilibrium" seed_gen (fun seed ->
+        let g = random_game seed in
+        List.for_all
+          (fun ne -> Algo.Correlated.is_correlated_equilibrium g [ (ne, Rational.one) ])
+          (Algo.Enumerate.pure_nash g));
+    prop "the FMNE product distribution is a correlated equilibrium" seed_gen (fun seed ->
+        let g = random_game seed in
+        match Algo.Fully_mixed.compute g with
+        | None -> true
+        | Some p ->
+          Algo.Correlated.is_correlated_equilibrium g (Algo.Correlated.of_mixed g p));
+    prop "OPT1 <= best CE <= best pure NE (mediation sandwich)" seed_gen (fun seed ->
+        let g = random_game seed in
+        let best_ce = Algo.Correlated.best_social_cost g in
+        let opt1, _ = Social.opt1 g in
+        match Algo.Enumerate.extremal_nash g ~cost:(fun g p -> Pure.social_cost1 g p) with
+        | None -> true
+        | Some ((_, best_ne), _) ->
+          Rational.compare opt1 best_ce.value <= 0
+          && Rational.compare best_ce.value best_ne <= 0);
+    prop "optimising distributions are genuine correlated equilibria" seed_gen (fun seed ->
+        let g = random_game seed in
+        let best = Algo.Correlated.best_social_cost g in
+        let worst = Algo.Correlated.worst_social_cost g in
+        Algo.Correlated.is_correlated_equilibrium g best.distribution
+        && Algo.Correlated.is_correlated_equilibrium g worst.distribution
+        && Rational.compare best.value worst.value <= 0);
+  ]
+
+let suite =
+  [
+    ("LP textbook maximum", `Quick, test_lp_textbook);
+    ("LP minimisation with >=", `Quick, test_lp_minimize_with_ge);
+    ("LP infeasible", `Quick, test_lp_infeasible);
+    ("LP unbounded", `Quick, test_lp_unbounded);
+    ("LP equality and fractions", `Quick, test_lp_equality_and_fractions);
+    ("LP Beale degeneracy (no cycling)", `Quick, test_lp_beale_no_cycling);
+    ("LP validation", `Quick, test_lp_validation);
+    ("CE validation", `Quick, test_ce_validation);
+    ("CE rejects non-equilibrium", `Quick, test_ce_rejects_non_equilibrium);
+    ("CE traffic light", `Quick, test_ce_traffic_light);
+  ]
+
+let () =
+  Alcotest.run "correlated"
+    [ ("unit", suite); ("simplex", lp_properties); ("polytope", ce_properties) ]

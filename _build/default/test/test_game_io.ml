@@ -1,0 +1,150 @@
+(* Tests for the plain-text game format used by the CLI. *)
+
+open Model
+open Numeric
+
+let qi = Rational.of_int
+let q = Rational.of_ints
+let check_q = Alcotest.testable Rational.pp Rational.equal
+
+let generative_example =
+  {|
+# three users, two links, two possible network states
+links 2
+weights 4 3 2
+state fast 10 4
+state slow 3 4
+belief fast: 1
+belief slow: 1
+belief fast: 1/2, slow: 1/2
+|}
+
+let reduced_example = {|
+links 2
+weights 3 2
+capacities 2 1
+capacities 1 3
+|}
+
+let test_parse_generative () =
+  let g = Game_io.parse generative_example in
+  Alcotest.(check int) "users" 3 (Game.users g);
+  Alcotest.(check int) "links" 2 (Game.links g);
+  Alcotest.check check_q "weight" (qi 4) (Game.weight g 0);
+  Alcotest.check check_q "optimist capacity" (qi 10) (Game.capacity g 0 0);
+  Alcotest.check check_q "pessimist capacity" (qi 3) (Game.capacity g 1 0);
+  (* realist: harmonic mean of 10 and 3 → 1/(1/20 + 1/6) = 60/13. *)
+  Alcotest.check check_q "realist capacity" (q 60 13) (Game.capacity g 2 0)
+
+let test_parse_reduced () =
+  let g = Game_io.parse reduced_example in
+  Alcotest.(check int) "users" 2 (Game.users g);
+  Alcotest.check check_q "cap" (qi 3) (Game.capacity g 1 1)
+
+let test_roundtrip () =
+  let g = Game_io.parse generative_example in
+  let g' = Game_io.parse (Game_io.to_string g) in
+  Alcotest.(check int) "users preserved" (Game.users g) (Game.users g');
+  for i = 0 to Game.users g - 1 do
+    Alcotest.check check_q "weights preserved" (Game.weight g i) (Game.weight g' i);
+    for l = 0 to Game.links g - 1 do
+      Alcotest.check check_q "capacities preserved" (Game.capacity g i l) (Game.capacity g' i l)
+    done
+  done
+
+let check_invalid name text fragment =
+  ( name,
+    `Quick,
+    fun () ->
+      match Game_io.parse text with
+      | exception Invalid_argument msg ->
+        if
+          not
+            (String.length msg >= String.length fragment
+            &&
+            let rec contains i =
+              i + String.length fragment <= String.length msg
+              && (String.sub msg i (String.length fragment) = fragment || contains (i + 1))
+            in
+            contains 0)
+        then Alcotest.failf "expected %S in %S" fragment msg
+      | _ -> Alcotest.fail "expected Invalid_argument" )
+
+let error_cases =
+  [
+    check_invalid "missing weights" "links 2\ncapacities 1 1\n" "missing 'weights'";
+    check_invalid "no body" "links 2\nweights 1 2\n" "need either";
+    check_invalid "mixed forms"
+      "links 2\nweights 1\nstate a 1 1\nbelief a: 1\ncapacities 1 1\n" "cannot mix";
+    check_invalid "bad number" "links 2\nweights 1 x\n" "bad number";
+    check_invalid "unknown state" "links 2\nweights 1\nstate a 1 1\nbelief b: 1\n" "unknown state";
+    check_invalid "bad distribution" "links 2\nweights 1\nstate a 1 1\nbelief a: 1/2\n"
+      "probabilities";
+    check_invalid "unknown directive" "links 2\nfrobnicate 3\n" "unknown directive";
+    check_invalid "duplicate state" "links 2\nweights 1\nstate a 1 1\nstate a 2 2\nbelief a: 1\n"
+      "duplicate state";
+    check_invalid "wrong capacity count" "links 2\nweights 1\nstate a 1\nbelief a: 1\n"
+      "wrong number";
+    check_invalid "one link" "links 1\nweights 1\ncapacities 1\n" "at least two links";
+  ]
+
+let test_comments_and_blanks () =
+  let g = Game_io.parse "# header\n\nlinks 2\n\nweights 1 1\n# middle\ncapacities 1 2\ncapacities 2 1\n" in
+  Alcotest.(check int) "parsed through noise" 2 (Game.users g)
+
+let test_belief_accumulates () =
+  (* Repeating a state in one belief line accumulates probability. *)
+  let g =
+    Game_io.parse "links 2\nweights 1\nstate a 1 2\nbelief a: 1/2, a: 1/2\n"
+  in
+  Alcotest.check check_q "capacity from accumulated belief" (qi 2) (Game.capacity g 0 1)
+
+let test_generative_roundtrip () =
+  let g = Game_io.parse generative_example in
+  let g' = Game_io.parse (Game_io.to_generative_string g) in
+  Alcotest.(check int) "users preserved" (Game.users g) (Game.users g');
+  for i = 0 to Game.users g - 1 do
+    for l = 0 to Game.links g - 1 do
+      Alcotest.check check_q "capacities preserved" (Game.capacity g i l) (Game.capacity g' i l)
+    done
+  done
+
+let roundtrip_properties =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"random games roundtrip through both forms" ~count:100
+         QCheck2.Gen.(int_bound 1_000_000)
+         (fun seed ->
+           let rng = Prng.Rng.create seed in
+           let n = Prng.Rng.int_in rng 2 4 and m = Prng.Rng.int_in rng 2 3 in
+           let g =
+             Experiments.Generators.game rng ~n ~m
+               ~weights:(Experiments.Generators.Rational_weights 5)
+               ~beliefs:(Experiments.Generators.Shared_space { states = 3; cap_bound = 5; grain = 4 })
+           in
+           let same g' =
+             Game.users g' = n && Game.links g' = m
+             && List.for_all
+                  (fun i ->
+                    Rational.equal (Game.weight g i) (Game.weight g' i)
+                    && List.for_all
+                         (fun l -> Rational.equal (Game.capacity g i l) (Game.capacity g' i l))
+                         (List.init m Fun.id))
+                  (List.init n Fun.id)
+           in
+           same (Game_io.parse (Game_io.to_string g))
+           && same (Game_io.parse (Game_io.to_generative_string g))));
+  ]
+
+let suite =
+  [
+    ("parse generative form", `Quick, test_parse_generative);
+    ("parse reduced form", `Quick, test_parse_reduced);
+    ("roundtrip through to_string", `Quick, test_roundtrip);
+    ("comments and blanks", `Quick, test_comments_and_blanks);
+    ("belief probabilities accumulate", `Quick, test_belief_accumulates);
+    ("generative roundtrip", `Quick, test_generative_roundtrip);
+  ]
+  @ error_cases
+
+let () = Alcotest.run "game_io" [ ("unit", suite); ("roundtrip", roundtrip_properties) ]

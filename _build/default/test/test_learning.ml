@@ -1,0 +1,210 @@
+(* Tests for the learning extensions: belief estimation from samples,
+   belief mixtures, fictitious play, and the E18 harness. *)
+
+open Model
+open Numeric
+
+let q = Rational.of_ints
+let qi = Rational.of_int
+let check_q = Alcotest.testable Rational.pp Rational.equal
+
+let prop name ?(count = 80) gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen law)
+
+let seed_gen = QCheck2.Gen.(int_bound 1_000_000)
+
+let space2 = State.space [ State.of_ints [| 2; 1 |]; State.of_ints [| 1; 3 |] ]
+
+(* ------------------------------------------------------------------ *)
+(* Belief.mixture                                                      *)
+
+let test_mixture_endpoints () =
+  let a = Belief.point space2 0 and b = Belief.point space2 1 in
+  Alcotest.(check bool) "weight 0 keeps a" true
+    (Belief.equal (Belief.mixture a b ~weight:Rational.zero) a);
+  Alcotest.(check bool) "weight 1 gives b" true
+    (Belief.equal (Belief.mixture a b ~weight:Rational.one) b);
+  let mid = Belief.mixture a b ~weight:(q 1 2) in
+  Alcotest.check check_q "even mixture" (q 1 2) (Belief.prob mid 0)
+
+let test_mixture_validation () =
+  let a = Belief.point space2 0 in
+  let other = Belief.certain (State.of_ints [| 2; 1 |]) in
+  Alcotest.check_raises "different spaces"
+    (Invalid_argument "Belief.mixture: beliefs live on different spaces") (fun () ->
+      ignore (Belief.mixture a other ~weight:(q 1 2)));
+  Alcotest.check_raises "weight range" (Invalid_argument "Belief.mixture: weight outside [0, 1]")
+    (fun () -> ignore (Belief.mixture a a ~weight:(qi 2)))
+
+(* ------------------------------------------------------------------ *)
+(* Belief.from_counts                                                  *)
+
+let test_from_counts_empirical () =
+  (* 3 observations of state 0, 1 of state 1, no smoothing. *)
+  let b = Belief.from_counts space2 [| 3; 1 |] ~smoothing:Rational.zero in
+  Alcotest.check check_q "p(φ1)" (q 3 4) (Belief.prob b 0);
+  Alcotest.check check_q "p(φ2)" (q 1 4) (Belief.prob b 1)
+
+let test_from_counts_smoothing () =
+  (* Laplace smoothing: (0+1)/(4+2) and (4+1)/(4+2). *)
+  let b = Belief.from_counts space2 [| 0; 4 |] ~smoothing:Rational.one in
+  Alcotest.check check_q "smoothed zero count" (q 1 6) (Belief.prob b 0);
+  Alcotest.check check_q "smoothed heavy count" (q 5 6) (Belief.prob b 1)
+
+let test_from_counts_validation () =
+  Alcotest.check_raises "no data" (Invalid_argument "Belief.from_counts: no observations and no smoothing")
+    (fun () -> ignore (Belief.from_counts space2 [| 0; 0 |] ~smoothing:Rational.zero));
+  Alcotest.check_raises "negative count" (Invalid_argument "Belief.from_counts: negative count")
+    (fun () -> ignore (Belief.from_counts space2 [| -1; 2 |] ~smoothing:Rational.zero));
+  Alcotest.check_raises "wrong length"
+    (Invalid_argument "Belief.from_counts: one count per state required") (fun () ->
+      ignore (Belief.from_counts space2 [| 1 |] ~smoothing:Rational.zero))
+
+let from_counts_properties =
+  [
+    prop "estimated beliefs are valid distributions" seed_gen (fun seed ->
+        let rng = Prng.Rng.create seed in
+        let counts = Array.init 2 (fun _ -> Prng.Rng.int rng 20) in
+        let smoothing = Rational.of_ints (Prng.Rng.int_in rng 0 3) 1 in
+        if Array.for_all (( = ) 0) counts && Rational.is_zero smoothing then true
+        else begin
+          let b = Belief.from_counts space2 counts ~smoothing in
+          Qvec.is_distribution (Belief.probs b)
+        end);
+    prop "empirical belief converges to the sampling distribution" seed_gen (fun seed ->
+        (* Draw many samples from a known distribution and check the
+           total-variation distance is small. *)
+        let rng = Prng.Rng.create seed in
+        let truth = [| q 1 4; q 3 4 |] in
+        let sampler = Prng.Alias.of_rationals truth in
+        let counts = Array.make 2 0 in
+        for _ = 1 to 4000 do
+          let k = Prng.Alias.sample sampler rng in
+          counts.(k) <- counts.(k) + 1
+        done;
+        let b = Belief.from_counts space2 counts ~smoothing:Rational.zero in
+        let tv =
+          Rational.to_float
+            (Rational.abs (Rational.sub (Belief.prob b 0) truth.(0)))
+        in
+        tv < 0.05);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Belief.condition                                                    *)
+
+let test_condition_posterior () =
+  (* Prior (1/4, 1/4, 1/2) on a 3-state space; condition on {0, 2}:
+     posterior (1/3, 0, 2/3). *)
+  let sp =
+    State.space [ State.of_ints [| 1; 1 |]; State.of_ints [| 2; 1 |]; State.of_ints [| 3; 1 |] ]
+  in
+  let b = Belief.make sp [| q 1 4; q 1 4; q 1 2 |] in
+  let post = Belief.condition b ~event:(fun k -> k <> 1) in
+  Alcotest.check check_q "p0" (q 1 3) (Belief.prob post 0);
+  Alcotest.check check_q "p1" Rational.zero (Belief.prob post 1);
+  Alcotest.check check_q "p2" (q 2 3) (Belief.prob post 2)
+
+let test_condition_certain_event () =
+  let b = Belief.uniform space2 in
+  Alcotest.(check bool) "conditioning on everything is identity" true
+    (Belief.equal b (Belief.condition b ~event:(fun _ -> true)))
+
+let test_condition_null_event () =
+  let b = Belief.point space2 0 in
+  Alcotest.check_raises "null event"
+    (Invalid_argument "Belief.condition: event has prior probability zero") (fun () ->
+      ignore (Belief.condition b ~event:(fun k -> k = 1)))
+
+let condition_properties =
+  [
+    prop "posteriors are valid distributions supported on the event" seed_gen (fun seed ->
+        let rng = Prng.Rng.create seed in
+        let probs = Prng.Rng.positive_simplex rng ~dim:2 ~grain:5 in
+        let b = Belief.make space2 probs in
+        let keep = Prng.Rng.int rng 2 in
+        let post = Belief.condition b ~event:(fun k -> k = keep) in
+        Qvec.is_distribution (Belief.probs post)
+        && Rational.equal (Belief.prob post keep) Rational.one);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Fictitious play                                                     *)
+
+let test_fictitious_validation () =
+  let g = Game.kp ~weights:[| qi 1; qi 1 |] ~capacities:[| qi 1; qi 2 |] in
+  Alcotest.check_raises "rounds" (Invalid_argument "Fictitious.play: rounds must be positive")
+    (fun () -> ignore (Algo.Fictitious.play g ~rounds:0 ~window:1 [| 0; 0 |]));
+  Alcotest.check_raises "window" (Invalid_argument "Fictitious.play: window must be positive")
+    (fun () -> ignore (Algo.Fictitious.play g ~rounds:10 ~window:0 [| 0; 0 |]))
+
+let test_fictitious_stabilises_small () =
+  let g = Game.kp ~weights:[| qi 2; qi 1 |] ~capacities:[| qi 2; qi 1 |] in
+  let o = Algo.Fictitious.play g ~rounds:1000 ~window:5 [| 1; 0 |] in
+  Alcotest.(check bool) "stabilised" true o.stabilised;
+  Alcotest.(check bool) "at a pure NE" true (Pure.is_nash g o.last_profile)
+
+let fictitious_properties =
+  [
+    prop "empirical frequencies are distributions" seed_gen (fun seed ->
+        let rng = Prng.Rng.create seed in
+        let n = Prng.Rng.int_in rng 2 4 and m = Prng.Rng.int_in rng 2 3 in
+        let g =
+          Experiments.Generators.game rng ~n ~m
+            ~weights:(Experiments.Generators.Integer_weights 4)
+            ~beliefs:(Experiments.Generators.Shared_space { states = 2; cap_bound = 5; grain = 3 })
+        in
+        let start = Array.init n (fun _ -> Prng.Rng.int rng m) in
+        let o = Algo.Fictitious.play g ~rounds:200 ~window:5 start in
+        Array.for_all (fun row -> Qvec.is_distribution row) o.empirical);
+    prop "stabilised play ends at a pure Nash equilibrium" seed_gen (fun seed ->
+        let rng = Prng.Rng.create seed in
+        let n = Prng.Rng.int_in rng 2 4 and m = Prng.Rng.int_in rng 2 3 in
+        let g =
+          Experiments.Generators.game rng ~n ~m
+            ~weights:(Experiments.Generators.Integer_weights 4)
+            ~beliefs:(Experiments.Generators.Shared_space { states = 2; cap_bound = 5; grain = 3 })
+        in
+        let start = Array.init n (fun _ -> Prng.Rng.int rng m) in
+        let o = Algo.Fictitious.play g ~rounds:2000 ~window:8 start in
+        (not o.stabilised) || Pure.is_nash g o.last_profile);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* E18 harness                                                         *)
+
+let test_learning_rows () =
+  let rows =
+    Experiments.Learning.run ~seed:3 ~n:3 ~m:2 ~states:2 ~observations:[ 0; 64 ] ~trials:10
+  in
+  match rows with
+  | [ blind; informed ] ->
+    Alcotest.(check bool) "belief error shrinks with data" true
+      (informed.mean_belief_error < blind.mean_belief_error);
+    Alcotest.(check bool) "ratios at least 1" true
+      (blind.mean_ratio >= 1.0 -. 1e-9 && informed.mean_ratio >= 1.0 -. 1e-9)
+  | _ -> Alcotest.fail "expected two rows"
+
+let suite =
+  [
+    ("mixture endpoints", `Quick, test_mixture_endpoints);
+    ("mixture validation", `Quick, test_mixture_validation);
+    ("from_counts empirical", `Quick, test_from_counts_empirical);
+    ("from_counts smoothing", `Quick, test_from_counts_smoothing);
+    ("from_counts validation", `Quick, test_from_counts_validation);
+    ("condition posterior", `Quick, test_condition_posterior);
+    ("condition certain event", `Quick, test_condition_certain_event);
+    ("condition null event", `Quick, test_condition_null_event);
+    ("fictitious validation", `Quick, test_fictitious_validation);
+    ("fictitious stabilises on a small game", `Quick, test_fictitious_stabilises_small);
+    ("learning rows", `Slow, test_learning_rows);
+  ]
+
+let () =
+  Alcotest.run "learning"
+    [
+      ("unit", suite);
+      ("estimation", from_counts_properties);
+      ("conditioning", condition_properties);
+      ("fictitious", fictitious_properties);
+    ]

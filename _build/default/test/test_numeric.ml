@@ -1,0 +1,354 @@
+(* Tests for the exact numeric tower: Bignat, Bigint, Rational, Qvec.
+   Differential testing against native-int oracles plus algebraic laws
+   on values far beyond the native range. *)
+
+open Numeric
+
+let bn = Bignat.of_int
+let bi = Bigint.of_int
+let q = Rational.of_ints
+
+let check_bn = Alcotest.testable Bignat.pp Bignat.equal
+let check_bi = Alcotest.testable Bigint.pp Bigint.equal
+let check_q = Alcotest.testable Rational.pp Rational.equal
+
+(* ------------------------------------------------------------------ *)
+(* Bignat unit tests                                                   *)
+
+let test_bignat_roundtrip () =
+  List.iter
+    (fun n -> Alcotest.(check (option int)) (string_of_int n) (Some n) (Bignat.to_int_opt (bn n)))
+    [ 0; 1; 2; 1073741823; 1073741824; max_int ]
+
+let test_bignat_of_string () =
+  Alcotest.check check_bn "small" (bn 12345) (Bignat.of_string "12345");
+  Alcotest.check check_bn "separators" (bn 1234567) (Bignat.of_string "1_234_567");
+  Alcotest.check check_bn "leading zeros" (bn 42) (Bignat.of_string "0042");
+  let big = Bignat.of_string "123456789012345678901234567890" in
+  Alcotest.(check string) "roundtrip" "123456789012345678901234567890" (Bignat.to_string big);
+  Alcotest.check_raises "empty" (Invalid_argument "Bignat.of_string: \"\"") (fun () ->
+      ignore (Bignat.of_string ""));
+  Alcotest.check_raises "garbage" (Invalid_argument "Bignat.of_string: \"12x\"") (fun () ->
+      ignore (Bignat.of_string "12x"))
+
+let test_bignat_add_sub () =
+  Alcotest.check check_bn "1+1" (bn 2) (Bignat.add Bignat.one Bignat.one);
+  Alcotest.check check_bn "carry chain"
+    (Bignat.of_string "2147483648")
+    (Bignat.add (bn 1073741824) (bn 1073741824));
+  Alcotest.check check_bn "a-b" (bn 58) (Bignat.sub (bn 100) (bn 42));
+  Alcotest.check check_bn "a-a" Bignat.zero (Bignat.sub (bn 7) (bn 7));
+  Alcotest.check_raises "underflow" (Invalid_argument "Bignat.sub: underflow") (fun () ->
+      ignore (Bignat.sub (bn 1) (bn 2)))
+
+let test_bignat_mul () =
+  Alcotest.check check_bn "0*x" Bignat.zero (Bignat.mul Bignat.zero (bn 99));
+  Alcotest.check check_bn "square of 10^15"
+    (Bignat.of_string "1000000000000000000000000000000")
+    (Bignat.mul (Bignat.of_string "1000000000000000") (Bignat.of_string "1000000000000000"))
+
+let test_bignat_divmod () =
+  let a = Bignat.of_string "123456789012345678901234567890123456789" in
+  let b = Bignat.of_string "987654321098765432109" in
+  let quot, rem = Bignat.divmod a b in
+  Alcotest.check check_bn "reconstruct" a (Bignat.add (Bignat.mul quot b) rem);
+  Alcotest.(check bool) "rem < b" true (Bignat.compare rem b < 0);
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Bignat.divmod (bn 1) Bignat.zero));
+  let quot, rem = Bignat.divmod (bn 17) (bn 5) in
+  Alcotest.check check_bn "17/5" (bn 3) quot;
+  Alcotest.check check_bn "17 mod 5" (bn 2) rem
+
+let test_bignat_gcd_pow () =
+  Alcotest.check check_bn "gcd(12,18)" (bn 6) (Bignat.gcd (bn 12) (bn 18));
+  Alcotest.check check_bn "gcd(x,0)" (bn 5) (Bignat.gcd (bn 5) Bignat.zero);
+  Alcotest.check check_bn "gcd(0,x)" (bn 5) (Bignat.gcd Bignat.zero (bn 5));
+  Alcotest.check check_bn "2^100"
+    (Bignat.of_string "1267650600228229401496703205376")
+    (Bignat.pow Bignat.two 100);
+  Alcotest.check check_bn "x^0" Bignat.one (Bignat.pow (bn 7) 0)
+
+let test_bignat_shifts () =
+  Alcotest.check check_bn "1 << 95" (Bignat.pow Bignat.two 95) (Bignat.shift_left Bignat.one 95);
+  Alcotest.check check_bn "shift round trip" (bn 12345)
+    (Bignat.shift_right (Bignat.shift_left (bn 12345) 77) 77);
+  Alcotest.(check int) "num_bits 0" 0 (Bignat.num_bits Bignat.zero);
+  Alcotest.(check int) "num_bits 1" 1 (Bignat.num_bits Bignat.one);
+  Alcotest.(check int) "num_bits 2^95" 96 (Bignat.num_bits (Bignat.pow Bignat.two 95))
+
+(* ------------------------------------------------------------------ *)
+(* Bigint unit tests                                                   *)
+
+let test_bigint_basic () =
+  Alcotest.check check_bi "neg" (bi (-5)) (Bigint.neg (bi 5));
+  Alcotest.check check_bi "add mixed" (bi (-2)) (Bigint.add (bi 3) (bi (-5)));
+  Alcotest.check check_bi "mul signs" (bi (-15)) (Bigint.mul (bi 3) (bi (-5)));
+  Alcotest.check check_bi "mul negs" (bi 15) (Bigint.mul (bi (-3)) (bi (-5)));
+  Alcotest.(check int) "sign neg" (-1) (Bigint.sign (bi (-7)));
+  Alcotest.(check int) "sign zero" 0 (Bigint.sign Bigint.zero);
+  Alcotest.(check string) "to_string" "-42" (Bigint.to_string (bi (-42)));
+  Alcotest.check check_bi "of_string neg" (bi (-42)) (Bigint.of_string "-42");
+  Alcotest.check check_bi "of_string plus" (bi 42) (Bigint.of_string "+42")
+
+let test_bigint_min_int () =
+  let m = Bigint.of_int min_int in
+  Alcotest.(check (option int)) "min_int round trip" (Some min_int) (Bigint.to_int_opt m);
+  Alcotest.(check (option int)) "max_int round trip" (Some max_int)
+    (Bigint.to_int_opt (Bigint.of_int max_int));
+  Alcotest.(check (option int)) "overflow" None
+    (Bigint.to_int_opt (Bigint.add (Bigint.of_int max_int) Bigint.one))
+
+let test_bigint_divmod_signs () =
+  (* Truncated division: quotient toward zero, remainder keeps the
+     dividend's sign. *)
+  let cases = [ (7, 2, 3, 1); (-7, 2, -3, -1); (7, -2, -3, 1); (-7, -2, 3, -1) ] in
+  List.iter
+    (fun (a, b, expect_q, expect_r) ->
+      let quot, rem = Bigint.divmod (bi a) (bi b) in
+      Alcotest.check check_bi (Printf.sprintf "%d / %d" a b) (bi expect_q) quot;
+      Alcotest.check check_bi (Printf.sprintf "%d mod %d" a b) (bi expect_r) rem)
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Rational unit tests                                                 *)
+
+let test_rational_normalisation () =
+  Alcotest.check check_q "6/8 = 3/4" (q 3 4) (q 6 8);
+  Alcotest.check check_q "neg den" (q (-1) 2) (q 1 (-2));
+  Alcotest.check check_q "0/x" Rational.zero (q 0 17);
+  Alcotest.(check string) "pp int" "5" (Rational.to_string (q 10 2));
+  Alcotest.(check string) "pp frac" "-3/7" (Rational.to_string (q 3 (-7)))
+
+let test_rational_arith () =
+  Alcotest.check check_q "1/2 + 1/3" (q 5 6) (Rational.add (q 1 2) (q 1 3));
+  Alcotest.check check_q "1/2 - 1/3" (q 1 6) (Rational.sub (q 1 2) (q 1 3));
+  Alcotest.check check_q "2/3 * 3/4" (q 1 2) (Rational.mul (q 2 3) (q 3 4));
+  Alcotest.check check_q "(1/2) / (3/4)" (q 2 3) (Rational.div (q 1 2) (q 3 4));
+  Alcotest.check check_q "inv" (q 7 3) (Rational.inv (q 3 7));
+  Alcotest.check check_q "inv neg" (q (-7) 3) (Rational.inv (q (-3) 7));
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () -> ignore (Rational.inv Rational.zero))
+
+let test_rational_compare () =
+  Alcotest.(check bool) "1/3 < 1/2" true (Rational.compare (q 1 3) (q 1 2) < 0);
+  Alcotest.(check bool) "-1/2 < 1/3" true (Rational.compare (q (-1) 2) (q 1 3) < 0);
+  Alcotest.(check bool) "eq" true (Rational.equal (q 2 4) (q 1 2));
+  Alcotest.check check_q "min" (q 1 3) (Rational.min (q 1 3) (q 1 2));
+  Alcotest.check check_q "max" (q 1 2) (Rational.max (q 1 3) (q 1 2))
+
+let test_rational_floor_ceil () =
+  Alcotest.check check_q "floor 7/2" (Rational.of_int 3) (Rational.floor (q 7 2));
+  Alcotest.check check_q "floor -7/2" (Rational.of_int (-4)) (Rational.floor (q (-7) 2));
+  Alcotest.check check_q "ceil 7/2" (Rational.of_int 4) (Rational.ceil (q 7 2));
+  Alcotest.check check_q "ceil -7/2" (Rational.of_int (-3)) (Rational.ceil (q (-7) 2));
+  Alcotest.check check_q "floor int" (Rational.of_int 5) (Rational.floor (Rational.of_int 5))
+
+let test_rational_of_string () =
+  Alcotest.check check_q "frac" (q 3 4) (Rational.of_string "3/4");
+  Alcotest.check check_q "int" (Rational.of_int (-12)) (Rational.of_string "-12");
+  Alcotest.check check_q "decimal" (q 13 4) (Rational.of_string "3.25");
+  Alcotest.check check_q "neg decimal" (q (-13) 4) (Rational.of_string "-3.25");
+  Alcotest.check check_q "bare decimal" (q 1 4) (Rational.of_string ".25");
+  Alcotest.check check_q "trim" (q 1 2) (Rational.of_string " 1/2 ")
+
+let test_rational_float () =
+  Alcotest.(check (float 1e-12)) "to_float" 0.75 (Rational.to_float (q 3 4));
+  Alcotest.check check_q "of_float exact" (q 3 4) (Rational.of_float_dyadic 0.75);
+  Alcotest.check check_q "of_float neg" (q (-1) 8) (Rational.of_float_dyadic (-0.125));
+  Alcotest.check check_q "of_float zero" Rational.zero (Rational.of_float_dyadic 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Qvec unit tests                                                     *)
+
+let test_rational_decimal () =
+  Alcotest.(check string) "1/3 at 4 digits" "0.3333" (Rational.to_decimal_string (q 1 3) ~digits:4);
+  Alcotest.(check string) "negative" "-0.50" (Rational.to_decimal_string (q (-1) 2) ~digits:2);
+  Alcotest.(check string) "integer" "7" (Rational.to_decimal_string (Rational.of_int 7) ~digits:0);
+  Alcotest.(check string) "pad zeros" "0.0100" (Rational.to_decimal_string (q 1 100) ~digits:4);
+  Alcotest.(check string) "exact termination" "0.125" (Rational.to_decimal_string (q 1 8) ~digits:3);
+  Alcotest.check_raises "negative digits"
+    (Invalid_argument "Rational.to_decimal_string: negative digit count") (fun () ->
+      ignore (Rational.to_decimal_string Rational.one ~digits:(-1)))
+
+let test_qvec () =
+  let v = Qvec.of_list [ q 1 2; q 1 3; q 1 6 ] in
+  Alcotest.(check bool) "is distribution" true (Qvec.is_distribution v);
+  Alcotest.(check bool) "is positive" true (Qvec.is_positive_distribution v);
+  Alcotest.(check int) "min index" 2 (Qvec.min_index v);
+  Alcotest.(check int) "max index" 0 (Qvec.max_index v);
+  Alcotest.check check_q "sum" Rational.one (Qvec.sum v);
+  let w = Qvec.of_list [ q 1 2; q 1 2; Rational.zero ] in
+  Alcotest.(check bool) "zero entry distribution" true (Qvec.is_distribution w);
+  Alcotest.(check bool) "zero entry not positive" false (Qvec.is_positive_distribution w);
+  let bad = Qvec.of_list [ q 1 2; q 1 3 ] in
+  Alcotest.(check bool) "not summing to one" false (Qvec.is_distribution bad);
+  Alcotest.check check_q "dot" (q 5 12)
+    (Qvec.dot (Qvec.of_list [ q 1 2; q 1 3 ]) (Qvec.of_list [ q 1 2; q 1 2 ]));
+  Alcotest.check_raises "dim mismatch" (Invalid_argument "Qvec.dot: dimension mismatch (2 vs 3)")
+    (fun () -> ignore (Qvec.dot bad v))
+
+(* ------------------------------------------------------------------ *)
+(* Property tests                                                      *)
+
+let nat_small = QCheck2.Gen.(map Bignat.of_int (int_bound 1_000_000))
+
+(* Naturals with hundreds of bits, built multiplicatively so limb
+   boundaries get exercised. *)
+let nat_big =
+  QCheck2.Gen.(
+    map2
+      (fun parts shift ->
+        let n = List.fold_left (fun acc p -> Bignat.add (Bignat.mul acc (Bignat.of_int 1000003)) (Bignat.of_int p)) Bignat.one parts in
+        Bignat.shift_left n shift)
+      (list_size (int_range 1 12) (int_bound 999_999))
+      (int_bound 64))
+
+let int_gen = QCheck2.Gen.(int_range (-1_000_000) 1_000_000)
+
+let rational_gen =
+  QCheck2.Gen.(
+    map2 (fun n d -> Rational.of_ints n (1 + d)) int_gen (int_bound 1_000))
+
+let prop name ?(count = 300) gen law = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen law)
+
+let numeric_properties =
+  [
+    prop "bignat add vs int oracle"
+      QCheck2.Gen.(pair (int_bound 100_000_000) (int_bound 100_000_000))
+      (fun (a, b) -> Bignat.to_int_opt (Bignat.add (bn a) (bn b)) = Some (a + b));
+    prop "bignat mul vs int oracle"
+      QCheck2.Gen.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+      (fun (a, b) -> Bignat.to_int_opt (Bignat.mul (bn a) (bn b)) = Some (a * b));
+    prop "bignat divmod vs int oracle"
+      QCheck2.Gen.(pair (int_bound 100_000_000) (int_bound 10_000))
+      (fun (a, b) ->
+        let b = b + 1 in
+        let quot, rem = Bignat.divmod (bn a) (bn b) in
+        Bignat.to_int_opt quot = Some (a / b) && Bignat.to_int_opt rem = Some (a mod b));
+    prop "bignat karatsuba agrees with schoolbook" ~count:40 QCheck2.Gen.(pair nat_big nat_big)
+      (fun (a, b) ->
+        (* Force both operands through repeated fourth powers to pass
+           the (large) Karatsuba threshold, then compare implementations. *)
+        let grow x = Bignat.mul (Bignat.mul x x) (Bignat.mul x x) in
+        let a = grow (grow (grow a)) and b = grow (grow b) in
+        Bignat.equal (Bignat.mul a b) (Bignat.mul_schoolbook a b));
+    prop "bignat division invariant" QCheck2.Gen.(pair nat_big nat_big)
+      (fun (a, b) ->
+        let big, small = if Bignat.compare a b >= 0 then (a, b) else (b, a) in
+        let small = Bignat.succ small in
+        let quot, rem = Bignat.divmod big small in
+        Bignat.equal big (Bignat.add (Bignat.mul quot small) rem)
+        && Bignat.compare rem small < 0);
+    prop "bignat string round trip" nat_big (fun n ->
+        Bignat.equal n (Bignat.of_string (Bignat.to_string n)));
+    prop "bignat sub inverse of add" QCheck2.Gen.(pair nat_big nat_small) (fun (a, b) ->
+        Bignat.equal a (Bignat.sub (Bignat.add a b) b));
+    prop "bignat gcd divides both" QCheck2.Gen.(pair nat_big nat_small) (fun (a, b) ->
+        let b = Bignat.succ b in
+        let g = Bignat.gcd a b in
+        Bignat.is_zero (Bignat.rem a g) && Bignat.is_zero (Bignat.rem b g));
+    prop "bignat shift_left is mul by power of two" QCheck2.Gen.(pair nat_big (int_bound 100))
+      (fun (n, k) -> Bignat.equal (Bignat.shift_left n k) (Bignat.mul n (Bignat.pow Bignat.two k)));
+    prop "bignat shift_right is div by power of two" QCheck2.Gen.(pair nat_big (int_bound 100))
+      (fun (n, k) -> Bignat.equal (Bignat.shift_right n k) (Bignat.div n (Bignat.pow Bignat.two k)));
+    prop "bignat compare antisymmetric" QCheck2.Gen.(pair nat_big nat_big) (fun (a, b) ->
+        Bignat.compare a b = -Bignat.compare b a);
+    prop "bignat mul commutative at scale" QCheck2.Gen.(pair nat_big nat_big) (fun (a, b) ->
+        Bignat.equal (Bignat.mul a b) (Bignat.mul b a));
+    prop "bignat mul associative at scale" QCheck2.Gen.(triple nat_big nat_big nat_small)
+      (fun (a, b, c) ->
+        Bignat.equal (Bignat.mul (Bignat.mul a b) c) (Bignat.mul a (Bignat.mul b c)));
+    prop "bignat mul distributes over add" QCheck2.Gen.(triple nat_big nat_big nat_big)
+      (fun (a, b, c) ->
+        Bignat.equal (Bignat.mul a (Bignat.add b c))
+          (Bignat.add (Bignat.mul a b) (Bignat.mul a c)));
+    prop "bignat pow is a homomorphism" QCheck2.Gen.(triple (int_bound 1000) (int_bound 12) (int_bound 12))
+      (fun (base, i, j) ->
+        let b = Bignat.of_int base in
+        Bignat.equal (Bignat.pow b (i + j)) (Bignat.mul (Bignat.pow b i) (Bignat.pow b j)));
+    prop "bignat knuth division agrees with single-limb division"
+      QCheck2.Gen.(pair nat_big (int_range 1 1_000_000))
+      (fun (a, d) ->
+        (* Divide by a single-limb value via the multi-limb path (force
+           it by shifting the divisor into two limbs and back). *)
+        let small = Bignat.of_int d in
+        let q1, r1 = Bignat.divmod a small in
+        let shifted = Bignat.shift_left small 35 in
+        let q2, r2 = Bignat.divmod (Bignat.shift_left a 35) shifted in
+        Bignat.equal q1 q2
+        && Bignat.equal (Bignat.shift_left r1 35) r2);
+    prop "bigint add vs int oracle" QCheck2.Gen.(pair int_gen int_gen) (fun (a, b) ->
+        Bigint.to_int_opt (Bigint.add (bi a) (bi b)) = Some (a + b));
+    prop "bigint mul vs int oracle" QCheck2.Gen.(pair int_gen int_gen) (fun (a, b) ->
+        Bigint.to_int_opt (Bigint.mul (bi a) (bi b)) = Some (a * b));
+    prop "bigint divmod vs int oracle" QCheck2.Gen.(pair int_gen int_gen) (fun (a, b) ->
+        let b = if b = 0 then 1 else b in
+        let quot, rem = Bigint.divmod (bi a) (bi b) in
+        Bigint.to_int_opt quot = Some (a / b) && Bigint.to_int_opt rem = Some (a mod b));
+    prop "bigint compare vs int oracle" QCheck2.Gen.(pair int_gen int_gen) (fun (a, b) ->
+        compare (Bigint.compare (bi a) (bi b)) 0 = compare (compare a b) 0);
+    prop "bigint string round trip" int_gen (fun a ->
+        Bigint.equal (bi a) (Bigint.of_string (Bigint.to_string (bi a))));
+    prop "rational add commutative" QCheck2.Gen.(pair rational_gen rational_gen) (fun (a, b) ->
+        Rational.equal (Rational.add a b) (Rational.add b a));
+    prop "rational add associative" QCheck2.Gen.(triple rational_gen rational_gen rational_gen)
+      (fun (a, b, c) ->
+        Rational.equal
+          (Rational.add (Rational.add a b) c)
+          (Rational.add a (Rational.add b c)));
+    prop "rational distributive" QCheck2.Gen.(triple rational_gen rational_gen rational_gen)
+      (fun (a, b, c) ->
+        Rational.equal
+          (Rational.mul a (Rational.add b c))
+          (Rational.add (Rational.mul a b) (Rational.mul a c)));
+    prop "rational sub then add" QCheck2.Gen.(pair rational_gen rational_gen) (fun (a, b) ->
+        Rational.equal a (Rational.add (Rational.sub a b) b));
+    prop "rational div then mul" QCheck2.Gen.(pair rational_gen rational_gen) (fun (a, b) ->
+        Rational.is_zero b || Rational.equal a (Rational.mul (Rational.div a b) b));
+    prop "rational lowest terms" rational_gen (fun a ->
+        Bignat.is_one (Bignat.gcd (Bigint.abs_nat (Rational.num a)) (Bigint.abs_nat (Rational.den a)))
+        || Rational.is_zero a);
+    prop "rational floor bounds" rational_gen (fun a ->
+        let f = Rational.floor a in
+        Rational.compare f a <= 0
+        && Rational.compare a (Rational.add f Rational.one) < 0);
+    prop "rational of_float_dyadic exact" QCheck2.Gen.(float_bound_inclusive 1e6) (fun f ->
+        Float.equal (Rational.to_float (Rational.of_float_dyadic f)) f);
+    prop "rational string round trip" rational_gen (fun a ->
+        Rational.equal a (Rational.of_string (Rational.to_string a)));
+    prop "rational decimal string truncates toward zero" rational_gen (fun a ->
+        let s = Rational.to_decimal_string a ~digits:6 in
+        let back = Rational.of_string s in
+        (* |a - back| < 10^-6 and back is between 0 and a. *)
+        let diff = Rational.abs (Rational.sub a back) in
+        Rational.compare diff (Rational.of_ints 1 1_000_000) < 0
+        && Rational.compare (Rational.abs back) (Rational.abs a) <= 0);
+    prop "rational compare total order" QCheck2.Gen.(triple rational_gen rational_gen rational_gen)
+      (fun (a, b, c) ->
+        (* transitivity of <= on a sample *)
+        let ( <= ) x y = Rational.compare x y <= 0 in
+        not (a <= b && b <= c) || a <= c);
+  ]
+
+let suite =
+  [
+    ("bignat round trip", `Quick, test_bignat_roundtrip);
+    ("bignat of_string", `Quick, test_bignat_of_string);
+    ("bignat add/sub", `Quick, test_bignat_add_sub);
+    ("bignat mul", `Quick, test_bignat_mul);
+    ("bignat divmod", `Quick, test_bignat_divmod);
+    ("bignat gcd/pow", `Quick, test_bignat_gcd_pow);
+    ("bignat shifts", `Quick, test_bignat_shifts);
+    ("bigint basics", `Quick, test_bigint_basic);
+    ("bigint min_int", `Quick, test_bigint_min_int);
+    ("bigint divmod signs", `Quick, test_bigint_divmod_signs);
+    ("rational normalisation", `Quick, test_rational_normalisation);
+    ("rational arithmetic", `Quick, test_rational_arith);
+    ("rational compare", `Quick, test_rational_compare);
+    ("rational floor/ceil", `Quick, test_rational_floor_ceil);
+    ("rational of_string", `Quick, test_rational_of_string);
+    ("rational float conversions", `Quick, test_rational_float);
+    ("rational decimal rendering", `Quick, test_rational_decimal);
+    ("qvec operations", `Quick, test_qvec);
+  ]
+
+let () = Alcotest.run "numeric" [ ("unit", suite); ("properties", numeric_properties) ]

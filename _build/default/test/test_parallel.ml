@@ -1,0 +1,98 @@
+(* Tests for the fork–join layer: determinism across worker counts,
+   ordering, exception propagation, and a real parallel sweep. *)
+
+let prop name ?(count = 50) gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen law)
+
+let test_map_identity_scheduling () =
+  let xs = List.init 100 Fun.id in
+  let expected = List.map (fun x -> x * x) xs in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "domains=%d" domains)
+        expected
+        (Parallel.map ~domains (fun x -> x * x) xs))
+    [ 1; 2; 3; 8; 200 ]
+
+let test_map_empty () =
+  Alcotest.(check (list int)) "empty list" [] (Parallel.map ~domains:4 (fun x -> x) []);
+  Alcotest.(check int) "empty array" 0 (Array.length (Parallel.map_array ~domains:4 Fun.id [||]))
+
+let test_map_array_order () =
+  let xs = Array.init 37 string_of_int in
+  let out = Parallel.map_array ~domains:4 (fun s -> s ^ "!") xs in
+  Array.iteri
+    (fun i s -> Alcotest.(check string) "order kept" (string_of_int i ^ "!") s)
+    out
+
+let test_invalid_domains () =
+  Alcotest.check_raises "zero domains" (Invalid_argument "Parallel: domains must be positive")
+    (fun () -> ignore (Parallel.map ~domains:0 Fun.id [ 1 ]))
+
+let test_exception_propagates () =
+  let boom = Failure "worker exploded" in
+  List.iter
+    (fun domains ->
+      Alcotest.check_raises
+        (Printf.sprintf "domains=%d" domains)
+        boom
+        (fun () ->
+          ignore (Parallel.map ~domains (fun x -> if x = 41 then raise boom else x) (List.init 64 Fun.id))))
+    [ 1; 4 ]
+
+let test_reduce_non_commutative () =
+  (* String concatenation is associative but not commutative: the fold
+     order must match the serial one for every worker count. *)
+  let xs = List.init 26 (fun i -> String.make 1 (Char.chr (Char.code 'a' + i))) in
+  let serial = String.concat "" xs in
+  List.iter
+    (fun domains ->
+      Alcotest.(check string)
+        (Printf.sprintf "domains=%d" domains)
+        serial
+        (Parallel.reduce ~domains ~neutral:"" ~combine:( ^ ) Fun.id xs))
+    [ 1; 2; 3; 7; 100 ]
+
+let test_reduce_empty () =
+  Alcotest.(check int) "neutral on empty" 42
+    (Parallel.reduce ~domains:4 ~neutral:42 ~combine:( + ) Fun.id [])
+
+let test_available_domains () =
+  Alcotest.(check bool) "at least one" true (Parallel.available_domains () >= 1)
+
+let test_existence_sweep_parallel_deterministic () =
+  let run domains =
+    Experiments.Existence.run ~domains ~seed:11 ~ns:[ 2; 3 ] ~ms:[ 2; 3 ] ~trials:5
+      ~weights:(Experiments.Generators.Integer_weights 4)
+      ~beliefs:(Experiments.Generators.Shared_space { states = 2; cap_bound = 4; grain = 3 })
+      ()
+  in
+  Alcotest.(check bool) "serial equals parallel" true (run 1 = run 4)
+
+let parallel_properties =
+  [
+    prop "map agrees with List.map for any worker count"
+      QCheck2.Gen.(pair (int_range 1 16) (list_size (int_range 0 50) (int_bound 1000)))
+      (fun (domains, xs) -> Parallel.map ~domains (fun x -> x + 1) xs = List.map (fun x -> x + 1) xs);
+    prop "reduce agrees with fold_left for any worker count"
+      QCheck2.Gen.(pair (int_range 1 16) (list_size (int_range 0 50) (int_bound 1000)))
+      (fun (domains, xs) ->
+        Parallel.reduce ~domains ~neutral:0 ~combine:( + ) (fun x -> 2 * x) xs
+        = List.fold_left (fun acc x -> acc + (2 * x)) 0 xs);
+  ]
+
+let suite =
+  [
+    ("map identical across scheduling", `Quick, test_map_identity_scheduling);
+    ("map empty", `Quick, test_map_empty);
+    ("map_array keeps order", `Quick, test_map_array_order);
+    ("invalid domains", `Quick, test_invalid_domains);
+    ("exceptions propagate", `Quick, test_exception_propagates);
+    ("reduce non-commutative monoid", `Quick, test_reduce_non_commutative);
+    ("reduce empty", `Quick, test_reduce_empty);
+    ("available domains", `Quick, test_available_domains);
+    ("existence sweep deterministic under parallelism", `Slow, test_existence_sweep_parallel_deterministic);
+  ]
+
+let () = Alcotest.run "parallel" [ ("unit", suite); ("properties", parallel_properties) ]

@@ -1,0 +1,111 @@
+(* Tests for exact linear algebra: Gaussian elimination, rank,
+   determinant and solving, with random-matrix properties. *)
+
+open Numeric
+
+let q = Rational.of_ints
+let qi = Rational.of_int
+let check_q = Alcotest.testable Rational.pp Rational.equal
+
+let prop name ?(count = 150) gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen law)
+
+let test_construction () =
+  let m = Qmat.of_arrays [| [| qi 1; qi 2 |]; [| qi 3; qi 4 |] |] in
+  Alcotest.(check int) "rows" 2 (Qmat.rows m);
+  Alcotest.(check int) "cols" 2 (Qmat.cols m);
+  Alcotest.check check_q "get" (qi 3) (Qmat.get m 1 0);
+  Alcotest.check_raises "ragged" (Invalid_argument "Qmat.of_arrays: ragged rows") (fun () ->
+      ignore (Qmat.of_arrays [| [| qi 1 |]; [| qi 1; qi 2 |] |]));
+  Alcotest.check_raises "empty" (Invalid_argument "Qmat.of_arrays: no rows") (fun () ->
+      ignore (Qmat.of_arrays [||]))
+
+let test_identity_and_mul () =
+  let a = Qmat.of_arrays [| [| qi 1; qi 2 |]; [| qi 3; qi 4 |] |] in
+  Alcotest.(check bool) "I*a = a" true (Qmat.equal (Qmat.mul (Qmat.identity 2) a) a);
+  Alcotest.(check bool) "a*I = a" true (Qmat.equal (Qmat.mul a (Qmat.identity 2)) a);
+  let b = Qmat.of_arrays [| [| qi 0; qi 1 |]; [| qi 1; qi 0 |] |] in
+  let ab = Qmat.mul a b in
+  Alcotest.check check_q "swap columns" (qi 2) (Qmat.get ab 0 0);
+  Alcotest.check check_q "swap columns'" (qi 1) (Qmat.get ab 0 1)
+
+let test_transpose () =
+  let a = Qmat.of_arrays [| [| qi 1; qi 2; qi 3 |] |] in
+  let t = Qmat.transpose a in
+  Alcotest.(check int) "rows" 3 (Qmat.rows t);
+  Alcotest.check check_q "entry" (qi 2) (Qmat.get t 1 0)
+
+let test_solve_known_system () =
+  (* x + y = 3, x - y = 1  →  x = 2, y = 1. *)
+  let a = Qmat.of_arrays [| [| qi 1; qi 1 |]; [| qi 1; qi (-1) |] |] in
+  match Qmat.solve a [| qi 3; qi 1 |] with
+  | None -> Alcotest.fail "expected a solution"
+  | Some x ->
+    Alcotest.check check_q "x" (qi 2) x.(0);
+    Alcotest.check check_q "y" (qi 1) x.(1)
+
+let test_solve_singular () =
+  let a = Qmat.of_arrays [| [| qi 1; qi 2 |]; [| qi 2; qi 4 |] |] in
+  Alcotest.(check bool) "singular" true (Qmat.solve a [| qi 1; qi 2 |] = None);
+  Alcotest.(check int) "rank 1" 1 (Qmat.rank a);
+  Alcotest.check check_q "det 0" Rational.zero (Qmat.det a)
+
+let test_det_known () =
+  let a = Qmat.of_arrays [| [| qi 1; qi 2 |]; [| qi 3; qi 4 |] |] in
+  Alcotest.check check_q "2x2 det" (qi (-2)) (Qmat.det a);
+  let b =
+    Qmat.of_arrays
+      [| [| qi 2; qi 0; qi 0 |]; [| qi 0; q 1 2; qi 0 |]; [| qi 0; qi 0; qi 5 |] |]
+  in
+  Alcotest.check check_q "diagonal det" (qi 5) (Qmat.det b);
+  Alcotest.check check_q "identity det" Rational.one (Qmat.det (Qmat.identity 4))
+
+let test_rank_full () =
+  Alcotest.(check int) "identity rank" 3 (Qmat.rank (Qmat.identity 3));
+  let wide = Qmat.of_arrays [| [| qi 1; qi 0; qi 2 |]; [| qi 0; qi 1; qi 3 |] |] in
+  Alcotest.(check int) "wide rank" 2 (Qmat.rank wide)
+
+(* Random small integer matrices. *)
+let mat_gen dim =
+  QCheck2.Gen.(
+    map
+      (fun seed ->
+        let rng = Prng.Rng.create seed in
+        Qmat.init dim dim (fun _ _ -> Rational.of_int (Prng.Rng.int_in rng (-5) 5)))
+      (int_bound 1_000_000))
+
+let qmat_properties =
+  [
+    prop "solve produces a genuine solution" (mat_gen 4) (fun a ->
+        let rng = Prng.Rng.create (Qmat.rows a) in
+        let b = Array.init 4 (fun _ -> Rational.of_int (Prng.Rng.int_in rng (-5) 5)) in
+        match Qmat.solve a b with
+        | None -> Rational.is_zero (Qmat.det a)
+        | Some x -> Array.for_all2 Rational.equal (Qmat.mul_vec a x) b);
+    prop "unique solvability iff det non-zero" (mat_gen 3) (fun a ->
+        (* The solver reports None for singular systems even when they
+           are consistent (no unique solution), so this is exact. *)
+        (Qmat.solve a (Array.make 3 Rational.one) <> None)
+        = not (Rational.is_zero (Qmat.det a)));
+    prop "det of product = product of dets" QCheck2.Gen.(pair (mat_gen 3) (mat_gen 3))
+      (fun (a, b) ->
+        Rational.equal (Qmat.det (Qmat.mul a b)) (Rational.mul (Qmat.det a) (Qmat.det b)));
+    prop "rank bounded by dimension" (mat_gen 4) (fun a -> Qmat.rank a <= 4);
+    prop "transpose is involutive" (mat_gen 3) (fun a ->
+        Qmat.equal (Qmat.transpose (Qmat.transpose a)) a);
+    prop "det invariant under transpose" (mat_gen 3) (fun a ->
+        Rational.equal (Qmat.det a) (Qmat.det (Qmat.transpose a)));
+  ]
+
+let suite =
+  [
+    ("construction", `Quick, test_construction);
+    ("identity and mul", `Quick, test_identity_and_mul);
+    ("transpose", `Quick, test_transpose);
+    ("solve known system", `Quick, test_solve_known_system);
+    ("solve singular", `Quick, test_solve_singular);
+    ("det known values", `Quick, test_det_known);
+    ("rank", `Quick, test_rank_full);
+  ]
+
+let () = Alcotest.run "qmat" [ ("unit", suite); ("properties", qmat_properties) ]
