@@ -709,7 +709,127 @@ let bechamel_section () =
     (List.sort compare !rows);
   Stats.Table.print table
 
-let () =
+(* ------------------------------------------------------------------ *)
+(* Numeric-tower benchmark: BENCH_numeric.json artefact                *)
+
+(* Times the live tagged tower against Numeric.Reference (the seed
+   array-only implementation) on identical operand pools, at small and
+   multi-limb magnitudes, plus an end-to-end [Pure.is_nash] throughput
+   figure.  Writes machine-readable JSON (schema documented in
+   README.md) to BENCH_numeric.json, or to $BENCH_JSON if set.
+   BENCH_NUMERIC_ONLY=1 runs just this section. *)
+let bench_numeric_json () =
+  Report.heading "NUMERIC" "tagged fast path vs reference tower (emits BENCH_numeric.json)";
+  let module R = Reference in
+  let rng = Prng.Rng.create 0xBE7C in
+  let bench_pairs pairs f =
+    let k = Array.length pairs in
+    let us, _ =
+      Scaling.time_call (fun () ->
+          for i = 0 to k - 1 do
+            let a, b = pairs.(i) in
+            ignore (Sys.opaque_identity (f a b))
+          done)
+    in
+    us *. 1000.0 /. float_of_int k
+  in
+  let digits n =
+    let b = Buffer.create n in
+    Buffer.add_char b (Char.chr (Char.code '1' + Prng.Rng.int rng 9));
+    for _ = 2 to n do
+      Buffer.add_char b (Char.chr (Char.code '0' + Prng.Rng.int rng 10))
+    done;
+    Buffer.contents b
+  in
+  let q_pool count gen =
+    Array.init count (fun _ ->
+        let s1 = gen () and s2 = gen () in
+        ((Rational.of_string s1, Rational.of_string s2), (R.Q.of_string s1, R.Q.of_string s2)))
+  in
+  let i_pool count gen =
+    Array.init count (fun _ ->
+        let s1 = gen () and s2 = gen () in
+        ((Bigint.of_string s1, Bigint.of_string s2), (R.Int.of_string s1, R.Int.of_string s2)))
+  in
+  let small_q () =
+    Printf.sprintf "%d/%d" (Prng.Rng.int_in rng (-999) 999) (1 + Prng.Rng.int rng 999)
+  in
+  let large_q () =
+    Printf.sprintf "%s%s/%s" (if Prng.Rng.bool rng then "-" else "") (digits 25) (digits 25)
+  in
+  let small_i () = string_of_int (1 + Prng.Rng.int rng 1_000_000_000) in
+  let large_i () = digits 40 in
+  let results = ref [] in
+  let record op magnitude fast_ns ref_ns =
+    results := (op, magnitude, fast_ns, ref_ns) :: !results
+  in
+  let run_q op magnitude pool fast slow =
+    record op magnitude
+      (bench_pairs (Array.map fst pool) fast)
+      (bench_pairs (Array.map snd pool) slow)
+  in
+  let sq = q_pool 256 small_q and lq = q_pool 64 large_q in
+  run_q "rational_add" "small" sq Rational.add R.Q.add;
+  run_q "rational_add" "large" lq Rational.add R.Q.add;
+  run_q "rational_mul" "small" sq Rational.mul R.Q.mul;
+  run_q "rational_mul" "large" lq Rational.mul R.Q.mul;
+  run_q "rational_compare" "small" sq Rational.compare R.Q.compare;
+  run_q "rational_compare" "large" lq Rational.compare R.Q.compare;
+  let si = i_pool 256 small_i and li = i_pool 64 large_i in
+  run_q "bigint_gcd" "small" si Bigint.gcd R.Int.gcd;
+  run_q "bigint_gcd" "large" li Bigint.gcd R.Int.gcd;
+  let results = List.rev !results in
+  (* End-to-end: Nash verification over solved two-link games. *)
+  let n_users = 16 and n_links = 2 in
+  let games =
+    List.init 20 (fun _ ->
+        let g =
+          Generators.game rng ~n:n_users ~m:n_links ~weights:(Generators.Integer_weights 6)
+            ~beliefs:(Generators.Private_point { cap_bound = 8 })
+        in
+        (g, Algo.Two_links.solve g))
+  in
+  let nash_us, _ =
+    Scaling.time_call (fun () ->
+        List.iter (fun (g, sigma) -> ignore (Sys.opaque_identity (Pure.is_nash g sigma))) games)
+  in
+  let calls_per_sec = 1e6 /. (nash_us /. float_of_int (List.length games)) in
+  (* Human-readable summary. *)
+  let t = Stats.Table.create [ "op"; "magnitude"; "fast ns/op"; "reference ns/op"; "speedup" ] in
+  List.iter
+    (fun (op, mag, f, r) ->
+      Stats.Table.add_row t
+        [ op; mag; Report.flt f; Report.flt r; Printf.sprintf "%.2fx" (r /. f) ])
+    results;
+  Stats.Table.print t;
+  Printf.printf "is_nash (n=%d, m=%d): %.0f calls/s\n" n_users n_links calls_per_sec;
+  (* JSON artefact. *)
+  let out = Buffer.create 2048 in
+  Buffer.add_string out "{\n";
+  Buffer.add_string out "  \"schema\": \"bench-numeric/1\",\n";
+  Printf.bprintf out "  \"quick\": %b,\n" quick;
+  Buffer.add_string out "  \"results\": [\n";
+  let last = List.length results - 1 in
+  List.iteri
+    (fun i (op, mag, f, r) ->
+      Printf.bprintf out
+        "    {\"op\": \"%s\", \"magnitude\": \"%s\", \"fast_ns_per_op\": %.3f, \
+         \"reference_ns_per_op\": %.3f, \"speedup\": %.3f}%s\n"
+        op mag f r (r /. f)
+        (if i = last then "" else ","))
+    results;
+  Buffer.add_string out "  ],\n";
+  Printf.bprintf out
+    "  \"is_nash\": {\"games\": %d, \"users\": %d, \"links\": %d, \"calls_per_sec\": %.1f}\n"
+    (List.length games) n_users n_links calls_per_sec;
+  Buffer.add_string out "}\n";
+  let path = Option.value (Sys.getenv_opt "BENCH_JSON") ~default:"BENCH_numeric.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents out);
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let main () =
   Printf.printf "Network Uncertainty in Selfish Routing — reproduction harness%s\n"
     (if quick then " (QUICK mode)" else "");
   e1 ();
@@ -733,4 +853,8 @@ let () =
   figures ();
   ablations ();
   bechamel_section ();
+  bench_numeric_json ();
   print_endline "\nAll experiment tables regenerated. See EXPERIMENTS.md for the paper-vs-measured record."
+
+let () =
+  if Sys.getenv_opt "BENCH_NUMERIC_ONLY" <> None then bench_numeric_json () else main ()

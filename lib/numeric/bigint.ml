@@ -1,30 +1,42 @@
+(* Tagged small-value representation.  The canonical invariant makes
+   structural equality coincide with numerical equality:
+
+     Small i        for every value in [-max_int, max_int]  (i <> min_int)
+     Big (neg, m)   only when |value| > max_int (so m never fits an int)
+
+   Every constructor of a [Big] goes through [norm_big], which demotes a
+   magnitude that fits back into [Small]; min_int itself is therefore a
+   [Big] (its magnitude max_int + 1 exceeds the symmetric Small range),
+   keeping [neg] total on the Small payload. *)
+
 type t =
-  | Zero
-  | Pos of Bignat.t (* invariant: magnitude non-zero *)
-  | Neg of Bignat.t (* invariant: magnitude non-zero *)
+  | Small of int
+  | Big of bool * Bignat.t (* (negative, magnitude); |value| > max_int *)
 
-let zero = Zero
-let one = Pos Bignat.one
-let minus_one = Neg Bignat.one
+let zero = Small 0
+let one = Small 1
+let minus_one = Small (-1)
 
-let of_nat n = if Bignat.is_zero n then Zero else Pos n
+(* |min_int| = max_int + 1, the first magnitude that must live in a Big. *)
+let min_int_mag = Bignat.succ (Bignat.of_int max_int)
 
-let of_int n =
-  if n = 0 then Zero
-  else if n > 0 then Pos (Bignat.of_int n)
-  else if n = min_int then
-    (* [-min_int] overflows; build from the magnitude of [min_int + 1]. *)
-    Neg (Bignat.succ (Bignat.of_int (-(n + 1))))
-  else Neg (Bignat.of_int (-n))
+let norm_big neg mag =
+  match Bignat.to_int_opt mag with
+  | Some i -> Small (if neg then -i else i)
+  | None -> Big (neg, mag)
+
+let of_nat n = norm_big false n
+
+let of_int n = if n = min_int then Big (true, min_int_mag) else Small n
 
 let to_int_opt = function
-  | Zero -> Some 0
-  | Pos m -> Bignat.to_int_opt m
-  | Neg m ->
+  | Small i -> Some i
+  | Big (false, _) -> None
+  | Big (true, m) ->
+    (* Only min_int can be negative, too big for Small, yet native. *)
     (match Bignat.to_int_opt (Bignat.pred m) with
-     | Some i when i < max_int -> Some (-(i + 1))
-     | Some i -> Some (-i - 1)
-     | None -> None)
+     | Some i when i = max_int -> Some min_int
+     | _ -> None)
 
 let to_int_exn n =
   match to_int_opt n with
@@ -32,81 +44,165 @@ let to_int_exn n =
   | None -> failwith "Bigint.to_int_exn: value exceeds native int range"
 
 let to_nat_exn = function
-  | Zero -> Bignat.zero
-  | Pos m -> m
-  | Neg _ -> invalid_arg "Bigint.to_nat_exn: negative value"
+  | Small i -> if i < 0 then invalid_arg "Bigint.to_nat_exn: negative value" else Bignat.of_int i
+  | Big (false, m) -> m
+  | Big (true, _) -> invalid_arg "Bigint.to_nat_exn: negative value"
 
-let abs_nat = function Zero -> Bignat.zero | Pos m | Neg m -> m
-let sign = function Zero -> 0 | Pos _ -> 1 | Neg _ -> -1
-let is_zero n = n = Zero
+let abs_nat = function
+  | Small i -> Bignat.of_int (abs i)
+  | Big (_, m) -> m
+
+let sign = function
+  | Small i -> Stdlib.compare i 0
+  | Big (neg, _) -> if neg then -1 else 1
+
+let is_zero = function Small 0 -> true | _ -> false
 
 let equal (a : t) (b : t) =
   match a, b with
-  | Zero, Zero -> true
-  | Pos x, Pos y | Neg x, Neg y -> Bignat.equal x y
+  | Small x, Small y -> x = y
+  | Big (nx, mx), Big (ny, my) -> nx = ny && Bignat.equal mx my
   | _ -> false
 
 let compare a b =
   match a, b with
-  | Zero, Zero -> 0
-  | Zero, Pos _ | Neg _, (Zero | Pos _) -> -1
-  | Zero, Neg _ | Pos _, (Zero | Neg _) -> 1
-  | Pos x, Pos y -> Bignat.compare x y
-  | Neg x, Neg y -> Bignat.compare y x
+  | Small x, Small y -> Stdlib.compare x y
+  | Small _, Big (neg, _) -> if neg then 1 else -1
+  | Big (neg, _), Small _ -> if neg then -1 else 1
+  | Big (false, x), Big (false, y) -> Bignat.compare x y
+  | Big (true, x), Big (true, y) -> Bignat.compare y x
+  | Big (false, _), Big (true, _) -> 1
+  | Big (true, _), Big (false, _) -> -1
 
+(* The canonical representation makes this consistent with [equal]:
+   numerically equal values share a constructor and payload. *)
 let hash = function
-  | Zero -> 0
-  | Pos m -> Bignat.hash m
-  | Neg m -> lnot (Bignat.hash m)
+  | Small i -> Hashtbl.hash i
+  | Big (neg, m) ->
+    let h = Bignat.hash m in
+    if neg then lnot h else h
 
-let neg = function Zero -> Zero | Pos m -> Neg m | Neg m -> Pos m
-let abs = function Neg m -> Pos m | n -> n
+let num_bits = function
+  | Small i ->
+    let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+    bits 0 (abs i)
+  | Big (_, m) -> Bignat.num_bits m
+
+let is_native = function Small _ -> true | Big _ -> false
+
+(* O(1) magnitude estimate in 30-bit limbs: 2^(30(w-1)) <= |n| < 2^(30w)
+   for w = size n > 0.  Three comparisons on the Small side, an array
+   length on the Big side — cheap enough to gate comparisons on. *)
+let size = function
+  | Small 0 -> 0
+  | Small i ->
+    let a = Stdlib.abs i in
+    if a < 0x4000_0000 then 1 else if a < 0x1000_0000_0000_0000 then 2 else 3
+  | Big (_, m) -> Bignat.num_limbs m
+
+let neg = function
+  | Small i -> Small (-i)
+  | Big (neg, m) -> Big (not neg, m)
+
+let abs = function
+  | Small i -> Small (abs i)
+  | Big (_, m) -> Big (false, m)
+
+(* Sign + magnitude view for the limb-array fallback paths.  Only taken
+   when an operand is Big or a native op overflowed, so the [of_int]
+   allocation is off the hot path. *)
+let decompose = function
+  | Small i -> (i < 0, Bignat.of_int (Stdlib.abs i))
+  | Big (neg, m) -> (neg, m)
+
+let add_big a b =
+  let na, ma = decompose a and nb, mb = decompose b in
+  if na = nb then norm_big na (Bignat.add ma mb)
+  else begin
+    let c = Bignat.compare ma mb in
+    if c = 0 then zero
+    else if c > 0 then norm_big na (Bignat.sub ma mb)
+    else norm_big nb (Bignat.sub mb ma)
+  end
 
 let add a b =
   match a, b with
-  | Zero, n | n, Zero -> n
-  | Pos x, Pos y -> Pos (Bignat.add x y)
-  | Neg x, Neg y -> Neg (Bignat.add x y)
-  | Pos x, Neg y | Neg y, Pos x ->
-    let c = Bignat.compare x y in
-    if c = 0 then Zero
-    else if c > 0 then Pos (Bignat.sub x y)
-    else Neg (Bignat.sub y x)
+  | Small x, Small y ->
+    let s = x + y in
+    (* Wrapped iff x and y agree in sign and s does not; an exact
+       min_int must also promote to keep the Small range symmetric. *)
+    if (x lxor s) land (y lxor s) < 0 || s = min_int then add_big a b
+    else Small s
+  | _ -> add_big a b
 
-let sub a b = add a (neg b)
+let sub a b =
+  match a, b with
+  | Small x, Small y ->
+    let d = x - y in
+    if (x lxor y) land (x lxor d) < 0 || d = min_int then add_big a (neg b)
+    else Small d
+  | _ -> add_big a (neg b)
+
+let mul_big a b =
+  let na, ma = decompose a and nb, mb = decompose b in
+  norm_big (na <> nb) (Bignat.mul ma mb)
 
 let mul a b =
   match a, b with
-  | Zero, _ | _, Zero -> Zero
-  | Pos x, Pos y | Neg x, Neg y -> Pos (Bignat.mul x y)
-  | Pos x, Neg y | Neg x, Pos y -> Neg (Bignat.mul x y)
+  | Small x, Small y ->
+    if x = 0 || y = 0 then zero
+    else if Stdlib.abs x lor Stdlib.abs y < 0x4000_0000 then
+      (* Both magnitudes < 2^30: the product is < 2^60, no check needed. *)
+      Small (x * y)
+    else begin
+      let p = x * y in
+      (* p/y recovers x only when the product did not wrap: a wrapped
+         product differs from the true one by a multiple of 2^63 > |y|·max. *)
+      if p <> min_int && p / y = x then Small p else mul_big a b
+    end
+  | _ -> mul_big a b
 
 let divmod a b =
-  if is_zero b then raise Division_by_zero;
-  let q, r = Bignat.divmod (abs_nat a) (abs_nat b) in
-  let quotient =
-    if sign a * sign b >= 0 then of_nat q
-    else neg (of_nat q)
-  in
-  let remainder = if sign a >= 0 then of_nat r else neg (of_nat r) in
-  (quotient, remainder)
+  match a, b with
+  | _, Small 0 -> raise Division_by_zero
+  | Small x, Small y ->
+    (* Native division is truncated with remainder signed like the
+       dividend — exactly this module's contract; magnitudes can only
+       shrink, so no overflow check is needed. *)
+    (Small (x / y), Small (x mod y))
+  | _ ->
+    let na, ma = decompose a and nb, mb = decompose b in
+    let q, r = Bignat.divmod ma mb in
+    (norm_big (na <> nb) q, norm_big na r)
 
 let div a b = fst (divmod a b)
 let rem a b = snd (divmod a b)
-let gcd a b = of_nat (Bignat.gcd (abs_nat a) (abs_nat b))
+
+let gcd a b =
+  match a, b with
+  | Small x, Small y -> Small (Bignat.gcd_int (Stdlib.abs x) (Stdlib.abs y))
+  | Small 0, n | n, Small 0 -> abs n
+  | Small y, Big (_, m) | Big (_, m), Small y ->
+    (* One multi-limb reduction drops into the native binary GCD. *)
+    let r = Bignat.rem m (Bignat.of_int (Stdlib.abs y)) in
+    Small (Bignat.gcd_int (Stdlib.abs y) (Bignat.to_int_exn r))
+  | Big (_, x), Big (_, y) -> of_nat (Bignat.gcd x y)
 
 let pow b e =
   if e < 0 then invalid_arg "Bigint.pow: negative exponent";
-  let mag = Bignat.pow (abs_nat b) e in
-  match sign b with
-  | 0 -> if e = 0 then one else Zero
-  | 1 -> of_nat mag
-  | _ -> if e land 1 = 0 then of_nat mag else neg (of_nat mag)
+  let rec go acc b e =
+    if e = 0 then acc
+    else begin
+      let acc = if e land 1 = 1 then mul acc b else acc in
+      go acc (mul b b) (e lsr 1)
+    end
+  in
+  go one b e
 
 let to_string = function
-  | Zero -> "0"
-  | Pos m -> Bignat.to_string m
-  | Neg m -> "-" ^ Bignat.to_string m
+  | Small i -> string_of_int i
+  | Big (false, m) -> Bignat.to_string m
+  | Big (true, m) -> "-" ^ Bignat.to_string m
 
 let of_string s =
   if s = "" then invalid_arg "Bigint.of_string: empty string"
@@ -119,6 +215,6 @@ let of_string s =
 let pp fmt n = Format.pp_print_string fmt (to_string n)
 
 let to_float = function
-  | Zero -> 0.0
-  | Pos m -> Bignat.to_float m
-  | Neg m -> -.Bignat.to_float m
+  | Small i -> float_of_int i
+  | Big (false, m) -> Bignat.to_float m
+  | Big (true, m) -> -.Bignat.to_float m

@@ -1,8 +1,13 @@
 (** Arbitrary-precision signed integers, layered over {!Bignat}.
 
-    The representation is a sign and a magnitude; zero is unsigned, so
-    every integer has exactly one representation and structural equality
-    coincides with numerical equality. *)
+    The representation is tagged: values in [[-max_int, max_int]] are a
+    native [int] (no allocation, overflow-checked native arithmetic)
+    and everything larger is a sign + {!Bignat} magnitude.  The split is
+    canonical — a value that fits the native range is always stored
+    natively — so every integer has exactly one representation and
+    structural equality coincides with numerical equality.  All
+    arithmetic falls back to the limb representation exactly when a
+    native operation would overflow. *)
 
 type t
 
@@ -30,7 +35,23 @@ val sign : t -> int
 val is_zero : t -> bool
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+(** [hash n] is consistent with {!equal} across both representations:
+    the canonical small/big split guarantees numerically equal values
+    hash identically. *)
 val hash : t -> int
+
+(** [num_bits n] is the bit length of |n|; [num_bits zero = 0]. *)
+val num_bits : t -> int
+
+(** [size n] is the magnitude of [n] in 30-bit limbs, in O(1):
+    [2^(30(w-1)) <= |n| < 2^(30w)] for [w = size n > 0]; [size zero = 0]. *)
+val size : t -> int
+
+(** [is_native n] holds when [n] is stored in the small-value (native
+    int) representation — exposed for benchmarks and fast-path gating;
+    equivalent to [n] lying in [[-max_int, max_int]]. *)
+val is_native : t -> bool
 
 val neg : t -> t
 val abs : t -> t

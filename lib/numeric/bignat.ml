@@ -152,6 +152,8 @@ let rec mul (a : t) (b : t) : t =
     add (add (shift_limbs z2 (2 * half)) (shift_limbs z1 half)) z0
   end
 
+let num_limbs (n : t) = Array.length n
+
 let num_bits (n : t) =
   let len = Array.length n in
   if len = 0 then 0
@@ -274,7 +276,44 @@ let divmod (a : t) (b : t) : t * t =
 let div a b = fst (divmod a b)
 let rem a b = snd (divmod a b)
 
-let rec gcd a b = if is_zero b then a else gcd b (rem a b)
+(* Binary GCD on non-negative native ints: no division, and the whole
+   loop runs in registers.  This is the workhorse of the small-value
+   fast path — every [Rational] normalisation on native-sized operands
+   lands here. *)
+let gcd_int a b =
+  if a < 0 || b < 0 then invalid_arg "Bignat.gcd_int: negative argument";
+  if a = 0 then b
+  else if b = 0 then a
+  else begin
+    let a = ref a and b = ref b in
+    let shift = ref 0 in
+    while (!a lor !b) land 1 = 0 do
+      a := !a lsr 1;
+      b := !b lsr 1;
+      incr shift
+    done;
+    while !a land 1 = 0 do a := !a lsr 1 done;
+    let continue = ref true in
+    while !continue do
+      while !b land 1 = 0 do b := !b lsr 1 done;
+      if !a > !b then begin
+        let t = !a in
+        a := !b;
+        b := t
+      end;
+      b := !b - !a;
+      if !b = 0 then continue := false
+    done;
+    !a lsl !shift
+  end
+
+(* Euclid on limb arrays, dropping to the native binary GCD as soon as
+   both operands fit in an int (after one reduction step they almost
+   always do). *)
+let rec gcd a b =
+  match to_int_opt a, to_int_opt b with
+  | Some x, Some y -> of_int (gcd_int x y)
+  | _ -> if is_zero b then a else gcd b (rem a b)
 
 let pow b e =
   if e < 0 then invalid_arg "Bignat.pow: negative exponent";

@@ -60,6 +60,11 @@ val rem : t -> t -> t
 (** [gcd a b] is the greatest common divisor; [gcd zero zero = zero]. *)
 val gcd : t -> t -> t
 
+(** [gcd_int a b] is the binary (Stein) GCD on non-negative native
+    ints, the allocation-free core of the small-value fast path.
+    @raise Invalid_argument when either argument is negative. *)
+val gcd_int : int -> int -> int
+
 (** [pow b e] is [b] raised to the non-negative native exponent [e].
     @raise Invalid_argument if [e < 0]. *)
 val pow : t -> int -> t
@@ -73,6 +78,11 @@ val shift_right : t -> int -> t
 (** [num_bits n] is the position of the highest set bit plus one;
     [num_bits zero = 0]. *)
 val num_bits : t -> int
+
+(** [num_limbs n] is the number of 30-bit limbs ([num_limbs zero = 0]);
+    an O(1) magnitude estimate: [2^(30(w-1)) <= n < 2^(30w)] for
+    [w = num_limbs n > 0]. *)
+val num_limbs : t -> int
 
 (** [of_string s] parses a decimal numeral (optional [_] separators).
     @raise Invalid_argument on malformed input. *)

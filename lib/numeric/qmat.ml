@@ -78,8 +78,7 @@ let echelon (m : t) =
         if i <> !row && not (Rational.is_zero m.data.(i).(!col)) then begin
           let factor = m.data.(i).(!col) in
           for j = !col to nc - 1 do
-            m.data.(i).(j) <-
-              Rational.sub m.data.(i).(j) (Rational.mul factor m.data.(!row).(j))
+            m.data.(i).(j) <- Rational.sub_mul m.data.(i).(j) factor m.data.(!row).(j)
           done
         end
       done;
@@ -120,7 +119,7 @@ let det m =
          if not (Rational.is_zero a.data.(i).(col)) then begin
            let factor = Rational.mul inv a.data.(i).(col) in
            for j = col to n - 1 do
-             a.data.(i).(j) <- Rational.sub a.data.(i).(j) (Rational.mul factor a.data.(col).(j))
+             a.data.(i).(j) <- Rational.sub_mul a.data.(i).(j) factor a.data.(col).(j)
            done
          end
        done

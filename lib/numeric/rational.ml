@@ -42,9 +42,33 @@ let sign q = Bigint.sign q.num
 let equal a b = Bigint.equal a.num b.num && Bigint.equal a.den b.den
 
 let compare a b =
-  (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den  (dens > 0) *)
-  Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+  (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den  (dens > 0),
+     but first take the exits that avoid the cross products: differing
+     signs, a shared denominator, and (for multi-limb operands) bit
+     lengths far enough apart that the product comparison is decided. *)
+  let sa = sign a and sb = sign b in
+  if sa <> sb then Stdlib.compare sa sb
+  else if sa = 0 then 0
+  else if Bigint.equal a.den b.den then Bigint.compare a.num b.num
+  else if
+    Bigint.is_native a.num && Bigint.is_native a.den && Bigint.is_native b.num
+    && Bigint.is_native b.den
+  then Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+  else begin
+    (* For |x| of limb size w, 2^(30(w-1)) <= |x| < 2^(30w): when one
+       cross product's limb size is at least two below the other's, the
+       smaller product cannot reach the larger's lower bound.  Limb
+       sizes are O(1), so the filter costs nothing when it fails. *)
+    let wa = Bigint.size a.num + Bigint.size b.den in
+    let wb = Bigint.size b.num + Bigint.size a.den in
+    if wa + 1 < wb then -sa
+    else if wb + 1 < wa then sa
+    else Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+  end
 
+(* Composed from [Bigint.hash] on the canonical (num, den) pair, so the
+   law [equal a b => hash a = hash b] holds across the small/big
+   representation split of the underlying integers. *)
 let hash q = (Bigint.hash q.num * 31) + Bigint.hash q.den
 
 let neg q = { q with num = Bigint.neg q.num }
@@ -55,14 +79,64 @@ let inv q =
   if Bigint.sign q.num > 0 then { num = q.den; den = q.num }
   else { num = Bigint.neg q.den; den = Bigint.neg q.num }
 
+(* [div_g x g] with the unit-gcd division skipped: inputs stay in
+   lowest terms throughout, so g is very often 1. *)
+let div_g x g = if Bigint.equal g Bigint.one then x else Bigint.div x g
+
+(* Knuth 4.5.1: with both inputs in lowest terms, only the gcd of the
+   denominators (and one follow-up gcd) is needed, and when the
+   denominators are coprime — in particular equal to each other's 1 —
+   the result is already reduced.  The common same-denominator case
+   costs one add and one gcd against the shared denominator. *)
 let add a b =
-  make
-    (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
-    (Bigint.mul a.den b.den)
+  if Bigint.is_zero a.num then b
+  else if Bigint.is_zero b.num then a
+  else if Bigint.equal a.den b.den then begin
+    let n = Bigint.add a.num b.num in
+    if Bigint.is_zero n then zero
+    else begin
+      let g = Bigint.gcd n a.den in
+      { num = div_g n g; den = div_g a.den g }
+    end
+  end
+  else begin
+    let g1 = Bigint.gcd a.den b.den in
+    if Bigint.equal g1 Bigint.one then
+      {
+        num = Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den);
+        den = Bigint.mul a.den b.den;
+      }
+    else begin
+      let da = Bigint.div a.den g1 and db = Bigint.div b.den g1 in
+      let t = Bigint.add (Bigint.mul a.num db) (Bigint.mul b.num da) in
+      if Bigint.is_zero t then zero
+      else begin
+        let g2 = Bigint.gcd t g1 in
+        { num = div_g t g2; den = Bigint.mul da (div_g b.den g2) }
+      end
+    end
+  end
 
 let sub a b = add a (neg b)
-let mul a b = make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+
+(* Cross-gcd multiplication: cancel num against the opposite den before
+   multiplying, after which the product is already in lowest terms. *)
+let mul a b =
+  if Bigint.is_zero a.num || Bigint.is_zero b.num then zero
+  else begin
+    let g1 = Bigint.gcd a.num b.den and g2 = Bigint.gcd b.num a.den in
+    {
+      num = Bigint.mul (div_g a.num g1) (div_g b.num g2);
+      den = Bigint.mul (div_g a.den g2) (div_g b.den g1);
+    }
+  end
+
 let div a b = mul a (inv b)
+
+(** [sub_mul a b c] is [a - b*c] with the frequent zero factors of
+    elimination inner loops short-circuited before any allocation. *)
+let sub_mul a b c =
+  if Bigint.is_zero b.num || Bigint.is_zero c.num then a else sub a (mul b c)
 
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b

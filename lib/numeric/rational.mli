@@ -41,6 +41,10 @@ val sign : t -> int
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+(** [hash q] is derived from {!Bigint.hash} on the canonical
+    [(num, den)] pair, so [equal a b] implies [hash a = hash b]
+    regardless of how either value was computed. *)
 val hash : t -> int
 
 val neg : t -> t
@@ -53,6 +57,10 @@ val mul : t -> t -> t
 
 (** [div a b]. @raise Division_by_zero when [b] is zero. *)
 val div : t -> t -> t
+
+(** [sub_mul a b c] is [a - b*c], short-circuiting the zero factors
+    that dominate exact Gaussian-elimination inner loops. *)
+val sub_mul : t -> t -> t -> t
 
 val min : t -> t -> t
 val max : t -> t -> t

@@ -26,8 +26,7 @@ let pivot tableau basis ~row ~col =
     if r <> row && not (Rational.is_zero tableau.(r).(col)) then begin
       let factor = tableau.(r).(col) in
       for j = 0 to ncols - 1 do
-        tableau.(r).(j) <-
-          Rational.sub tableau.(r).(j) (Rational.mul factor tableau.(row).(j))
+        tableau.(r).(j) <- Rational.sub_mul tableau.(r).(j) factor tableau.(row).(j)
       done
     end
   done;
@@ -44,8 +43,7 @@ let optimize tableau basis ~cost ~allowed =
     (* r_j = c_j − Σ_r c_{basis r} · T[r][j] *)
     let acc = ref cost.(j) in
     for r = 0 to nrows - 1 do
-      if not (Rational.is_zero cost.(basis.(r))) then
-        acc := Rational.sub !acc (Rational.mul cost.(basis.(r)) tableau.(r).(j))
+      acc := Rational.sub_mul !acc cost.(basis.(r)) tableau.(r).(j)
     done;
     !acc
   in

@@ -157,6 +157,125 @@ let test_rational_float () =
   Alcotest.check check_q "of_float zero" Rational.zero (Rational.of_float_dyadic 0.0)
 
 (* ------------------------------------------------------------------ *)
+(* Small/Big boundary and hash laws                                    *)
+
+(* A multi-limb constant used to force values through the Big
+   representation and back: x |-> (x + huge) - huge must land on the
+   same canonical representation (and hash) as x itself. *)
+let huge = Bigint.of_string "123456789012345678901234567890123456789"
+let huge_q = Rational.of_bigint huge
+
+let test_bignat_int_boundary () =
+  (* 62/63-bit boundary: max_int is 2 full 30-bit limbs plus 3 bits of a
+     third; every value beyond it must report None. *)
+  let nat_of_int_str n = Bignat.of_string (string_of_int n) in
+  List.iter
+    (fun n ->
+      Alcotest.(check (option int)) (string_of_int n) (Some n) (Bignat.to_int_opt (nat_of_int_str n)))
+    [ max_int; max_int - 1; max_int - 2; (1 lsl 61) - 1; 1 lsl 61; (1 lsl 61) + 1 ];
+  let beyond = Bignat.succ (nat_of_int_str max_int) in (* 2^62: 3 limbs, n.(2) = 4 *)
+  Alcotest.(check (option int)) "max_int+1" None (Bignat.to_int_opt beyond);
+  let top_limb = Bignat.shift_left Bignat.one 63 in (* 3 limbs with n.(2) = 8: the guard *)
+  Alcotest.(check (option int)) "2^63" None (Bignat.to_int_opt top_limb);
+  Alcotest.(check (option int)) "2^63+5" None
+    (Bignat.to_int_opt (Bignat.add top_limb (bn 5)));
+  Alcotest.(check (option int)) "4 limbs" None
+    (Bignat.to_int_opt (Bignat.shift_left Bignat.one 95));
+  Alcotest.check_raises "to_int_exn beyond"
+    (Failure "Bignat.to_int_exn: value exceeds native int range") (fun () ->
+      ignore (Bignat.to_int_exn beyond));
+  (* Bigint side: min_int lives in the Big representation but must
+     still convert back. *)
+  Alcotest.(check (option int)) "bigint min_int" (Some min_int)
+    (Bigint.to_int_opt (Bigint.of_int min_int));
+  Alcotest.(check (option int)) "bigint min_int - 1" None
+    (Bigint.to_int_opt (Bigint.sub (Bigint.of_int min_int) Bigint.one));
+  Alcotest.(check (option int)) "bigint -max_int" (Some (-max_int))
+    (Bigint.to_int_opt (Bigint.of_int (-max_int)))
+
+(* ------------------------------------------------------------------ *)
+(* Round-trip fuzzing, seeded via Prng.Rng                             *)
+
+let test_rational_string_roundtrip_fuzz () =
+  let rng = Prng.Rng.create 0xF00D in
+  for _ = 1 to 10_000 do
+    let num =
+      match Prng.Rng.int rng 3 with
+      | 0 -> Bigint.of_int (Prng.Rng.int_in rng (-1_000_000) 1_000_000)
+      | 1 -> Bigint.of_int (max_int - Prng.Rng.int rng 1000)
+      | _ ->
+        Bigint.mul (Bigint.of_int (Prng.Rng.int_in rng (-1_000_000) 1_000_000))
+          (Bigint.of_string "100000000000000000000000003")
+    in
+    let den = Bigint.of_int (1 + Prng.Rng.int rng 1_000_000) in
+    let a = Rational.make num den in
+    let back = Rational.of_string (Rational.to_string a) in
+    if not (Rational.equal a back) then
+      Alcotest.failf "string round trip broke on %s" (Rational.to_string a)
+  done
+
+let test_of_float_dyadic_special () =
+  (* ±0.0 *)
+  Alcotest.check check_q "+0.0" Rational.zero (Rational.of_float_dyadic 0.0);
+  Alcotest.check check_q "-0.0" Rational.zero (Rational.of_float_dyadic (-0.0));
+  (* negative powers of two are exactly 1/2^k *)
+  List.iter
+    (fun k ->
+      let expected = Rational.inv (Rational.of_bigint (Bigint.pow (Bigint.of_int 2) k)) in
+      Alcotest.check check_q
+        (Printf.sprintf "2^-%d" k)
+        expected
+        (Rational.of_float_dyadic (Float.ldexp 1.0 (-k)));
+      Alcotest.check check_q
+        (Printf.sprintf "-2^-%d" k)
+        (Rational.neg expected)
+        (Rational.of_float_dyadic (Float.ldexp (-1.0) (-k))))
+    [ 1; 10; 52; 53; 100; 1021; 1022; 1050; 1074 ];
+  (* smallest and largest subnormals *)
+  let check_subnormal f =
+    let qv = Rational.of_float_dyadic f in
+    (* q * 2^1074 must be the (exactly representable) integer mantissa;
+       reconstructing the float from it is exact, unlike to_float on a
+       subnormal (whose 2^1074 denominator overflows to infinity). *)
+    let scaled = Rational.mul qv (Rational.of_bigint (Bigint.pow (Bigint.of_int 2) 1074)) in
+    if not (Rational.is_integer scaled) then
+      Alcotest.failf "subnormal %h did not scale to an integer" f;
+    let back = Float.ldexp (Rational.to_float scaled) (-1074) in
+    if not (Float.equal back f) then Alcotest.failf "subnormal %h round trip gave %h" f back
+  in
+  check_subnormal Float.min_float;
+  (* min_float is the smallest *normal*; go below it. *)
+  check_subnormal (Float.ldexp 1.0 (-1074));
+  check_subnormal (Float.ldexp (-1.0) (-1074));
+  check_subnormal (Float.pred Float.min_float);
+  check_subnormal (-.Float.pred Float.min_float)
+
+let test_of_float_dyadic_fuzz () =
+  let rng = Prng.Rng.create 0xF10A in
+  for _ = 1 to 10_000 do
+    (* random finite floats, including many subnormals: draw 64 bits
+       and mask the exponent field down with probability 1/2 *)
+    let bits = Prng.Rng.bits64 rng in
+    let bits =
+      if Prng.Rng.bool rng then
+        Int64.logor
+          (Int64.logand bits 0x800FFFFFFFFFFFFFL) (* sign + mantissa: subnormal *)
+          0L
+      else bits
+    in
+    let f = Int64.float_of_bits bits in
+    if Float.is_finite f then begin
+      let qv = Rational.of_float_dyadic f in
+      let scaled = Rational.mul qv (Rational.of_bigint (Bigint.pow (Bigint.of_int 2) 1074)) in
+      if Rational.is_integer scaled && Float.is_finite (Rational.to_float scaled) then begin
+        let back = Float.ldexp (Rational.to_float scaled) (-1074) in
+        if not (Float.equal back f) then
+          Alcotest.failf "of_float_dyadic not exact on %h (got %h)" f back
+      end
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Qvec unit tests                                                     *)
 
 let test_rational_decimal () =
@@ -329,6 +448,68 @@ let numeric_properties =
         not (a <= b && b <= c) || a <= c);
   ]
 
+let boundary_int_gen =
+  (* Values within a few thousand of ±max_int, ±2^61 and ±2^30. *)
+  QCheck2.Gen.(
+    map2
+      (fun center off ->
+        match center with
+        | 0 -> max_int - off
+        | 1 -> -max_int + off
+        | 2 -> (1 lsl 61) + off - 500
+        | 3 -> -(1 lsl 61) + off - 500
+        | 4 -> (1 lsl 30) + off - 500
+        | _ -> off - 500)
+      (int_bound 5) (int_bound 1000))
+
+let boundary_properties =
+  [
+    prop "to_int_opt round trips at the 62/63-bit boundary" boundary_int_gen (fun n ->
+        Bignat.to_int_opt (Bignat.of_string (string_of_int (Stdlib.abs n))) = Some (Stdlib.abs n)
+        && Bigint.to_int_opt (Bigint.of_string (string_of_int n)) = Some n);
+    prop "to_int_opt rejects just past max_int" QCheck2.Gen.(int_bound 1000) (fun k ->
+        let v = Bignat.add (Bignat.of_string (string_of_int max_int)) (bn (k + 1)) in
+        Bignat.to_int_opt v = None
+        && (try ignore (Bignat.to_int_exn v); false with Failure _ -> true));
+    prop "three-limb top-limb guard" QCheck2.Gen.(int_bound 7) (fun top ->
+        (* values top * 2^60 + r with top in [8, 15] have n.(2) >= 8 *)
+        let v = Bignat.add (Bignat.shift_left (bn (top + 8)) 60) (bn 12345) in
+        Bignat.to_int_opt v = None);
+    prop "bigint arithmetic crossing the native boundary" boundary_int_gen (fun n ->
+        let v = bi n in
+        let roundtrip = Bigint.sub (Bigint.add v huge) huge in
+        Bigint.equal v roundtrip && Bigint.to_int_opt roundtrip = Some n);
+  ]
+
+let hash_law_properties =
+  [
+    prop "bigint equal implies equal hash (via Big detour)"
+      QCheck2.Gen.(int_range (-1_000_000_000) 1_000_000_000)
+      (fun n ->
+        let a = bi n in
+        let b = Bigint.sub (Bigint.add a huge) huge in
+        Bigint.equal a b && Bigint.hash a = Bigint.hash b);
+    prop "bigint hash at the boundary" boundary_int_gen (fun n ->
+        let a = bi n in
+        let b = Bigint.of_string (string_of_int n) in
+        let c = Bigint.neg (Bigint.neg (Bigint.sub (Bigint.add a huge) huge)) in
+        Bigint.hash a = Bigint.hash b && Bigint.hash a = Bigint.hash c);
+    prop "rational equal implies equal hash across construction routes"
+      QCheck2.Gen.(triple int_gen (int_bound 1_000) (int_range 1 1_000))
+      (fun (n, d, m) ->
+        let d = d + 1 in
+        let a = q n d in
+        (* same value, three other routes: scaled make, arithmetic
+           detour through multi-limb intermediates, string round trip *)
+        let scaled = Rational.make (Bigint.of_int (n * m)) (Bigint.of_int (d * m)) in
+        let detour = Rational.sub (Rational.add a huge_q) huge_q in
+        let restrung = Rational.of_string (Rational.to_string a) in
+        Rational.equal a scaled && Rational.equal a detour && Rational.equal a restrung
+        && Rational.hash a = Rational.hash scaled
+        && Rational.hash a = Rational.hash detour
+        && Rational.hash a = Rational.hash restrung);
+  ]
+
 let suite =
   [
     ("bignat round trip", `Quick, test_bignat_roundtrip);
@@ -349,6 +530,15 @@ let suite =
     ("rational float conversions", `Quick, test_rational_float);
     ("rational decimal rendering", `Quick, test_rational_decimal);
     ("qvec operations", `Quick, test_qvec);
+    ("bignat 62/63-bit boundary", `Quick, test_bignat_int_boundary);
+    ("rational string round-trip fuzz", `Quick, test_rational_string_roundtrip_fuzz);
+    ("of_float_dyadic specials", `Quick, test_of_float_dyadic_special);
+    ("of_float_dyadic fuzz", `Quick, test_of_float_dyadic_fuzz);
   ]
 
-let () = Alcotest.run "numeric" [ ("unit", suite); ("properties", numeric_properties) ]
+let () =
+  Alcotest.run "numeric"
+    [
+      ("unit", suite);
+      ("properties", numeric_properties @ boundary_properties @ hash_law_properties);
+    ]

@@ -41,6 +41,56 @@ let test_exception_propagates () =
           ignore (Parallel.map ~domains (fun x -> if x = 41 then raise boom else x) (List.init 64 Fun.id))))
     [ 1; 4 ]
 
+let test_map_array_more_domains_than_elements () =
+  (* workers is clamped to [len], so oversubscription must change
+     neither the result nor its order — and repeated runs must agree. *)
+  let xs = Array.init 7 (fun i -> i * 3) in
+  let serial = Array.map (fun x -> x + 1) xs in
+  List.iter
+    (fun domains ->
+      let once = Parallel.map_array ~domains (fun x -> x + 1) xs in
+      let twice = Parallel.map_array ~domains (fun x -> x + 1) xs in
+      Alcotest.(check (array int)) (Printf.sprintf "domains=%d result" domains) serial once;
+      Alcotest.(check (array int)) (Printf.sprintf "domains=%d repeat" domains) once twice)
+    [ 8; 64; 1000 ]
+
+let test_exception_more_domains_than_elements () =
+  let boom = Failure "oversubscribed worker exploded" in
+  Alcotest.check_raises "domains=64 len=5" boom (fun () ->
+      ignore
+        (Parallel.map_array ~domains:64
+           (fun x -> if x = 2 then raise boom else x)
+           (Array.init 5 Fun.id)))
+
+let test_first_failure_in_worker_order_wins () =
+  (* With workers=4 over 64 interleaved indices, index 41 belongs to
+     worker 1 and index 3 to worker 3.  The contract re-raises the first
+     failure in *worker* order, so worker 1's exception must win even
+     though index 3 fails "earlier" in array order — and every domain
+     must have been joined before the re-raise, so the two clean workers
+     (0 and 2) have finished all their indices by the time we catch. *)
+  let len = 64 and workers = 4 in
+  let processed = Array.make len false in
+  let exn_a = Failure "index 3 (worker 3)" in
+  let exn_b = Failure "index 41 (worker 1)" in
+  (match
+     Parallel.map_array ~domains:workers
+       (fun i ->
+         if i = 3 then raise exn_a
+         else if i = 41 then raise exn_b
+         else begin
+           processed.(i) <- true;
+           i
+         end)
+       (Array.init len Fun.id)
+   with
+   | _ -> Alcotest.fail "expected an exception"
+   | exception e -> Alcotest.(check string) "worker 1 wins" (Printexc.to_string exn_b) (Printexc.to_string e));
+  for i = 0 to len - 1 do
+    if i mod workers = 0 || i mod workers = 2 then
+      Alcotest.(check bool) (Printf.sprintf "clean worker finished index %d" i) true processed.(i)
+  done
+
 let test_reduce_non_commutative () =
   (* String concatenation is associative but not commutative: the fold
      order must match the serial one for every worker count. *)
@@ -89,6 +139,9 @@ let suite =
     ("map_array keeps order", `Quick, test_map_array_order);
     ("invalid domains", `Quick, test_invalid_domains);
     ("exceptions propagate", `Quick, test_exception_propagates);
+    ("map_array with more domains than elements", `Quick, test_map_array_more_domains_than_elements);
+    ("exception with more domains than elements", `Quick, test_exception_more_domains_than_elements);
+    ("first failure in worker order wins", `Quick, test_first_failure_in_worker_order_wins);
     ("reduce non-commutative monoid", `Quick, test_reduce_non_commutative);
     ("reduce empty", `Quick, test_reduce_empty);
     ("available domains", `Quick, test_available_domains);
