@@ -124,9 +124,11 @@ let e3 () =
 let e4 () =
   Report.heading "E4" "n = 3: no best-response cycles; a pure NE always exists (Section 3.1)";
   let rows =
-    Cycles.run ~seed:108 ~ns:[ 3 ] ~ms:[ 2; 3; 4 ] ~trials:(trials 200)
+    Cycles.run ~domains:(Parallel.available_domains ()) ~seed:108 ~ns:[ 3 ]
+      ~ms:[ 2; 3; 4 ] ~trials:(trials 200)
       ~weights:(Generators.Rational_weights 6)
       ~beliefs:(Generators.Private_point { cap_bound = 9 })
+      ()
   in
   Stats.Table.print (Cycles.table rows)
 
@@ -156,9 +158,11 @@ let e6 () =
   Report.heading "E6"
     "Better-response cycles: belief model vs. general player-specific games (Section 3.2)";
   let rows =
-    Cycles.run ~seed:110 ~ns:[ 3; 4 ] ~ms:[ 2; 3 ] ~trials:(trials 200)
+    Cycles.run ~domains:(Parallel.available_domains ()) ~seed:110 ~ns:[ 3; 4 ]
+      ~ms:[ 2; 3 ] ~trials:(trials 200)
       ~weights:(Generators.Integer_weights 6)
       ~beliefs:(Generators.Private_point { cap_bound = 12 })
+      ()
   in
   Stats.Table.print (Cycles.table rows);
   (* Contrast: in Milchtaich's general (non-linear) unweighted class,
@@ -249,20 +253,22 @@ let e8_to_e10 () =
 let e11 () =
   Report.heading "E11" "Empirical coordination ratio vs the Theorem 4.13 bound (uniform beliefs)";
   let rows =
-    Poa_exp.run ~seed:115 ~ns:[ 2; 3; 4 ] ~ms:[ 2; 3 ] ~trials:(trials 60)
+    Poa_exp.run ~domains:(Parallel.available_domains ()) ~seed:115 ~ns:[ 2; 3; 4 ]
+      ~ms:[ 2; 3 ] ~trials:(trials 60)
       ~weights:(Generators.Integer_weights 4)
       ~beliefs:(Generators.Uniform_link_view { cap_bound = 4 })
-      ~bound:`Uniform
+      ~bound:`Uniform ()
   in
   Stats.Table.print (Poa_exp.table rows)
 
 let e12 () =
   Report.heading "E12" "Empirical coordination ratio vs the Theorem 4.14 bound (general case)";
   let rows =
-    Poa_exp.run ~seed:116 ~ns:[ 2; 3; 4; 6 ] ~ms:[ 2; 3 ] ~trials:(trials 60)
+    Poa_exp.run ~domains:(Parallel.available_domains ()) ~seed:116 ~ns:[ 2; 3; 4; 6 ]
+      ~ms:[ 2; 3 ] ~trials:(trials 60)
       ~weights:(Generators.Integer_weights 4)
       ~beliefs:(Generators.Shared_space { states = 3; cap_bound = 5; grain = 4 })
-      ~bound:`General
+      ~bound:`General ()
   in
   Stats.Table.print (Poa_exp.table rows)
 
@@ -396,7 +402,8 @@ let e16 () =
   Stats.Table.print t;
   Stats.Table.print
     (Monte_carlo.table
-       (Monte_carlo.run ~seed:122 ~samples_list:[ 100; 1_000; 10_000 ] ~trials:(trials 10)))
+       (Monte_carlo.run ~domains:(Parallel.available_domains ()) ~seed:122
+          ~samples_list:[ 100; 1_000; 10_000 ] ~trials:(trials 10) ()))
 
 (* ------------------------------------------------------------------ *)
 (* E17: the price of misinformation                                    *)
@@ -408,12 +415,13 @@ let e17 () =
   print_endline "diffuse noise (random distributions):";
   Stats.Table.print
     (Robustness.table
-       (Robustness.run ~seed:135 ~n:4 ~m:3 ~states:3 ~epsilons ~trials:(trials 150) ()));
+       (Robustness.run ~domains:(Parallel.available_domains ()) ~seed:135 ~n:4 ~m:3
+          ~states:3 ~epsilons ~trials:(trials 150) ()));
   print_endline "confidently wrong (point-mass noise):";
   Stats.Table.print
     (Robustness.table
-       (Robustness.run ~noise:`Point ~seed:136 ~n:4 ~m:3 ~states:3 ~epsilons
-          ~trials:(trials 150) ()))
+       (Robustness.run ~domains:(Parallel.available_domains ()) ~noise:`Point ~seed:136
+          ~n:4 ~m:3 ~states:3 ~epsilons ~trials:(trials 150) ()))
 
 (* ------------------------------------------------------------------ *)
 (* E18/E19: learning — measurement value and fictitious play           *)
@@ -423,8 +431,8 @@ let e18 () =
     "The value of measurement: beliefs estimated from k state observations, priced under truth";
   Stats.Table.print
     (Learning.table
-       (Learning.run ~seed:137 ~n:4 ~m:3 ~states:3
-          ~observations:[ 0; 2; 8; 32; 128 ] ~trials:(trials 120)))
+       (Learning.run ~domains:(Parallel.available_domains ()) ~seed:137 ~n:4 ~m:3
+          ~states:3 ~observations:[ 0; 2; 8; 32; 128 ] ~trials:(trials 120) ()))
 
 let e19 () =
   Report.heading "E19"
@@ -829,6 +837,100 @@ let bench_numeric_json () =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* ------------------------------------------------------------------ *)
+(* Engine benchmark: BENCH_engine.json artefact                        *)
+
+(* Serial vs sharded wall time for every engine-backed experiment
+   driver.  Identity of the two result lists doubles as an end-to-end
+   determinism check ([compare] not [=]: rows may hold NaN fields).
+   Wall clock, not [Sys.time] — CPU time sums over domains and would
+   hide the speedup.  Writes schema bench-engine/1 to BENCH_engine.json
+   or $BENCH_ENGINE_JSON.  BENCH_ENGINE_ONLY=1 runs just this section. *)
+let bench_engine_json () =
+  Report.heading "ENGINE" "serial vs sharded experiment drivers (emits BENCH_engine.json)";
+  let sharded = Parallel.available_domains () in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, (Unix.gettimeofday () -. t0) *. 1e3)
+  in
+  let measure name run =
+    let serial_v, serial_ms = wall (fun () -> run 1) in
+    let sharded_v, sharded_ms = wall (fun () -> run sharded) in
+    let identical = compare serial_v sharded_v = 0 in
+    (name, serial_ms, sharded_ms, identical)
+  in
+  let t = trials in
+  let rows =
+    [
+      measure "cycles" (fun domains ->
+          ignore
+            (Sys.opaque_identity
+               (Cycles.run ~domains ~seed:201 ~ns:[ 3 ] ~ms:[ 2; 3 ] ~trials:(t 100)
+                  ~weights:(Generators.Integer_weights 6)
+                  ~beliefs:(Generators.Private_point { cap_bound = 9 })
+                  ())));
+      measure "existence" (fun domains ->
+          ignore
+            (Sys.opaque_identity
+               (Existence.run ~domains ~seed:202 ~ns:[ 3; 4 ] ~ms:[ 2; 3 ] ~trials:(t 60)
+                  ~weights:(Generators.Integer_weights 5)
+                  ~beliefs:(Generators.Shared_space { states = 3; cap_bound = 6; grain = 4 })
+                  ())));
+      measure "poa_exp" (fun domains ->
+          ignore
+            (Sys.opaque_identity
+               (Poa_exp.run ~domains ~seed:203 ~ns:[ 2; 3 ] ~ms:[ 2; 3 ] ~trials:(t 40)
+                  ~weights:(Generators.Integer_weights 4)
+                  ~beliefs:(Generators.Shared_space { states = 3; cap_bound = 5; grain = 4 })
+                  ~bound:`General ())));
+      measure "robustness" (fun domains ->
+          ignore
+            (Sys.opaque_identity
+               (Robustness.run ~domains ~seed:204 ~n:4 ~m:3 ~states:3
+                  ~epsilons:(List.map (fun (a, b) -> Rational.of_ints a b) [ (0, 1); (1, 2); (1, 1) ])
+                  ~trials:(t 60) ())));
+      measure "learning" (fun domains ->
+          ignore
+            (Sys.opaque_identity
+               (Learning.run ~domains ~seed:205 ~n:4 ~m:3 ~states:3
+                  ~observations:[ 0; 8; 32 ] ~trials:(t 60) ())));
+      measure "monte_carlo" (fun domains ->
+          ignore
+            (Sys.opaque_identity
+               (Monte_carlo.run ~domains ~seed:206 ~samples_list:[ 100; 1_000 ] ~trials:(t 10) ())));
+    ]
+  in
+  let tbl = Stats.Table.create [ "driver"; "serial ms"; "sharded ms"; "speedup"; "identical" ] in
+  List.iter
+    (fun (name, s, p, ident) ->
+      Stats.Table.add_row tbl
+        [ name; Report.flt s; Report.flt p; Printf.sprintf "%.2fx" (s /. p); string_of_bool ident ])
+    rows;
+  Stats.Table.print tbl;
+  let out = Buffer.create 1024 in
+  Buffer.add_string out "{\n";
+  Buffer.add_string out "  \"schema\": \"bench-engine/1\",\n";
+  Printf.bprintf out "  \"quick\": %b,\n" quick;
+  Printf.bprintf out "  \"domains\": %d,\n" sharded;
+  Buffer.add_string out "  \"results\": [\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i (name, s, p, ident) ->
+      Printf.bprintf out
+        "    {\"driver\": \"%s\", \"serial_ms\": %.3f, \"sharded_ms\": %.3f, \
+         \"speedup\": %.3f, \"identical\": %b}%s\n"
+        name s p (s /. p) ident
+        (if i = last then "" else ","))
+    rows;
+  Buffer.add_string out "  ]\n";
+  Buffer.add_string out "}\n";
+  let path = Option.value (Sys.getenv_opt "BENCH_ENGINE_JSON") ~default:"BENCH_engine.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents out);
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 let main () =
   Printf.printf "Network Uncertainty in Selfish Routing — reproduction harness%s\n"
     (if quick then " (QUICK mode)" else "");
@@ -854,7 +956,10 @@ let main () =
   ablations ();
   bechamel_section ();
   bench_numeric_json ();
+  bench_engine_json ();
   print_endline "\nAll experiment tables regenerated. See EXPERIMENTS.md for the paper-vs-measured record."
 
 let () =
-  if Sys.getenv_opt "BENCH_NUMERIC_ONLY" <> None then bench_numeric_json () else main ()
+  if Sys.getenv_opt "BENCH_NUMERIC_ONLY" <> None then bench_numeric_json ()
+  else if Sys.getenv_opt "BENCH_ENGINE_ONLY" <> None then bench_engine_json ()
+  else main ()

@@ -86,33 +86,61 @@ let range_conv =
 let users_arg = Arg.(value & opt range_conv (3, 4) & info [ "users" ] ~docv:"LO-HI")
 let links_arg = Arg.(value & opt range_conv (3, 3) & info [ "links" ] ~docv:"LO-HI")
 
-let run_random (n_lo, n_hi) (m_lo, m_hi) attempts w_hi c_hi seed =
-  let rng = Prng.Rng.create seed in
-  let found = ref false in
-  let k = ref 0 in
-  while (not !found) && !k < attempts do
-    incr k;
+let run_random (n_lo, n_hi) (m_lo, m_hi) attempts w_hi c_hi seed domains =
+  (* Attempt [i] draws from its own stream [Rng.of_path seed [i]], so
+     the instance tested at global index [i] is the same for any domain
+     count or batch size.  Batches are contiguous ascending index
+     ranges, so the first batch containing a hit contains the globally
+     smallest hit — the reported attempt number is deterministic. *)
+  let try_one rng _index =
     let n = Prng.Rng.int_in rng n_lo n_hi and m = Prng.Rng.int_in rng m_lo m_hi in
     let w = Array.init n (fun _ -> Prng.Rng.int_in rng 1 w_hi) in
     let c = Array.init n (fun _ -> Array.init m (fun _ -> Prng.Rng.int_in rng 1 c_hi)) in
-    if has_cycle ~w ~c ~m then begin
-      Printf.printf "CYCLE FOUND at attempt %d (n=%d, m=%d):\n" !k n m;
-      print_instance w c;
-      found := true
-    end;
-    if !k mod 1_000_000 = 0 then Printf.printf "%d attempts...\n%!" !k
-  done;
-  if not !found then
-    Printf.printf "no better-response cycle in %d random instances (n=%d-%d, m=%d-%d, w<=%d, c<=%d)\n"
-      attempts n_lo n_hi m_lo m_hi w_hi c_hi
+    if has_cycle ~w ~c ~m then Some (n, m, w, c) else None
+  in
+  let batch = max 1 (256 * domains) in
+  let rec go start =
+    if start >= attempts then
+      Printf.printf
+        "no better-response cycle in %d random instances (n=%d-%d, m=%d-%d, w<=%d, c<=%d)\n"
+        attempts n_lo n_hi m_lo m_hi w_hi c_hi
+    else begin
+      let count = min batch (attempts - start) in
+      let results = Engine.map_tasks ~domains ~seed ~offset:start ~tasks:count try_one in
+      let hit = ref None in
+      Array.iteri
+        (fun i r ->
+          match r, !hit with
+          | Some found, None -> hit := Some (start + i, found)
+          | _ -> ())
+        results;
+      match !hit with
+      | Some (idx, (n, m, w, c)) ->
+        Printf.printf "CYCLE FOUND at attempt %d (n=%d, m=%d):\n" (idx + 1) n m;
+        print_instance w c
+      | None ->
+        let finished = start + count in
+        if finished / 1_000_000 > start / 1_000_000 then
+          Printf.printf "%d attempts...\n%!" (finished / 1_000_000 * 1_000_000);
+        go finished
+    end
+  in
+  go 0
 
 let random_cmd =
   let attempts = Arg.(value & opt int 1_000_000 & info [ "attempts" ]) in
   let w_hi = Arg.(value & opt int 9 & info [ "max-weight" ]) in
   let c_hi = Arg.(value & opt int 40 & info [ "max-capacity" ]) in
   let seed = Arg.(value & opt int 1 & info [ "seed" ]) in
+  let domains =
+    Arg.(
+      value
+      & opt int (Parallel.available_domains ())
+      & info [ "domains" ]
+          ~doc:"Worker domains (default: all available cores; same hits for any value).")
+  in
   let info = Cmd.info "random" ~doc:"Random sampling over an integer grid." in
-  Cmd.v info Term.(const run_random $ users_arg $ links_arg $ attempts $ w_hi $ c_hi $ seed)
+  Cmd.v info Term.(const run_random $ users_arg $ links_arg $ attempts $ w_hi $ c_hi $ seed $ domains)
 
 let run_exhaustive (n_lo, _) (m_lo, _) w_hi c_hi =
   let n = n_lo and m = m_lo in

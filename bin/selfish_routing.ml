@@ -334,7 +334,13 @@ let sweep_cmd =
   let n_hi = Arg.(value & opt int 5 & info [ "max-users" ] ~doc:"Largest n (from 2).") in
   let m_hi = Arg.(value & opt int 3 & info [ "max-links" ] ~doc:"Largest m (from 2).") in
   let domains =
-    Arg.(value & opt int 1 & info [ "domains" ] ~doc:"Worker domains (results are identical).")
+    Arg.(
+      value
+      & opt int (Parallel.available_domains ())
+      & info [ "domains" ]
+          ~doc:
+            "Worker domains (default: all available cores; results are \
+             bit-identical for any value).")
   in
   let info =
     Cmd.info "sweep" ~doc:"Pure-NE existence sweep over random instances (Conjecture 3.7)."

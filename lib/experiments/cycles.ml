@@ -9,42 +9,49 @@ type row = {
   all_have_pure_ne : bool;
 }
 
-let run ~seed ~ns ~ms ~trials ~weights ~beliefs =
-  let rng = Prng.Rng.create seed in
-  List.concat_map
-    (fun n ->
-      List.map
-        (fun m ->
-          let best = ref 0 and better = ref 0 in
-          let shortest = ref None in
-          let all_pure = ref true in
-          for _ = 1 to trials do
-            let g = Generators.game rng ~n ~m ~weights ~beliefs in
-            (match Algo.Game_graph.find_cycle g ~kind:Algo.Game_graph.Best_response with
-             | Some _ -> incr best
-             | None -> ());
-            (match Algo.Game_graph.find_cycle g ~kind:Algo.Game_graph.Better_response with
-             | Some c ->
-               incr better;
-               let len = List.length c in
-               (match !shortest with
-                | Some s when s <= len -> ()
-                | _ -> shortest := Some len)
-             | None -> ());
-            if not (Algo.Enumerate.exists g) then all_pure := false
-          done;
-          {
-            n;
-            m;
-            beliefs = Generators.belief_family_name beliefs;
-            trials;
-            best_response_cycles = !best;
-            better_response_cycles = !better;
-            shortest_witness = !shortest;
-            all_have_pure_ne = !all_pure;
-          })
-        ms)
-    ns
+(* Per-trial outcome; folded into a row in trial order by [reduce]. *)
+type outcome = { best : bool; better_len : int option; has_pure : bool }
+
+let run ?(domains = 1) ~seed ~ns ~ms ~trials ~weights ~beliefs () =
+  let cells = List.concat_map (fun n -> List.map (fun m -> (n, m)) ms) ns in
+  Engine.sweep ~domains ~seed ~cells ~trials
+    ~task:(fun (n, m) rng _trial ->
+      let g = Generators.game rng ~n ~m ~weights ~beliefs in
+      let best =
+        Algo.Game_graph.find_cycle g ~kind:Algo.Game_graph.Best_response <> None
+      in
+      let better_len =
+        match Algo.Game_graph.find_cycle g ~kind:Algo.Game_graph.Better_response with
+        | Some c -> Some (List.length c)
+        | None -> None
+      in
+      { best; better_len; has_pure = Algo.Enumerate.exists g })
+    ~reduce:(fun (n, m) outcomes ->
+      let best = ref 0 and better = ref 0 in
+      let shortest = ref None in
+      let all_pure = ref true in
+      Array.iter
+        (fun o ->
+          if o.best then incr best;
+          (match o.better_len with
+           | Some len ->
+             incr better;
+             (match !shortest with
+              | Some s when s <= len -> ()
+              | _ -> shortest := Some len)
+           | None -> ());
+          if not o.has_pure then all_pure := false)
+        outcomes;
+      {
+        n;
+        m;
+        beliefs = Generators.belief_family_name beliefs;
+        trials;
+        best_response_cycles = !best;
+        better_response_cycles = !better;
+        shortest_witness = !shortest;
+        all_have_pure_ne = !all_pure;
+      })
 
 let find_better_response_witness ~seed ~trials =
   let rng = Prng.Rng.create seed in

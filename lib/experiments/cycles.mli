@@ -19,15 +19,19 @@ type row = {
   all_have_pure_ne : bool;
 }
 
-(** [run ~seed ~ns ~ms ~trials ~weights ~beliefs] searches both graphs
-    of every sampled instance exhaustively. *)
+(** [run ~seed ~ns ~ms ~trials ~weights ~beliefs ()] searches both
+    graphs of every sampled instance exhaustively.  Trials run through
+    the sharded engine: rows are identical for any [domains]
+    (default 1: serial). *)
 val run :
+  ?domains:int ->
   seed:int ->
   ns:int list ->
   ms:int list ->
   trials:int ->
   weights:Generators.weight_family ->
   beliefs:Generators.belief_family ->
+  unit ->
   row list
 
 (** [find_better_response_witness ~seed ~trials] scans random small

@@ -17,48 +17,51 @@ type row = {
 let random_profile rng g =
   Array.init (Game.users g) (fun _ -> Prng.Rng.int rng (Game.links g))
 
+(* Per-trial outcome; folded into a row in trial order by [reduce]. *)
+type outcome = { ne_count : int; converged_steps : int option }
+
 let run ?(domains = 1) ~seed ~ns ~ms ~trials ~weights ~beliefs () =
   let cells = List.concat_map (fun n -> List.map (fun m -> (n, m)) ms) ns in
-  Parallel.map ~domains
-    (fun (n, m) ->
-          (* Each cell derives its own generator, so results do not
-             depend on scheduling. *)
-          let rng = Prng.Rng.create (seed + (7919 * n) + (104729 * m)) in
-          let with_pure = ref 0 in
-          let counts = ref [] in
-          let br_converged = ref 0 in
-          let br_steps = ref 0 in
-          for _ = 1 to trials do
-            let g = Generators.game rng ~n ~m ~weights ~beliefs in
-            let ne_count = Algo.Enumerate.count g in
-            if ne_count > 0 then incr with_pure;
-            counts := ne_count :: !counts;
-            let start = random_profile rng g in
-            let budget = 16 * n * m * (n + m) in
-            let outcome = Algo.Best_response.converge g ~max_steps:budget start in
-            if outcome.converged then begin
-              incr br_converged;
-              br_steps := !br_steps + outcome.steps
-            end
-          done;
-          let counts = !counts in
-          {
-            n;
-            m;
-            weights = Generators.weight_family_name weights;
-            beliefs = Generators.belief_family_name beliefs;
-            trials;
-            with_pure = !with_pure;
-            min_ne = List.fold_left min max_int counts;
-            mean_ne =
-              float_of_int (List.fold_left ( + ) 0 counts) /. float_of_int (List.length counts);
-            max_ne = List.fold_left max 0 counts;
-            br_converged = !br_converged;
-            mean_br_steps =
-              (if !br_converged = 0 then Float.nan
-               else float_of_int !br_steps /. float_of_int !br_converged);
-          })
-    cells
+  Engine.sweep ~domains ~seed ~cells ~trials
+    ~task:(fun (n, m) rng _trial ->
+      let g = Generators.game rng ~n ~m ~weights ~beliefs in
+      let ne_count = Algo.Enumerate.count g in
+      let start = random_profile rng g in
+      let budget = 16 * n * m * (n + m) in
+      let outcome = Algo.Best_response.converge g ~max_steps:budget start in
+      { ne_count; converged_steps = (if outcome.converged then Some outcome.steps else None) })
+    ~reduce:(fun (n, m) outcomes ->
+      let with_pure = ref 0 in
+      let sum = ref 0 and min_ne = ref max_int and max_ne = ref 0 in
+      let br_converged = ref 0 in
+      let br_steps = ref 0 in
+      Array.iter
+        (fun o ->
+          if o.ne_count > 0 then incr with_pure;
+          sum := !sum + o.ne_count;
+          if o.ne_count < !min_ne then min_ne := o.ne_count;
+          if o.ne_count > !max_ne then max_ne := o.ne_count;
+          match o.converged_steps with
+          | Some steps ->
+            incr br_converged;
+            br_steps := !br_steps + steps
+          | None -> ())
+        outcomes;
+      {
+        n;
+        m;
+        weights = Generators.weight_family_name weights;
+        beliefs = Generators.belief_family_name beliefs;
+        trials;
+        with_pure = !with_pure;
+        min_ne = !min_ne;
+        mean_ne = float_of_int !sum /. float_of_int (Array.length outcomes);
+        max_ne = !max_ne;
+        br_converged = !br_converged;
+        mean_br_steps =
+          (if !br_converged = 0 then Float.nan
+           else float_of_int !br_steps /. float_of_int !br_converged);
+      })
 
 let table rows =
   let t =

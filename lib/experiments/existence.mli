@@ -20,8 +20,9 @@ type row = {
 (** [run ~seed ~ns ~ms ~trials ~weights ~beliefs ()] enumerates pure
     Nash equilibria exhaustively on [trials] random instances for every
     (n, m) pair, and also follows best-response dynamics from a random
-    start.  Each cell derives its own generator from [seed], so the
-    rows are identical for any [domains] (default 1: serial). *)
+    start.  Every (cell, trial) derives its own generator from [seed]
+    via the sharded engine, so the rows are identical for any [domains]
+    (default 1: serial). *)
 val run :
   ?domains:int ->
   seed:int ->

@@ -16,32 +16,31 @@ let tv_distance estimated truth =
   Array.iteri (fun k p -> acc := Rational.add !acc (Rational.abs (Rational.sub p truth.(k)))) probs;
   Rational.to_float (Rational.div !acc Rational.two)
 
-let run ~seed ~n ~m ~states ~observations ~trials =
-  List.map
-    (fun k ->
-      let rng = Prng.Rng.create (seed + (7919 * k)) in
-      let ratios = ref Stats.Welford.empty in
-      let errors = ref Stats.Welford.empty in
-      for _ = 1 to trials do
-        let space = Generators.state_space rng ~m ~states ~cap_bound:6 in
-        let truth = Prng.Rng.positive_simplex rng ~dim:states ~grain:(states + 3) in
-        let sampler = Prng.Alias.of_rationals truth in
-        let weights = Array.init n (fun _ -> Rational.of_int (Prng.Rng.int_in rng 1 5)) in
-        let beliefs =
-          Array.init n (fun _ ->
-              let counts = Array.make states 0 in
-              for _ = 1 to k do
-                let s = Prng.Alias.sample sampler rng in
-                counts.(s) <- counts.(s) + 1
-              done;
-              let b = Belief.from_counts space counts ~smoothing:Rational.one in
-              errors := Stats.Welford.add !errors (tv_distance b truth);
-              b)
-        in
-        let g = Game.make ~weights ~beliefs in
-        let start = Array.init n (fun _ -> Prng.Rng.int rng m) in
-        let o = Algo.Best_response.converge g ~max_steps:(64 * n * m * (n + m)) start in
-        if o.converged then begin
+let run ?(domains = 1) ~seed ~n ~m ~states ~observations ~trials () =
+  Engine.sweep ~domains ~seed ~cells:observations ~trials
+    ~task:(fun k rng _trial ->
+      let space = Generators.state_space rng ~m ~states ~cap_bound:6 in
+      let truth = Prng.Rng.positive_simplex rng ~dim:states ~grain:(states + 3) in
+      let sampler = Prng.Alias.of_rationals truth in
+      let weights = Array.init n (fun _ -> Rational.of_int (Prng.Rng.int_in rng 1 5)) in
+      let tv_errors = Array.make n 0.0 in
+      let beliefs =
+        Array.init n (fun i ->
+            let counts = Array.make states 0 in
+            for _ = 1 to k do
+              let s = Prng.Alias.sample sampler rng in
+              counts.(s) <- counts.(s) + 1
+            done;
+            let b = Belief.from_counts space counts ~smoothing:Rational.one in
+            tv_errors.(i) <- tv_distance b truth;
+            b)
+      in
+      let g = Game.make ~weights ~beliefs in
+      let start = Array.init n (fun _ -> Prng.Rng.int rng m) in
+      let o = Algo.Best_response.converge g ~max_steps:(64 * n * m * (n + m)) start in
+      let ratio =
+        if not o.converged then None
+        else begin
           let true_belief = Belief.make space truth in
           let true_caps = Belief.effective_capacities true_belief in
           let loads = Pure.loads g o.profile in
@@ -52,9 +51,20 @@ let run ~seed ~n ~m ~states ~observations ~trials =
           in
           let informed = Game.make ~weights ~beliefs:(Array.make n true_belief) in
           let opt, _ = Social.opt1_bb informed in
-          ratios := Stats.Welford.add !ratios (Rational.to_float (Rational.div realised opt))
+          Some (Rational.to_float (Rational.div realised opt))
         end
-      done;
+      in
+      (tv_errors, ratio))
+    ~reduce:(fun k per_trial ->
+      let ratios = ref Stats.Welford.empty in
+      let errors = ref Stats.Welford.empty in
+      Array.iter
+        (fun (tv_errors, ratio) ->
+          Array.iter (fun e -> errors := Stats.Welford.add !errors e) tv_errors;
+          match ratio with
+          | Some r -> ratios := Stats.Welford.add !ratios r
+          | None -> ())
+        per_trial;
       {
         observations = k;
         trials;
@@ -62,7 +72,6 @@ let run ~seed ~n ~m ~states ~observations ~trials =
         max_ratio = Stats.Welford.max !ratios;
         mean_belief_error = Stats.Welford.mean !errors;
       })
-    observations
 
 let table rows =
   let t =

@@ -20,13 +20,18 @@ type row = {
           the truth *)
 }
 
+(** [run ~seed ~n ~m ~states ~observations ~trials ()] sweeps
+    observation counts.  Trials run through the sharded engine: rows
+    are identical for any [domains] (default 1: serial). *)
 val run :
+  ?domains:int ->
   seed:int ->
   n:int ->
   m:int ->
   states:int ->
   observations:int list ->
   trials:int ->
+  unit ->
   row list
 
 val table : row list -> Stats.Table.t

@@ -21,27 +21,22 @@ type row = {
   mean_rel_error : float;
 }
 
-let run ~seed ~samples_list ~trials =
-  let rng = Prng.Rng.create seed in
-  List.map
-    (fun samples ->
-      let n = 4 and m = 3 and states = 4 in
-      let errors = ref [] in
-      for _ = 1 to trials do
-        let g =
-          Generators.game rng ~n ~m
-            ~weights:(Generators.Integer_weights 5)
-            ~beliefs:(Generators.Shared_space { states; cap_bound = 6; grain = 5 })
-        in
-        let sigma = Array.init n (fun _ -> Prng.Rng.int rng m) in
-        for user = 0 to n - 1 do
+let run ?(domains = 1) ~seed ~samples_list ~trials () =
+  let n = 4 and m = 3 and states = 4 in
+  Engine.sweep ~domains ~seed ~cells:samples_list ~trials
+    ~task:(fun samples rng _trial ->
+      let g =
+        Generators.game rng ~n ~m
+          ~weights:(Generators.Integer_weights 5)
+          ~beliefs:(Generators.Shared_space { states; cap_bound = 6; grain = 5 })
+      in
+      let sigma = Array.init n (fun _ -> Prng.Rng.int rng m) in
+      Array.init n (fun user ->
           let exact = Rational.to_float (Pure.latency g sigma user) in
           let estimate = estimate_latency g sigma ~user ~samples rng in
-          errors := (Float.abs (estimate -. exact) /. exact) :: !errors
-        done
-      done;
-      let errs = Array.of_list !errors in
-      let summary = Stats.Summary.of_array errs in
+          Float.abs (estimate -. exact) /. exact))
+    ~reduce:(fun samples per_trial ->
+      let summary = Stats.Summary.of_array (Array.concat (Array.to_list per_trial)) in
       {
         n;
         m;
@@ -50,7 +45,6 @@ let run ~seed ~samples_list ~trials =
         max_rel_error = summary.max;
         mean_rel_error = summary.mean;
       })
-    samples_list
 
 let table rows =
   let t = Stats.Table.create [ "n"; "m"; "states"; "samples"; "mean rel err"; "max rel err" ] in

@@ -26,8 +26,11 @@ type row = {
   mean_rel_error : float;
 }
 
-(** [run ~seed ~samples_list ~trials] sweeps sample counts; the error
-    should shrink like 1/√samples, converging on the exact reduction. *)
-val run : seed:int -> samples_list:int list -> trials:int -> row list
+(** [run ~seed ~samples_list ~trials ()] sweeps sample counts; the
+    error should shrink like 1/√samples, converging on the exact
+    reduction.  Trials run through the sharded engine: rows are
+    identical for any [domains] (default 1: serial). *)
+val run :
+  ?domains:int -> seed:int -> samples_list:int list -> trials:int -> unit -> row list
 
 val table : row list -> Stats.Table.t

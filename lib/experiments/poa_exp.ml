@@ -15,58 +15,75 @@ type row = {
   violations : int;
 }
 
-let run ~seed ~ns ~ms ~trials ~weights ~beliefs ~bound =
-  let rng = Prng.Rng.create seed in
-  List.concat_map
-    (fun n ->
-      List.map
-        (fun m ->
-          let equilibria = ref 0 and violations = ref 0 in
-          let max_r1 = ref neg_infinity and max_r2 = ref neg_infinity in
-          let bounds = ref Stats.Welford.empty in
-          let min_slack1 = ref infinity and min_slack2 = ref infinity in
-          for _ = 1 to trials do
-            let g = Generators.game rng ~n ~m ~weights ~beliefs in
-            let bound_value =
-              match bound with
-              | `Uniform -> Bounds.theorem_4_13 g
-              | `General -> Bounds.theorem_4_14 g
-            in
-            bounds := Stats.Welford.add !bounds (Rational.to_float bound_value);
-            let opt1, _ = Social.opt1_bb g and opt2, _ = Social.opt2_bb g in
-            let consider mixed =
+(* Per-equilibrium measurements, already rounded to float except the
+   exact violation verdict (decided over rationals in the task). *)
+type eq_outcome = {
+  r1 : float;
+  r2 : float;
+  slack1 : float;
+  slack2 : float;
+  violated : bool;
+}
+
+type outcome = { bound_f : float; eqs : eq_outcome list }
+
+let run ?(domains = 1) ~seed ~ns ~ms ~trials ~weights ~beliefs ~bound () =
+  let cells = List.concat_map (fun n -> List.map (fun m -> (n, m)) ms) ns in
+  Engine.sweep ~domains ~seed ~cells ~trials
+    ~task:(fun (n, m) rng _trial ->
+      let g = Generators.game rng ~n ~m ~weights ~beliefs in
+      let bound_value =
+        match bound with
+        | `Uniform -> Bounds.theorem_4_13 g
+        | `General -> Bounds.theorem_4_14 g
+      in
+      let opt1, _ = Social.opt1_bb g and opt2, _ = Social.opt2_bb g in
+      let consider mixed =
+        let r1 = Rational.div (Mixed.social_cost1 g mixed) opt1 in
+        let r2 = Rational.div (Mixed.social_cost2 g mixed) opt2 in
+        {
+          r1 = Rational.to_float r1;
+          r2 = Rational.to_float r2;
+          slack1 = Rational.to_float (Rational.sub bound_value r1);
+          slack2 = Rational.to_float (Rational.sub bound_value r2);
+          violated =
+            Rational.compare r1 bound_value > 0 || Rational.compare r2 bound_value > 0;
+        }
+      in
+      let pure = List.map (fun ne -> consider (Mixed.of_pure g ne)) (Algo.Enumerate.pure_nash g) in
+      let fm = match Algo.Fully_mixed.compute g with Some p -> [ consider p ] | None -> [] in
+      { bound_f = Rational.to_float bound_value; eqs = pure @ fm })
+    ~reduce:(fun (n, m) outcomes ->
+      let equilibria = ref 0 and violations = ref 0 in
+      let max_r1 = ref neg_infinity and max_r2 = ref neg_infinity in
+      let bounds = ref Stats.Welford.empty in
+      let min_slack1 = ref infinity and min_slack2 = ref infinity in
+      Array.iter
+        (fun o ->
+          bounds := Stats.Welford.add !bounds o.bound_f;
+          List.iter
+            (fun e ->
               incr equilibria;
-              let r1 = Rational.div (Mixed.social_cost1 g mixed) opt1 in
-              let r2 = Rational.div (Mixed.social_cost2 g mixed) opt2 in
-              if Rational.compare r1 bound_value > 0 || Rational.compare r2 bound_value > 0 then
-                incr violations;
-              max_r1 := Float.max !max_r1 (Rational.to_float r1);
-              max_r2 := Float.max !max_r2 (Rational.to_float r2);
-              min_slack1 :=
-                Float.min !min_slack1 (Rational.to_float (Rational.sub bound_value r1));
-              min_slack2 :=
-                Float.min !min_slack2 (Rational.to_float (Rational.sub bound_value r2))
-            in
-            List.iter (fun ne -> consider (Mixed.of_pure g ne)) (Algo.Enumerate.pure_nash g);
-            match Algo.Fully_mixed.compute g with
-            | Some p -> consider p
-            | None -> ()
-          done;
-          {
-            n;
-            m;
-            beliefs = Generators.belief_family_name beliefs;
-            trials;
-            equilibria = !equilibria;
-            max_ratio1 = !max_r1;
-            max_ratio2 = !max_r2;
-            mean_bound1 = Stats.Welford.mean !bounds;
-            min_slack1 = !min_slack1;
-            min_slack2 = !min_slack2;
-            violations = !violations;
-          })
-        ms)
-    ns
+              if e.violated then incr violations;
+              max_r1 := Float.max !max_r1 e.r1;
+              max_r2 := Float.max !max_r2 e.r2;
+              min_slack1 := Float.min !min_slack1 e.slack1;
+              min_slack2 := Float.min !min_slack2 e.slack2)
+            o.eqs)
+        outcomes;
+      {
+        n;
+        m;
+        beliefs = Generators.belief_family_name beliefs;
+        trials;
+        equilibria = !equilibria;
+        max_ratio1 = !max_r1;
+        max_ratio2 = !max_r2;
+        mean_bound1 = Stats.Welford.mean !bounds;
+        min_slack1 = !min_slack1;
+        min_slack2 = !min_slack2;
+        violations = !violations;
+      })
 
 let table rows =
   let t =

@@ -21,10 +21,13 @@ type row = {
   violations : int;  (** equilibria beating the bound — must be 0 *)
 }
 
-(** [run ~seed ~ns ~ms ~trials ~weights ~beliefs ~bound] sweeps with the
-    chosen bound ([`Uniform] = Theorem 4.13, [`General] = Theorem 4.14).
-    With [`Uniform] the generator must produce uniform-view games. *)
+(** [run ~seed ~ns ~ms ~trials ~weights ~beliefs ~bound ()] sweeps with
+    the chosen bound ([`Uniform] = Theorem 4.13, [`General] = Theorem
+    4.14).  With [`Uniform] the generator must produce uniform-view
+    games.  Trials run through the sharded engine: rows are identical
+    for any [domains] (default 1: serial). *)
 val run :
+  ?domains:int ->
   seed:int ->
   ns:int list ->
   ms:int list ->
@@ -32,6 +35,7 @@ val run :
   weights:Generators.weight_family ->
   beliefs:Generators.belief_family ->
   bound:[ `Uniform | `General ] ->
+  unit ->
   row list
 
 val table : row list -> Stats.Table.t

@@ -15,53 +15,56 @@ let contaminate ~epsilon ~truth ~noise =
   Array.init (Array.length truth) (fun k ->
       Rational.add (Rational.mul keep truth.(k)) (Rational.mul epsilon noise.(k)))
 
-let run ?(noise = `Simplex) ~seed ~n ~m ~states ~epsilons ~trials () =
-  List.map
-    (fun epsilon ->
-      let rng = Prng.Rng.create (seed + Hashtbl.hash (Rational.to_string epsilon)) in
+let run ?(domains = 1) ?(noise = `Simplex) ~seed ~n ~m ~states ~epsilons ~trials () =
+  Engine.sweep ~domains ~seed ~cells:epsilons ~trials
+    ~task:(fun epsilon rng _trial ->
+      let space = Generators.state_space rng ~m ~states ~cap_bound:6 in
+      let truth = Prng.Rng.positive_simplex rng ~dim:states ~grain:(states + 3) in
+      let weights =
+        Array.init n (fun _ -> Rational.of_int (Prng.Rng.int_in rng 1 5))
+      in
+      let beliefs =
+        Array.init n (fun _ ->
+            let noise_dist =
+              match noise with
+              | `Simplex -> Prng.Rng.positive_simplex rng ~dim:states ~grain:(states + 3)
+              | `Point ->
+                (* Confidently wrong: all mass on one random state. *)
+                let k = Prng.Rng.int rng states in
+                Array.init states (fun j -> if j = k then Rational.one else Rational.zero)
+            in
+            Belief.make space (contaminate ~epsilon ~truth ~noise:noise_dist))
+      in
+      let g = Game.make ~weights ~beliefs in
+      let start = Array.init n (fun _ -> Prng.Rng.int rng m) in
+      let o = Algo.Best_response.converge g ~max_steps:(64 * n * m * (n + m)) start in
+      if not o.converged then None
+      else begin
+        (* Price the equilibrium under the truth. *)
+        let true_belief = Belief.make space truth in
+        let true_caps = Belief.effective_capacities true_belief in
+        let loads = Pure.loads g o.profile in
+        let realised =
+          Rational.sum
+            (List.init n (fun i ->
+                 Rational.div loads.(o.profile.(i)) true_caps.(o.profile.(i))))
+        in
+        (* The best any coordinator could do if everyone knew the
+           truth: OPT1 of the game with the true shared belief. *)
+        let informed =
+          Game.make ~weights ~beliefs:(Array.make n true_belief)
+        in
+        let opt, _ = Social.opt1 informed in
+        Some (Rational.to_float (Rational.div realised opt))
+      end)
+    ~reduce:(fun epsilon outcomes ->
       let ratios = ref Stats.Welford.empty in
       let failures = ref 0 in
-      for _ = 1 to trials do
-        let space = Generators.state_space rng ~m ~states ~cap_bound:6 in
-        let truth = Prng.Rng.positive_simplex rng ~dim:states ~grain:(states + 3) in
-        let weights =
-          Array.init n (fun _ -> Rational.of_int (Prng.Rng.int_in rng 1 5))
-        in
-        let beliefs =
-          Array.init n (fun _ ->
-              let noise_dist =
-                match noise with
-                | `Simplex -> Prng.Rng.positive_simplex rng ~dim:states ~grain:(states + 3)
-                | `Point ->
-                  (* Confidently wrong: all mass on one random state. *)
-                  let k = Prng.Rng.int rng states in
-                  Array.init states (fun j -> if j = k then Rational.one else Rational.zero)
-              in
-              Belief.make space (contaminate ~epsilon ~truth ~noise:noise_dist))
-        in
-        let g = Game.make ~weights ~beliefs in
-        let start = Array.init n (fun _ -> Prng.Rng.int rng m) in
-        let o = Algo.Best_response.converge g ~max_steps:(64 * n * m * (n + m)) start in
-        if not o.converged then incr failures
-        else begin
-          (* Price the equilibrium under the truth. *)
-          let true_belief = Belief.make space truth in
-          let true_caps = Belief.effective_capacities true_belief in
-          let loads = Pure.loads g o.profile in
-          let realised =
-            Rational.sum
-              (List.init n (fun i ->
-                   Rational.div loads.(o.profile.(i)) true_caps.(o.profile.(i))))
-          in
-          (* The best any coordinator could do if everyone knew the
-             truth: OPT1 of the game with the true shared belief. *)
-          let informed =
-            Game.make ~weights ~beliefs:(Array.make n true_belief)
-          in
-          let opt, _ = Social.opt1 informed in
-          ratios := Stats.Welford.add !ratios (Rational.to_float (Rational.div realised opt))
-        end
-      done;
+      Array.iter
+        (function
+          | Some ratio -> ratios := Stats.Welford.add !ratios ratio
+          | None -> incr failures)
+        outcomes;
       {
         epsilon;
         trials;
@@ -69,7 +72,6 @@ let run ?(noise = `Simplex) ~seed ~n ~m ~states ~epsilons ~trials () =
         max_ratio = (if Stats.Welford.count !ratios = 0 then Float.nan else Stats.Welford.max !ratios);
         equilibrium_failures = !failures;
       })
-    epsilons
 
 let table rows =
   let t =

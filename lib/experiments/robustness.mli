@@ -23,8 +23,11 @@ type row = {
     levels; each trial draws a fresh truth, fresh noise and a fresh
     starting profile.  [noise] selects the contamination shape:
     [`Simplex] (diffuse random distributions, default) or [`Point]
-    (confidently wrong: all mass on one random state). *)
+    (confidently wrong: all mass on one random state).  Trials run
+    through the sharded engine: rows are identical for any [domains]
+    (default 1: serial). *)
 val run :
+  ?domains:int ->
   ?noise:[ `Simplex | `Point ] ->
   seed:int ->
   n:int ->

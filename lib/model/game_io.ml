@@ -12,9 +12,9 @@ let parse_rational lineno s =
 type accum = {
   mutable links : int option;
   mutable weights : Rational.t array option;
-  mutable states : (string * State.t) list; (* reversed *)
+  mutable states : (int * string * State.t) list; (* reversed, with lineno *)
   mutable beliefs : (int * string) list; (* reversed raw belief lines *)
-  mutable capacities : Rational.t array list; (* reversed rows *)
+  mutable capacities : (int * Rational.t array) list; (* reversed rows, with lineno *)
 }
 
 let parse text =
@@ -39,21 +39,19 @@ let parse text =
         | "state" :: name :: caps ->
           if caps = [] then fail_line lineno "state needs capacities";
           let caps = Array.of_list (List.map (parse_rational lineno) caps) in
-          (match acc.links with
-           | Some m when Array.length caps <> m -> fail_line lineno "state has wrong number of capacities"
-           | _ -> ());
-          if List.mem_assoc name acc.states then fail_line lineno (Printf.sprintf "duplicate state %S" name);
+          if List.exists (fun (_, n, _) -> n = name) acc.states then
+            fail_line lineno (Printf.sprintf "duplicate state %S" name);
           let st =
             try State.make caps with Invalid_argument m -> fail_line lineno m
           in
-          acc.states <- (name, st) :: acc.states
+          acc.states <- (lineno, name, st) :: acc.states
         | "belief" :: _ ->
           (* Re-split on the original line to keep "name: prob" pairs. *)
           let body = String.sub line 6 (String.length line - 6) in
           acc.beliefs <- (lineno, body) :: acc.beliefs
         | "capacities" :: rest ->
           if rest = [] then fail_line lineno "capacities row needs entries";
-          acc.capacities <- Array.of_list (List.map (parse_rational lineno) rest) :: acc.capacities
+          acc.capacities <- (lineno, Array.of_list (List.map (parse_rational lineno) rest)) :: acc.capacities
         | word :: _ -> fail_line lineno (Printf.sprintf "unknown directive %S" word)
         | [] -> ()
       end)
@@ -63,15 +61,34 @@ let parse text =
     | Some w -> w
     | None -> invalid_arg "Game_io: missing 'weights' line"
   in
+  (* Width validation happens after the whole scan, so it applies no
+     matter where (or whether) the 'links' directive appears: every
+     'state' and 'capacities' row must agree with 'links' when present,
+     and with each other otherwise. *)
+  let expected_width = ref acc.links in
+  let check_width lineno what n =
+    match !expected_width with
+    | Some m when n <> m ->
+      fail_line lineno (Printf.sprintf "%s has wrong number of capacities (%d, expected %d)" what n m)
+    | Some _ -> ()
+    | None -> expected_width := Some n
+  in
+  List.iter
+    (fun (lineno, name, st) ->
+      check_width lineno (Printf.sprintf "state %S" name) (Array.length (State.capacities st)))
+    (List.rev acc.states);
+  List.iter
+    (fun (lineno, row) -> check_width lineno "capacities row" (Array.length row))
+    (List.rev acc.capacities);
   match acc.capacities, acc.beliefs with
   | [], [] -> invalid_arg "Game_io: need either 'capacities' rows or 'belief' lines"
   | _ :: _, _ :: _ -> invalid_arg "Game_io: cannot mix 'capacities' and 'belief' forms"
   | rows, [] ->
-    let rows = Array.of_list (List.rev rows) in
+    let rows = Array.of_list (List.rev_map snd rows) in
     (try Game.of_capacities ~weights rows with Invalid_argument m -> invalid_arg ("Game_io: " ^ m))
   | [], raw_beliefs ->
     if acc.states = [] then invalid_arg "Game_io: belief form requires 'state' lines";
-    let named = List.rev acc.states in
+    let named = List.rev_map (fun (_, name, st) -> (name, st)) acc.states in
     let space = State.space (List.map snd named) in
     let index_of lineno name =
       let rec find i = function
@@ -105,10 +122,11 @@ let parse text =
 
 let parse_file path =
   let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  parse text
+  (* [Fun.protect] so the channel is closed even when reading raises
+     (truncated file, I/O error) — the old code leaked it. *)
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))
 
 let to_generative_string g =
   let buf = Buffer.create 256 in

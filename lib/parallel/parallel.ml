@@ -10,10 +10,15 @@ let fork_join ~workers work =
   else begin
     let spawned = Array.init (workers - 1) (fun w -> Domain.spawn (fun () -> work (w + 1))) in
     (* Join every domain before re-raising, so no worker leaks when one
-       fails; the first failure in worker order wins. *)
-    let first = try Ok (work 0) with e -> Error e in
-    let rest = Array.map (fun d -> try Ok (Domain.join d) with e -> Error e) spawned in
-    Array.map (function Ok v -> v | Error e -> raise e) (Array.append [| first |] rest)
+       fails; the first failure in worker order wins.  The backtrace is
+       captured at catch time and restored on re-raise, so a worker
+       failure reports the worker's stack, not this join loop. *)
+    let capture f = try Ok (f ()) with e -> Error (e, Printexc.get_raw_backtrace ()) in
+    let first = capture (fun () -> work 0) in
+    let rest = Array.map (fun d -> capture (fun () -> Domain.join d)) spawned in
+    Array.map
+      (function Ok v -> v | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+      (Array.append [| first |] rest)
   end
 
 let map_array ~domains f xs =

@@ -4,12 +4,23 @@ type t = Xoshiro256.t
 
 let create seed = Xoshiro256.create (Int64.of_int seed)
 
+(* One full 64-bit avalanche: a SplitMix64 step from the given word.
+   Shared by [split] and [of_path] to derive seeding keys. *)
+let mix64 z = fst (Splitmix64.next (Splitmix64.create z))
+
 let split t =
-  let fresh = Xoshiro256.copy t in
-  Xoshiro256.jump fresh;
-  (* Advance the parent too so repeated splits yield distinct streams. *)
-  ignore (Xoshiro256.next_int64 t);
-  fresh
+  (* Seed the child from a fresh SplitMix64 expansion of two parent
+     draws.  The former copy+jump scheme was broken for repeated
+     splitting: the jump polynomial is linear over the state and
+     commutes with single-stepping, so child k+1 was exactly child k
+     advanced by one draw — maximally correlated sibling streams. *)
+  let a = Xoshiro256.next_int64 t in
+  let b = Xoshiro256.next_int64 t in
+  Xoshiro256.create (mix64 (Int64.logxor a (mix64 b)))
+
+let of_path seed path =
+  let absorb key c = mix64 (Int64.logxor key (mix64 (Int64.of_int c))) in
+  Xoshiro256.create (List.fold_left absorb (mix64 (Int64.of_int seed)) path)
 
 let bits64 = Xoshiro256.next_int64
 

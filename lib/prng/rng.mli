@@ -10,9 +10,22 @@ type t
 
 val create : int -> t
 
-(** [split t] derives a generator statistically independent of [t]
-    (a copy advanced by 2^128 steps); [t] itself is also advanced. *)
+(** [split t] derives a generator statistically independent of [t],
+    seeded from a SplitMix64 expansion of two draws from [t] ([t] is
+    advanced by those two draws).  Successive splits yield mutually
+    unrelated streams — in particular, sibling streams are not shifted
+    copies of one another, which the earlier copy+jump scheme did not
+    guarantee (the jump polynomial commutes with single-stepping). *)
 val split : t -> t
+
+(** [of_path seed path] is the generator at address [path] in a tree of
+    streams rooted at [seed]: every coordinate is absorbed through a
+    SplitMix64 avalanche, so [of_path seed [c; i]] for distinct [(c, i)]
+    give statistically independent streams.  Purely functional — the
+    same [(seed, path)] always yields the same stream.  This is the
+    sharding primitive of the experiment engine: task [i] of cell [c]
+    draws from [of_path seed [c; i]] no matter which domain runs it. *)
+val of_path : int -> int list -> t
 
 (** [bits64 t] is 64 uniform bits. *)
 val bits64 : t -> int64

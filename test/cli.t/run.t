@@ -81,12 +81,76 @@ A malformed game file is rejected with a line-numbered error:
                    
   [125]
 
+Row widths are validated no matter where the 'links' directive appears.
+With 'links' after the offending 'state' line, the error still points at
+the state line:
+
+  $ cat > late-links.game <<'GAME'
+  > weights 1 1
+  > state a 1
+  > state b 2 2
+  > links 2
+  > belief a: 1
+  > belief b: 1
+  > GAME
+  $ $SR solve late-links.game
+  selfish_routing: internal error, uncaught exception:
+                   Invalid_argument("Game_io: line 2: state \"a\" has wrong number of capacities (1, expected 2)")
+                   
+  [125]
+
+
+A 'capacities' row that disagrees with 'links' is rejected too (it was
+never checked before):
+
+  $ cat > ragged.game <<'GAME'
+  > links 2
+  > weights 1 1
+  > capacities 1 2
+  > capacities 1 2 3
+  > GAME
+  $ $SR solve ragged.game
+  selfish_routing: internal error, uncaught exception:
+                   Invalid_argument("Game_io: line 4: capacities row has wrong number of capacities (3, expected 2)")
+                   
+  [125]
+
+
+Without any 'links' directive the rows must still agree with each other:
+
+  $ cat > no-links.game <<'GAME'
+  > weights 1 1
+  > capacities 1 2
+  > capacities 1 2 3
+  > GAME
+  $ $SR solve no-links.game
+  selfish_routing: internal error, uncaught exception:
+                   Invalid_argument("Game_io: line 3: capacities row has wrong number of capacities (3, expected 2)")
+                   
+  [125]
+
+
+A consistent file parses fine even with 'links' last:
+
+  $ cat > links-last.game <<'GAME'
+  > weights 4 3 2
+  > state fast 10 4
+  > state slow 3 4
+  > belief fast: 1
+  > belief slow: 1
+  > belief fast: 1/2, slow: 1/2
+  > links 2
+  > GAME
+  $ $SR solve links-last.game | head -2
+  algorithm: A_twolinks (Theorem 3.3)
+  profile: [0; 1; 1]
+
 The existence sweep prints the Conjecture 3.7 table:
 
   $ $SR sweep --trials 5 --max-users 3 --max-links 2 --seed 7 | head -3
   n  m  weights  beliefs          trials  pure NE  min#  mean#  max#  BR conv  BR steps
   -  -  -------  ---------------  ------  -------  ----  -----  ----  -------  --------
-  2  2  rat<=5   shared-space(3)  5       100.0%   1     1.4    2     100.0%   0.4     
+  2  2  rat<=5   shared-space(3)  5       100.0%   1     1.4    2     100.0%   1.2     
 
 Support enumeration finds every mixed equilibrium of the uniform game:
 

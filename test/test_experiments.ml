@@ -117,6 +117,7 @@ let test_cycles_three_users () =
     Experiments.Cycles.run ~seed:3 ~ns:[ 3 ] ~ms:[ 2; 3 ] ~trials:10
       ~weights:(Experiments.Generators.Integer_weights 4)
       ~beliefs:(Experiments.Generators.Private_point { cap_bound = 6 })
+      ()
   in
   List.iter
     (fun (r : Experiments.Cycles.row) ->
@@ -162,7 +163,7 @@ let test_poa_bounds_hold () =
     Experiments.Poa_exp.run ~seed:13 ~ns:[ 2; 3 ] ~ms:[ 2 ] ~trials:10
       ~weights:(Experiments.Generators.Integer_weights 4)
       ~beliefs:(Experiments.Generators.Uniform_link_view { cap_bound = 4 })
-      ~bound:`Uniform
+      ~bound:`Uniform ()
   in
   List.iter
     (fun (r : Experiments.Poa_exp.row) ->
@@ -173,7 +174,7 @@ let test_poa_bounds_hold () =
     Experiments.Poa_exp.run ~seed:13 ~ns:[ 2; 3 ] ~ms:[ 2 ] ~trials:10
       ~weights:(Experiments.Generators.Integer_weights 4)
       ~beliefs:(Experiments.Generators.Shared_space { states = 2; cap_bound = 4; grain = 3 })
-      ~bound:`General
+      ~bound:`General ()
   in
   List.iter
     (fun (r : Experiments.Poa_exp.row) ->
@@ -202,7 +203,7 @@ let test_time_call_measures () =
 (* Monte-Carlo validation                                              *)
 
 let test_monte_carlo_converges () =
-  let rows = Experiments.Monte_carlo.run ~seed:23 ~samples_list:[ 200; 20_000 ] ~trials:3 in
+  let rows = Experiments.Monte_carlo.run ~seed:23 ~samples_list:[ 200; 20_000 ] ~trials:3 () in
   match rows with
   | [ coarse; fine ] ->
     Alcotest.(check bool) "error shrinks with samples" true

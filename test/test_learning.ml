@@ -175,7 +175,7 @@ let fictitious_properties =
 
 let test_learning_rows () =
   let rows =
-    Experiments.Learning.run ~seed:3 ~n:3 ~m:2 ~states:2 ~observations:[ 0; 64 ] ~trials:10
+    Experiments.Learning.run ~seed:3 ~n:3 ~m:2 ~states:2 ~observations:[ 0; 64 ] ~trials:10 ()
   in
   match rows with
   | [ blind; informed ] ->

@@ -123,6 +123,60 @@ let test_rng_split_independent () =
   let b = List.init 8 (fun _ -> Prng.Rng.bits64 child) in
   Alcotest.(check bool) "streams differ" true (a <> b)
 
+(* Regression for the copy+jump split: because the jump polynomial is
+   linear over the state and commutes with single-stepping, sibling
+   child k+1 was exactly child k advanced by one draw.  Eight siblings'
+   first 64 draws must now be pairwise disjoint as shifted sequences:
+   no sibling's stream may equal another's at any relative shift. *)
+let test_rng_split_siblings_not_shifted () =
+  let parent = Prng.Rng.create 8 in
+  let draws = 64 and siblings = 8 in
+  let streams =
+    Array.init siblings (fun _ ->
+        let child = Prng.Rng.split parent in
+        Array.init draws (fun _ -> Prng.Rng.bits64 child))
+  in
+  for a = 0 to siblings - 1 do
+    for b = 0 to siblings - 1 do
+      if a <> b then
+        for shift = 0 to draws - 1 do
+          (* Compare stream a advanced by [shift] with stream b; the
+             overlapping window must disagree somewhere. *)
+          let overlap = draws - shift in
+          let all_equal = ref true in
+          for i = 0 to overlap - 1 do
+            if streams.(a).(i + shift) <> streams.(b).(i) then all_equal := false
+          done;
+          if !all_equal then
+            Alcotest.failf "sibling %d shifted by %d reproduces sibling %d" a shift b
+        done
+    done
+  done;
+  (* And all 512 draws are distinct outright (64-bit collisions in 512
+     draws would be astronomically unlikely for independent streams). *)
+  let seen = Hashtbl.create 1024 in
+  Array.iter
+    (Array.iter (fun v ->
+         if Hashtbl.mem seen v then Alcotest.fail "duplicate draw across siblings";
+         Hashtbl.add seen v ()))
+    streams
+
+let test_rng_of_path_reproducible () =
+  let stream seed path =
+    let rng = Prng.Rng.of_path seed path in
+    List.init 16 (fun _ -> Prng.Rng.bits64 rng)
+  in
+  Alcotest.(check bool) "same (seed, path), same stream" true
+    (stream 42 [ 3; 7 ] = stream 42 [ 3; 7 ]);
+  Alcotest.(check bool) "different index, different stream" true
+    (stream 42 [ 3; 7 ] <> stream 42 [ 3; 8 ]);
+  Alcotest.(check bool) "different cell, different stream" true
+    (stream 42 [ 3; 7 ] <> stream 42 [ 4; 7 ]);
+  Alcotest.(check bool) "different seed, different stream" true
+    (stream 42 [ 3; 7 ] <> stream 43 [ 3; 7 ]);
+  Alcotest.(check bool) "path is not flattened" true
+    (stream 42 [ 3; 7 ] <> stream 42 [ 7; 3 ])
+
 let rng_properties =
   [
     prop "simplex sums to one" QCheck2.Gen.(pair (int_range 1 8) (int_range 1 30))
@@ -193,6 +247,8 @@ let suite =
     ("rng shuffle permutes", `Quick, test_rng_shuffle_permutes);
     ("rng pick", `Quick, test_rng_pick);
     ("rng split independent", `Quick, test_rng_split_independent);
+    ("rng split siblings not shifted", `Quick, test_rng_split_siblings_not_shifted);
+    ("rng of_path reproducible", `Quick, test_rng_of_path_reproducible);
     ("alias validation", `Quick, test_alias_validation);
     ("alias frequencies", `Quick, test_alias_frequencies);
     ("alias point mass", `Quick, test_alias_point_mass);
