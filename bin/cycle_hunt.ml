@@ -13,13 +13,23 @@
 
 open Cmdliner
 
+(* Integer power for profile encoding: the old float [**] round-trip
+   ([int_of_float (x ** y +. 0.5)]) loses exactness past 2^53 and trips
+   the R2 float lint; m and n are small, so the loop never overflows. *)
+let ipow b e =
+  let rec go acc b e =
+    if e = 0 then acc
+    else go (if e land 1 = 1 then acc * b else acc) (b * b) (e lsr 1)
+  in
+  go 1 b e
+
 (* Three-colour DFS over the better-response graph of one instance;
    weights [w], capacities [c], [m] links.  Returns true iff cyclic. *)
 let has_cycle ~w ~c ~m =
   let n = Array.length w in
-  let nodes = int_of_float ((float_of_int m ** float_of_int n) +. 0.5) in
+  let nodes = ipow m n in
   let colour = Bytes.make nodes '\000' in
-  let pw = Array.init n (fun i -> int_of_float ((float_of_int m ** float_of_int i) +. 0.5)) in
+  let pw = Array.init n (fun i -> ipow m i) in
   let cycle = ref false in
   let p = Array.make n 0 in
   let loads = Array.make m 0 in

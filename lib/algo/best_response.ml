@@ -38,13 +38,31 @@ let converge g ?initial ?(policy = First_defector) ~max_steps p =
   in
   go (Array.copy p) 0
 
+(* Cycle detection keys whole pure profiles.  The table is functorized
+   with an explicit int-array equality and hash so no lookup falls back
+   to the polymorphic [Hashtbl] structural hash (banned by the R1
+   exactness lint in lib/algo); the semantics are identical because a
+   profile is a plain int array. *)
+module Profile_table = Hashtbl.Make (struct
+  type t = Pure.profile
+
+  let equal (a : Pure.profile) (b : Pure.profile) =
+    Array.length a = Array.length b
+    &&
+    let rec eq i = i < 0 || (Int.equal a.(i) b.(i) && eq (i - 1)) in
+    eq (Array.length a - 1)
+
+  let hash (p : Pure.profile) =
+    Array.fold_left (fun h l -> (((h * 31) + l) + 1) land max_int) (Array.length p) p
+end)
+
 let random_better_response_walk g ~rng ~max_steps p =
-  let seen = Hashtbl.create 64 in
+  let seen = Profile_table.create 64 in
   let rec go p steps =
-    match Hashtbl.find_opt seen p with
+    match Profile_table.find_opt seen p with
     | Some at -> ({ profile = p; steps; converged = false }, Some (steps - at))
     | None ->
-      Hashtbl.add seen (Array.copy p) steps;
+      Profile_table.add seen (Array.copy p) steps;
       if steps >= max_steps then ({ profile = p; steps; converged = Pure.is_nash g p }, None)
       else begin
         (* Collect every improving (user, link) move and pick one

@@ -17,7 +17,7 @@ let solve ?initial g =
   Array.sort
     (fun a b ->
       let c = Rational.compare (Game.weight g b) (Game.weight g a) in
-      if c <> 0 then c else Stdlib.compare a b)
+      if c <> 0 then c else Int.compare a b)
     order;
   let sigma = Array.make n 0 in
   Array.iter

@@ -12,7 +12,7 @@ let solve g =
   Array.sort
     (fun a b ->
       let c = Rational.compare (Game.weight g b) (Game.weight g a) in
-      if c <> 0 then c else Stdlib.compare a b)
+      if c <> 0 then c else Int.compare a b)
     order;
   let load = Array.make m Rational.zero in
   let sigma = Array.make n 0 in

@@ -76,7 +76,7 @@ let optimum_bb name cost_of_partial g =
   Array.sort
     (fun a b ->
       let c = Rational.compare (Game.weight g b) (Game.weight g a) in
-      if c <> 0 then c else Stdlib.compare a b)
+      if c <> 0 then c else Int.compare a b)
     order;
   let loads = Array.make m Rational.zero in
   let assignment = Array.make n 0 in

@@ -20,10 +20,29 @@ let minus_one = Small (-1)
 (* |min_int| = max_int + 1, the first magnitude that must live in a Big. *)
 let min_int_mag = Bignat.succ (Bignat.of_int max_int)
 
+let assert_well_formed ~ctx = function
+  | Small i ->
+    if i = min_int then
+      Sanitize.fail (ctx ^ ": Small min_int (must be Big to keep the range symmetric)")
+  | Big (_, m) ->
+    Bignat.assert_well_formed ~ctx m;
+    (match Bignat.to_int_opt m with
+     | Some i ->
+       Sanitize.fail
+         (Printf.sprintf "%s: Big hides a native-size magnitude %d (must be Small)" ctx i)
+     | None -> ())
+
+let guard ctx n = if !Sanitize.enabled then assert_well_formed ~ctx n
+
+let unsafe_big ~negative mag = Big (negative, mag)
+
 let norm_big neg mag =
   match Bignat.to_int_opt mag with
   | Some i -> Small (if neg then -i else i)
-  | None -> Big (neg, mag)
+  | None ->
+    let r = Big (neg, mag) in
+    guard "Bigint.norm_big" r;
+    r
 
 let of_nat n = norm_big false n
 
@@ -53,20 +72,24 @@ let abs_nat = function
   | Big (_, m) -> m
 
 let sign = function
-  | Small i -> Stdlib.compare i 0
+  | Small i -> Int.compare i 0
   | Big (neg, _) -> if neg then -1 else 1
 
 let is_zero = function Small 0 -> true | _ -> false
 
 let equal (a : t) (b : t) =
+  guard "Bigint.equal" a;
+  guard "Bigint.equal" b;
   match a, b with
-  | Small x, Small y -> x = y
-  | Big (nx, mx), Big (ny, my) -> nx = ny && Bignat.equal mx my
+  | Small x, Small y -> Int.equal x y
+  | Big (nx, mx), Big (ny, my) -> Bool.equal nx ny && Bignat.equal mx my
   | _ -> false
 
 let compare a b =
+  guard "Bigint.compare" a;
+  guard "Bigint.compare" b;
   match a, b with
-  | Small x, Small y -> Stdlib.compare x y
+  | Small x, Small y -> Int.compare x y
   | Small _, Big (neg, _) -> if neg then 1 else -1
   | Big (neg, _), Small _ -> if neg then -1 else 1
   | Big (false, x), Big (false, y) -> Bignat.compare x y
@@ -75,12 +98,18 @@ let compare a b =
   | Big (true, _), Big (false, _) -> -1
 
 (* The canonical representation makes this consistent with [equal]:
-   numerically equal values share a constructor and payload. *)
-let hash = function
-  | Small i -> Hashtbl.hash i
+   numerically equal values share a constructor and payload.  The
+   Small mix is an explicit multiply-xorshift so no code path touches
+   the representation-polymorphic [Hashtbl.hash]. *)
+let hash n =
+  guard "Bigint.hash" n;
+  match n with
+  | Small i ->
+    let h = i * 0x9E3779B1 in
+    (h lxor (h lsr 24)) land max_int
   | Big (neg, m) ->
     let h = Bignat.hash m in
-    if neg then lnot h else h
+    (if neg then lnot h else h) land max_int
 
 let num_bits = function
   | Small i ->
@@ -126,6 +155,8 @@ let add_big a b =
   end
 
 let add a b =
+  guard "Bigint.add" a;
+  guard "Bigint.add" b;
   match a, b with
   | Small x, Small y ->
     let s = x + y in
@@ -136,6 +167,8 @@ let add a b =
   | _ -> add_big a b
 
 let sub a b =
+  guard "Bigint.sub" a;
+  guard "Bigint.sub" b;
   match a, b with
   | Small x, Small y ->
     let d = x - y in
@@ -148,6 +181,8 @@ let mul_big a b =
   norm_big (na <> nb) (Bignat.mul ma mb)
 
 let mul a b =
+  guard "Bigint.mul" a;
+  guard "Bigint.mul" b;
   match a, b with
   | Small x, Small y ->
     if x = 0 || y = 0 then zero
@@ -163,6 +198,8 @@ let mul a b =
   | _ -> mul_big a b
 
 let divmod a b =
+  guard "Bigint.divmod" a;
+  guard "Bigint.divmod" b;
   match a, b with
   | _, Small 0 -> raise Division_by_zero
   | Small x, Small y ->
@@ -179,6 +216,8 @@ let div a b = fst (divmod a b)
 let rem a b = snd (divmod a b)
 
 let gcd a b =
+  guard "Bigint.gcd" a;
+  guard "Bigint.gcd" b;
   match a, b with
   | Small x, Small y -> Small (Bignat.gcd_int (Stdlib.abs x) (Stdlib.abs y))
   | Small 0, n | n, Small 0 -> abs n
@@ -214,7 +253,8 @@ let of_string s =
 
 let pp fmt n = Format.pp_print_string fmt (to_string n)
 
+(* Intended float boundary: the one lossy exit from the exact tower. *)
 let to_float = function
   | Small i -> float_of_int i
   | Big (false, m) -> Bignat.to_float m
-  | Big (true, m) -> -.Bignat.to_float m
+  | Big (true, m) -> -.Bignat.to_float m (* lint: allow R2 *)

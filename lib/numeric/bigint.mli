@@ -36,6 +36,18 @@ val is_zero : t -> bool
 val equal : t -> t -> bool
 val compare : t -> t -> int
 
+(** [assert_well_formed ~ctx n] checks the tagged-representation
+    invariants ([Small] never [min_int]; a [Big] magnitude is in
+    Bignat normal form and never fits a native int) and raises
+    {!Sanitize.Violation} naming [ctx] on the first breach.  Called
+    automatically at operation boundaries when {!Sanitize.enabled}. *)
+val assert_well_formed : ctx:string -> t -> unit
+
+(** [unsafe_big ~negative mag] builds a [Big] with no demotion or
+    checking.  Exists only so sanitizer tests can forge malformed
+    values; never use it to build real numbers. *)
+val unsafe_big : negative:bool -> Bignat.t -> t
+
 (** [hash n] is consistent with {!equal} across both representations:
     the canonical small/big split guarantees numerically equal values
     hash identically. *)

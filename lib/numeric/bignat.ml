@@ -15,11 +15,25 @@ let two : t = [| 2 |]
 let is_zero n = Array.length n = 0
 let is_one n = Array.length n = 1 && n.(0) = 1
 
+let assert_well_formed ~ctx (n : t) =
+  let len = Array.length n in
+  if len > 0 && n.(len - 1) = 0 then
+    Sanitize.fail (ctx ^ ": Bignat with a high zero limb");
+  for i = 0 to len - 1 do
+    if n.(i) < 0 || n.(i) >= base then
+      Sanitize.fail (Printf.sprintf "%s: Bignat limb %d = %d outside [0, 2^30)" ctx i n.(i))
+  done
+
+let guard ctx n = if !Sanitize.enabled then assert_well_formed ~ctx n
+let checked ctx n = guard ctx n; n
+
+let unsafe_of_limbs a : t = Array.copy a
+
 (* Drop leading (high-order) zero limbs so representations are canonical. *)
 let normalize (a : int array) : t =
   let len = ref (Array.length a) in
   while !len > 0 && a.(!len - 1) = 0 do decr len done;
-  if !len = Array.length a then a else Array.sub a 0 !len
+  checked "Bignat.normalize" (if !len = Array.length a then a else Array.sub a 0 !len)
 
 let of_int n =
   if n < 0 then invalid_arg "Bignat.of_int: negative argument"
@@ -33,7 +47,7 @@ let of_int n =
       a.(i) <- !v land limb_mask;
       v := !v lsr base_bits
     done;
-    a
+    checked "Bignat.of_int" a
   end
 
 let to_int_opt n =
@@ -54,23 +68,46 @@ let to_int_exn n =
   | Some i -> i
   | None -> failwith "Bignat.to_int_exn: value exceeds native int range"
 
-let equal (a : t) (b : t) = a = b
+(* Structural equality on the canonical limb arrays IS numerical
+   equality; int-array contents keep the comparison monomorphic. *)
+let equal (a : t) (b : t) =
+  guard "Bignat.equal" a;
+  guard "Bignat.equal" b;
+  Array.length a = Array.length b
+  &&
+  let rec eq i = i < 0 || (a.(i) = b.(i) && eq (i - 1)) in
+  eq (Array.length a - 1)
 
 let compare (a : t) (b : t) =
+  guard "Bignat.compare" a;
+  guard "Bignat.compare" b;
   let la = Array.length a and lb = Array.length b in
-  if la <> lb then Stdlib.compare la lb
+  if la <> lb then Int.compare la lb
   else begin
     let rec cmp i =
       if i < 0 then 0
-      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else if a.(i) <> b.(i) then Int.compare a.(i) b.(i)
       else cmp (i - 1)
     in
     cmp (la - 1)
   end
 
-let hash (n : t) = Hashtbl.hash n
+(* FNV-1a folded over the canonical little-endian limbs.  Hashing the
+   limb list explicitly (rather than [Hashtbl.hash] on the raw array)
+   keeps the hash a function of the mathematical value alone and
+   independent of [Hashtbl.hash]'s traversal limits, which silently
+   truncate large structures. *)
+let hash (n : t) =
+  guard "Bignat.hash" n;
+  let h = ref 0x811C9DC5 in
+  for i = 0 to Array.length n - 1 do
+    h := (!h lxor n.(i)) * 0x01000193
+  done;
+  (!h lxor Array.length n) land max_int
 
 let add (a : t) (b : t) : t =
+  guard "Bignat.add" a;
+  guard "Bignat.add" b;
   let la = Array.length a and lb = Array.length b in
   let lr = 1 + max la lb in
   let r = Array.make lr 0 in
@@ -84,6 +121,8 @@ let add (a : t) (b : t) : t =
   normalize r
 
 let sub (a : t) (b : t) : t =
+  guard "Bignat.sub" a;
+  guard "Bignat.sub" b;
   if compare a b < 0 then invalid_arg "Bignat.sub: underflow";
   let la = Array.length a and lb = Array.length b in
   let r = Array.make la 0 in
@@ -132,6 +171,8 @@ let shift_limbs (n : t) k : t =
 let karatsuba_threshold = 512
 
 let rec mul (a : t) (b : t) : t =
+  guard "Bignat.mul" a;
+  guard "Bignat.mul" b;
   let la = Array.length a and lb = Array.length b in
   if la = 0 || lb = 0 then zero
   else if la < karatsuba_threshold || lb < karatsuba_threshold then mul_schoolbook a b
@@ -268,6 +309,8 @@ let divmod_knuth (a : t) (b : t) : t * t =
   (normalize q, shift_right r s)
 
 let divmod (a : t) (b : t) : t * t =
+  guard "Bignat.divmod" a;
+  guard "Bignat.divmod" b;
   if is_zero b then raise Division_by_zero
   else if compare a b < 0 then (zero, a)
   else if Array.length b = 1 then divmod_small a b.(0)
@@ -311,6 +354,8 @@ let gcd_int a b =
    both operands fit in an int (after one reduction step they almost
    always do). *)
 let rec gcd a b =
+  guard "Bignat.gcd" a;
+  guard "Bignat.gcd" b;
   match to_int_opt a, to_int_opt b with
   | Some x, Some y -> of_int (gcd_int x y)
   | _ -> if is_zero b then a else gcd b (rem a b)
@@ -369,5 +414,6 @@ let of_string s =
 
 let pp fmt n = Format.pp_print_string fmt (to_string n)
 
+(* Intended float boundary: the one lossy exit from the exact tower. *)
 let to_float (n : t) =
-  Array.fold_right (fun limb acc -> (acc *. float_of_int base) +. float_of_int limb) n 0.0
+  Array.fold_right (fun limb acc -> (acc *. float_of_int base) +. float_of_int limb) n 0.0 (* lint: allow R2 *)

@@ -31,7 +31,23 @@ val is_one : t -> bool
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+(** [hash n] folds explicitly over the canonical limb sequence, so
+    [equal a b] implies [hash a = hash b] and the hash never depends on
+    [Hashtbl.hash]'s representation traversal (or its size limits). *)
 val hash : t -> int
+
+(** [assert_well_formed ~ctx n] checks the canonical-representation
+    invariants (no high zero limb, every limb in [[0, 2^30)]) and
+    raises {!Sanitize.Violation} naming [ctx] on the first breach.
+    Called automatically at construction and operation boundaries when
+    {!Sanitize.enabled} is set. *)
+val assert_well_formed : ctx:string -> t -> unit
+
+(** [unsafe_of_limbs a] wraps a raw little-endian limb array with no
+    normalization or checking.  Exists only so sanitizer tests can
+    forge malformed values; never use it to build real numbers. *)
+val unsafe_of_limbs : int array -> t
 
 val add : t -> t -> t
 

@@ -27,6 +27,15 @@ let copy m = { data = Array.map Array.copy m.data }
 
 let transpose m = init (cols m) (rows m) (fun i j -> m.data.(j).(i))
 
+(* Composed from [Rational.hash] entrywise so [equal a b] implies
+   [hash a = hash b] without ever touching [Hashtbl.hash]. *)
+let hash m =
+  Array.fold_left
+    (fun h row ->
+      Array.fold_left (fun h q -> ((h * 31) + Rational.hash q) land max_int) (h lxor 0x2545F49) row)
+    (Array.length m.data)
+    m.data
+
 let equal a b =
   rows a = rows b && cols a = cols b
   && Array.for_all2 (Array.for_all2 Rational.equal) a.data b.data

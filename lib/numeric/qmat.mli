@@ -27,6 +27,10 @@ val copy : t -> t
 val transpose : t -> t
 val equal : t -> t -> bool
 
+(** [hash m] composes {!Rational.hash} entrywise, so [equal a b]
+    implies [hash a = hash b]; never falls back to [Hashtbl.hash]. *)
+val hash : t -> int
+
 (** [mul a b]. @raise Invalid_argument on dimension mismatch. *)
 val mul : t -> t -> t
 

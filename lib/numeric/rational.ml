@@ -1,13 +1,25 @@
 type t = { num : Bigint.t; den : Bigint.t }
 (* Invariant: den > 0 and gcd(|num|, den) = 1. *)
 
+let assert_well_formed ~ctx q =
+  Bigint.assert_well_formed ~ctx q.num;
+  Bigint.assert_well_formed ~ctx q.den;
+  if Bigint.sign q.den <= 0 then Sanitize.fail (ctx ^ ": Rational denominator not positive");
+  if not (Bigint.equal (Bigint.gcd q.num q.den) Bigint.one) then
+    Sanitize.fail (ctx ^ ": Rational not in lowest terms")
+
+let guard ctx q = if !Sanitize.enabled then assert_well_formed ~ctx q
+let checked ctx q = guard ctx q; q
+
+let unsafe_of_parts num den = { num; den }
+
 let make num den =
   if Bigint.is_zero den then raise Division_by_zero;
   if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
   else begin
     let num, den = if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den) else (num, den) in
     let g = Bigint.gcd num den in
-    { num = Bigint.div num g; den = Bigint.div den g }
+    checked "Rational.make" { num = Bigint.div num g; den = Bigint.div den g }
   end
 
 let of_ints a b = make (Bigint.of_int a) (Bigint.of_int b)
@@ -23,13 +35,14 @@ let minus_one = of_int (-1)
 let num q = q.num
 let den q = q.den
 
-let to_float q = Bigint.to_float q.num /. Bigint.to_float q.den
+(* Intended float boundary: the one lossy exit from the exact tower. *)
+let to_float q = Bigint.to_float q.num /. Bigint.to_float q.den (* lint: allow R2 *)
 
 let of_float_dyadic f =
-  if not (Float.is_finite f) then invalid_arg "Rational.of_float_dyadic: not finite";
-  let mantissa, exponent = Float.frexp f in
+  if not (Float.is_finite f) then invalid_arg "Rational.of_float_dyadic: not finite" (* lint: allow R2 *);
+  let mantissa, exponent = Float.frexp f in (* lint: allow R2 *)
   (* mantissa * 2^53 is integral for every finite float. *)
-  let scaled = Int64.to_int (Int64.of_float (Float.ldexp mantissa 53)) in
+  let scaled = Int64.to_int (Int64.of_float (Float.ldexp mantissa 53)) in (* lint: allow R2 *)
   let num = Bigint.of_int scaled in
   let e = exponent - 53 in
   if e >= 0 then make (Bigint.mul num (Bigint.pow (Bigint.of_int 2) e)) Bigint.one
@@ -39,15 +52,20 @@ let is_zero q = Bigint.is_zero q.num
 let is_integer q = Bigint.equal q.den Bigint.one
 let sign q = Bigint.sign q.num
 
-let equal a b = Bigint.equal a.num b.num && Bigint.equal a.den b.den
+let equal a b =
+  guard "Rational.equal" a;
+  guard "Rational.equal" b;
+  Bigint.equal a.num b.num && Bigint.equal a.den b.den
 
 let compare a b =
+  guard "Rational.compare" a;
+  guard "Rational.compare" b;
   (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den  (dens > 0),
      but first take the exits that avoid the cross products: differing
      signs, a shared denominator, and (for multi-limb operands) bit
      lengths far enough apart that the product comparison is decided. *)
   let sa = sign a and sb = sign b in
-  if sa <> sb then Stdlib.compare sa sb
+  if sa <> sb then Int.compare sa sb
   else if sa = 0 then 0
   else if Bigint.equal a.den b.den then Bigint.compare a.num b.num
   else if
@@ -89,6 +107,8 @@ let div_g x g = if Bigint.equal g Bigint.one then x else Bigint.div x g
    the result is already reduced.  The common same-denominator case
    costs one add and one gcd against the shared denominator. *)
 let add a b =
+  guard "Rational.add" a;
+  guard "Rational.add" b;
   if Bigint.is_zero a.num then b
   else if Bigint.is_zero b.num then a
   else if Bigint.equal a.den b.den then begin
@@ -122,6 +142,8 @@ let sub a b = add a (neg b)
 (* Cross-gcd multiplication: cancel num against the opposite den before
    multiplying, after which the product is already in lowest terms. *)
 let mul a b =
+  guard "Rational.mul" a;
+  guard "Rational.mul" b;
   if Bigint.is_zero a.num || Bigint.is_zero b.num then zero
   else begin
     let g1 = Bigint.gcd a.num b.den and g2 = Bigint.gcd b.num a.den in

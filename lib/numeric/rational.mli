@@ -47,6 +47,17 @@ val compare : t -> t -> int
     regardless of how either value was computed. *)
 val hash : t -> int
 
+(** [assert_well_formed ~ctx q] checks the invariants (well-formed
+    numerator and denominator, [den > 0], lowest terms) and raises
+    {!Sanitize.Violation} naming [ctx] on the first breach.  Called
+    automatically at operation boundaries when {!Sanitize.enabled}. *)
+val assert_well_formed : ctx:string -> t -> unit
+
+(** [unsafe_of_parts num den] builds [num/den] with no normalization
+    or checking.  Exists only so sanitizer tests can forge malformed
+    values; never use it to build real numbers. *)
+val unsafe_of_parts : Bigint.t -> Bigint.t -> t
+
 val neg : t -> t
 val abs : t -> t
 val inv : t -> t

@@ -63,11 +63,11 @@ module Nat = struct
 
   let compare (a : t) (b : t) =
     let la = Array.length a and lb = Array.length b in
-    if la <> lb then Stdlib.compare la lb
+    if la <> lb then Int.compare la lb
     else begin
       let rec cmp i =
         if i < 0 then 0
-        else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+        else if a.(i) <> b.(i) then Int.compare a.(i) b.(i)
         else cmp (i - 1)
       in
       cmp (la - 1)

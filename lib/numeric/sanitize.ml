@@ -1,0 +1,9 @@
+exception Violation of string
+
+let enabled =
+  ref
+    (match Sys.getenv_opt "SELFISH_SANITIZE" with
+     | Some ("1" | "true" | "yes") -> true
+     | Some _ | None -> false)
+
+let fail msg = raise (Violation ("SELFISH_SANITIZE: " ^ msg))

@@ -1,0 +1,20 @@
+(** Debug-build normal-form sanitizer gate.
+
+    When {!enabled} is true, the numeric tower asserts its
+    representation invariants (canonical limb arrays, the
+    [Small]/[Big] split, reduced rationals with positive denominators)
+    at construction and operation boundaries, raising {!Violation} on
+    the first malformed value it sees.  The flag initialises from the
+    [SELFISH_SANITIZE] environment variable ([1]/[true]/[yes]) so CI
+    can run the whole test suite as a sanitizer pass; tests may also
+    set it directly.  With the flag off the checks cost one ref read
+    and branch per guarded operation. *)
+
+exception Violation of string
+
+(** Mutable so tests can enable checking locally; initialised from the
+    [SELFISH_SANITIZE] environment variable. *)
+val enabled : bool ref
+
+(** [fail msg] raises {!Violation} with a [SELFISH_SANITIZE:] prefix. *)
+val fail : string -> 'a

@@ -44,7 +44,8 @@ let int_in t lo hi =
 
 let float t =
   let mantissa = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
-  float_of_int mantissa *. 0x1.0p-53
+  (* Intended float boundary: the uniform [0,1) draw itself. *)
+  float_of_int mantissa *. 0x1.0p-53 (* lint: allow R2 *)
 
 let bool t = Int64.logand (bits64 t) 1L = 1L
 
@@ -77,7 +78,7 @@ let simplex t ~dim ~grain =
   (* Stars and bars: choose dim-1 cut points with repetition in
      [0, grain], sort, take successive differences. *)
   let cuts = Array.init (dim - 1) (fun _ -> int_in t 0 grain) in
-  Array.sort Stdlib.compare cuts;
+  Array.sort Int.compare cuts;
   Array.init dim (fun i ->
       let lo = if i = 0 then 0 else cuts.(i - 1) in
       let hi = if i = dim - 1 then grain else cuts.(i) in

@@ -1,0 +1,4 @@
+(* Fixture: R2 violations.  Parsed by the lint tests, never compiled. *)
+let lit = 1.5
+let add a b = a +. b
+let f x = Float.abs x

@@ -1,0 +1,6 @@
+(* Fixture: R4 violation — a channel opened with no Fun.protect. *)
+let read path =
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  line

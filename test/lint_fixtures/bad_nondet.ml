@@ -1,0 +1,4 @@
+(* Fixture: R3 violations.  Parsed by the lint tests, never compiled. *)
+let a () = Random.int 10
+let b () = Sys.time ()
+let c () = Unix.gettimeofday ()

@@ -1,0 +1,5 @@
+(* Fixture: R1 violations.  Parsed by the lint tests, never compiled. *)
+let bad_compare a b = Stdlib.compare a b
+let bad_hash x = Hashtbl.hash x
+let bad_table () = Hashtbl.create 16
+let bad_equal x = x = Rational.zero

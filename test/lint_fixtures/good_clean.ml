@@ -1,0 +1,8 @@
+(* Fixture: clean under every rule.  Parsed by the lint tests only. *)
+let eq = Rational.equal Rational.zero Rational.one
+let cmp = Int.compare 1 2
+let sign_is_int x = Rational.sign x = 1
+
+let read path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> input_line ic)

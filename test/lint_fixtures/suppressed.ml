@@ -1,0 +1,8 @@
+(* Fixture: per-site suppression forms.  Parsed by the lint tests. *)
+let lit = 1.5 (* lint: allow R2 *)
+
+(* lint: allow nondet *)
+let t () = Sys.time ()
+
+let all = Hashtbl.hash 3 (* lint: allow *)
+let still_bad = 2.5

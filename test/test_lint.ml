@@ -1,0 +1,143 @@
+(* Tests for the exactness lint (tools/lint/lint_core).
+
+   The fixtures under [lint_fixtures/] are tiny known-good/known-bad
+   snippets that are parsed by the linter but never compiled (the
+   directory has no dune file).  We lint them with [all_rules] since
+   their paths do not match the repo scoping policy. *)
+
+open Lint_core
+
+let fixture name = Filename.concat "lint_fixtures" name
+
+let lint name = lint_file ~rules:all_rules (fixture name)
+
+let unsuppressed fs = List.filter (fun f -> not f.suppressed) fs
+
+(* (line, rule_id, suppressed) triple for compact assertions. *)
+let shape (f : finding) = (f.line, rule_id f.rule, f.suppressed)
+
+let shape_t : (int * string * bool) list Alcotest.testable =
+  Alcotest.(list (triple int string bool))
+
+let check_shapes msg expected findings =
+  Alcotest.check shape_t msg expected (List.map shape findings)
+
+let test_bad_poly () =
+  check_shapes "bad_poly.ml: four R1 findings"
+    [ (2, "R1", false); (3, "R1", false); (4, "R1", false); (5, "R1", false) ]
+    (lint "bad_poly.ml")
+
+let test_bad_float () =
+  check_shapes "bad_float.ml: three R2 findings"
+    [ (2, "R2", false); (3, "R2", false); (4, "R2", false) ]
+    (lint "bad_float.ml")
+
+let test_bad_nondet () =
+  check_shapes "bad_nondet.ml: three R3 findings"
+    [ (2, "R3", false); (3, "R3", false); (4, "R3", false) ]
+    (lint "bad_nondet.ml")
+
+let test_bad_io () =
+  check_shapes "bad_io.ml: one R4 finding at the open_in"
+    [ (3, "R4", false) ]
+    (lint "bad_io.ml")
+
+let test_good_clean () =
+  check_shapes "good_clean.ml: no findings" [] (lint "good_clean.ml")
+
+let test_suppression () =
+  (* Same-line [R2], line-above [nondet] mnemonic, bare [allow], and
+     one deliberately unsuppressed float literal at the end. *)
+  check_shapes "suppressed.ml: three suppressed, one live"
+    [ (2, "R2", true); (5, "R3", true); (7, "R1", true); (8, "R2", false) ]
+    (lint "suppressed.ml");
+  match unsuppressed (lint "suppressed.ml") with
+  | [ f ] ->
+    Alcotest.(check int) "live finding line" 8 f.line;
+    Alcotest.(check string) "live finding rule" "R2" (rule_id f.rule)
+  | fs -> Alcotest.failf "expected exactly one live finding, got %d" (List.length fs)
+
+let has r rules = List.mem r rules
+
+let test_default_rules_scoping () =
+  let numeric = default_rules "lib/numeric/bignat.ml" in
+  Alcotest.(check bool) "numeric: R1 on" true (has Poly numeric);
+  Alcotest.(check bool) "numeric: R2 on" true (has Float_op numeric);
+  Alcotest.(check bool) "numeric: R3 on" true (has Nondet numeric);
+  Alcotest.(check bool) "numeric: R4 on" true (has Unprotected_io numeric);
+  let stats = default_rules "lib/stats/summary.ml" in
+  Alcotest.(check bool) "stats: R2 off (float-permitted)" false (has Float_op stats);
+  Alcotest.(check bool) "stats: R1 off (not poly-scoped)" false (has Poly stats);
+  Alcotest.(check bool) "stats: R4 on" true (has Unprotected_io stats);
+  let report = default_rules "lib/experiments/report.ml" in
+  Alcotest.(check bool) "report.ml: R2 off" false (has Float_op report);
+  let bench = default_rules "bench/bench_numeric.ml" in
+  Alcotest.(check bool) "bench: R2 off" false (has Float_op bench);
+  Alcotest.(check bool) "bench: R3 off" false (has Nondet bench);
+  let experiments = default_rules "lib/experiments/curves.ml" in
+  Alcotest.(check bool) "experiments: R2 on (allowlist, not scoping)" true
+    (has Float_op experiments)
+
+let test_rule_of_string () =
+  let rule_t : rule option Alcotest.testable =
+    Alcotest.testable
+      (fun ppf r ->
+        Format.pp_print_string ppf
+          (match r with Some r -> rule_id r | None -> "<none>"))
+      ( = ) (* lint: allow R1 — tiny variant type in a test *)
+  in
+  Alcotest.check rule_t "R1" (Some Poly) (rule_of_string "R1");
+  Alcotest.check rule_t "poly" (Some Poly) (rule_of_string "poly");
+  Alcotest.check rule_t "FLOAT" (Some Float_op) (rule_of_string "FLOAT");
+  Alcotest.check rule_t "r3" (Some Nondet) (rule_of_string "r3");
+  Alcotest.check rule_t "io" (Some Unprotected_io) (rule_of_string "io");
+  Alcotest.check rule_t "bogus" None (rule_of_string "bogus")
+
+let test_allowlist_exact_path () =
+  let entries = parse_allowlist "R2 lint_fixtures/bad_float.ml\n" in
+  let fs = apply_allowlist entries (lint "bad_float.ml") in
+  Alcotest.(check int) "all R2 findings suppressed" 0 (List.length (unsuppressed fs));
+  (* The same entry must not touch a different file. *)
+  let other = apply_allowlist entries (lint "bad_nondet.ml") in
+  Alcotest.(check int) "bad_nondet untouched" 3 (List.length (unsuppressed other))
+
+let test_allowlist_wildcard_subtree () =
+  let entries = parse_allowlist "# everything under the fixtures\n* lint_fixtures/\n" in
+  let all =
+    List.concat_map lint
+      [ "bad_poly.ml"; "bad_float.ml"; "bad_nondet.ml"; "bad_io.ml" ]
+  in
+  let fs = apply_allowlist entries all in
+  Alcotest.(check int) "subtree wildcard suppresses everything" 0
+    (List.length (unsuppressed fs))
+
+let test_allowlist_rule_mismatch () =
+  let entries = parse_allowlist "R1 lint_fixtures/bad_float.ml\n" in
+  let fs = apply_allowlist entries (lint "bad_float.ml") in
+  Alcotest.(check int) "R1 entry does not silence R2 findings" 3
+    (List.length (unsuppressed fs))
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "fixtures",
+        [
+          Alcotest.test_case "bad_poly" `Quick test_bad_poly;
+          Alcotest.test_case "bad_float" `Quick test_bad_float;
+          Alcotest.test_case "bad_nondet" `Quick test_bad_nondet;
+          Alcotest.test_case "bad_io" `Quick test_bad_io;
+          Alcotest.test_case "good_clean" `Quick test_good_clean;
+          Alcotest.test_case "suppression" `Quick test_suppression;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "default_rules scoping" `Quick test_default_rules_scoping;
+          Alcotest.test_case "rule_of_string" `Quick test_rule_of_string;
+        ] );
+      ( "allowlist",
+        [
+          Alcotest.test_case "exact path" `Quick test_allowlist_exact_path;
+          Alcotest.test_case "wildcard subtree" `Quick test_allowlist_wildcard_subtree;
+          Alcotest.test_case "rule mismatch" `Quick test_allowlist_rule_mismatch;
+        ] );
+    ]

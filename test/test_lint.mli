@@ -1,0 +1,1 @@
+(* Test entry point; no exported interface. *)

@@ -483,6 +483,15 @@ let boundary_properties =
 
 let hash_law_properties =
   [
+    prop "bignat equal implies equal hash across construction routes"
+      QCheck2.Gen.(int_bound 1_000_000_000)
+      (fun n ->
+        let a = bn n in
+        let b = Bignat.of_string (string_of_int n) in
+        let huge_n = Bignat.of_string "340282366920938463463374607431768211507" in
+        let c = Bignat.sub (Bignat.add a huge_n) huge_n in
+        Bignat.equal a b && Bignat.equal a c
+        && Bignat.hash a = Bignat.hash b && Bignat.hash a = Bignat.hash c);
     prop "bigint equal implies equal hash (via Big detour)"
       QCheck2.Gen.(int_range (-1_000_000_000) 1_000_000_000)
       (fun n ->
@@ -510,6 +519,62 @@ let hash_law_properties =
         && Rational.hash a = Rational.hash restrung);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Normal-form sanitizer (SELFISH_SANITIZE).  Forge malformed values
+   through the unsafe_* test hooks and check the guarded entry points
+   reject them when the sanitizer is enabled. *)
+
+let with_sanitizer f =
+  let saved = !Sanitize.enabled in
+  Sanitize.enabled := true;
+  Fun.protect ~finally:(fun () -> Sanitize.enabled := saved) f
+
+let rejects name f =
+  match with_sanitizer f with
+  | exception Sanitize.Violation _ -> ()
+  | _ -> Alcotest.failf "%s: malformed value accepted" name
+
+let test_sanitize_bignat () =
+  (* A high zero limb breaks the canonical little-endian form. *)
+  let trailing_zero = Bignat.unsafe_of_limbs [| 1; 0 |] in
+  rejects "trailing zero limb in add" (fun () -> Bignat.add trailing_zero (bn 1));
+  rejects "trailing zero limb in hash" (fun () -> Bignat.hash trailing_zero);
+  let out_of_range = Bignat.unsafe_of_limbs [| 1 lsl 30 |] in
+  rejects "limb out of range" (fun () -> Bignat.mul out_of_range (bn 2));
+  (* Well-formed values sail through with the sanitizer on. *)
+  with_sanitizer (fun () ->
+      Alcotest.check check_bn "clean value unaffected" (bn 7) (Bignat.add (bn 3) (bn 4)))
+
+let test_sanitize_bigint () =
+  (* Big must be reserved for magnitudes beyond native int. *)
+  let small_mag = Bigint.unsafe_big ~negative:false (Bignat.of_int 5) in
+  rejects "Big wrapping small magnitude" (fun () -> Bigint.add small_mag (bi 1));
+  rejects "Big wrapping small magnitude in hash" (fun () -> Bigint.hash small_mag);
+  let bad_mag = Bigint.unsafe_big ~negative:true (Bignat.unsafe_of_limbs [| 3; 0 |]) in
+  rejects "Big with malformed magnitude" (fun () -> Bigint.mul bad_mag (bi 2));
+  with_sanitizer (fun () ->
+      Alcotest.check check_bi "clean value unaffected" (bi 7) (Bigint.add (bi 3) (bi 4)))
+
+let test_sanitize_rational () =
+  (* Non-reduced and wrong-sign-denominator forgeries. *)
+  let non_reduced = Rational.unsafe_of_parts (bi 2) (bi 4) in
+  rejects "non-reduced fraction" (fun () -> Rational.add non_reduced (q 1 3));
+  let neg_den = Rational.unsafe_of_parts (bi 1) (bi (-3)) in
+  rejects "negative denominator" (fun () -> Rational.compare neg_den (q 1 3));
+  with_sanitizer (fun () ->
+      Alcotest.check check_q "clean value unaffected" (q 5 6) (Rational.add (q 1 2) (q 1 3)))
+
+let test_sanitize_disabled_by_default () =
+  (* With the sanitizer off (the default), the unsafe hooks do not
+     trip assertions: operations run on the forged value as-is. *)
+  let saved = !Sanitize.enabled in
+  Sanitize.enabled := false;
+  Fun.protect
+    ~finally:(fun () -> Sanitize.enabled := saved)
+    (fun () ->
+      let small_mag = Bigint.unsafe_big ~negative:false (Bignat.of_int 5) in
+      ignore (Bigint.hash small_mag))
+
 let suite =
   [
     ("bignat round trip", `Quick, test_bignat_roundtrip);
@@ -534,6 +599,10 @@ let suite =
     ("rational string round-trip fuzz", `Quick, test_rational_string_roundtrip_fuzz);
     ("of_float_dyadic specials", `Quick, test_of_float_dyadic_special);
     ("of_float_dyadic fuzz", `Quick, test_of_float_dyadic_fuzz);
+    ("sanitizer rejects malformed bignat", `Quick, test_sanitize_bignat);
+    ("sanitizer rejects malformed bigint", `Quick, test_sanitize_bigint);
+    ("sanitizer rejects malformed rational", `Quick, test_sanitize_rational);
+    ("sanitizer off by default", `Quick, test_sanitize_disabled_by_default);
   ]
 
 let () =

@@ -1,0 +1,59 @@
+(** Exactness lint: syntactic rules over untyped parse trees.
+
+    Rules (see DESIGN.md §10 "Static guarantees"):
+    - [Poly] (R1): polymorphic compare/hash/Hashtbl in numeric-scoped
+      modules.
+    - [Float_op] (R2): float literals/operators/[Float.*] outside the
+      float-permitted modules.
+    - [Nondet] (R3): ambient [Random]/[Sys.time]/[Unix.gettimeofday].
+    - [Unprotected_io] (R4): channel opens with no [Fun.protect] in
+      the same top-level binding. *)
+
+type rule = Poly | Float_op | Nondet | Unprotected_io
+
+val all_rules : rule list
+
+(** [rule_id r] is the stable identifier ("R1".."R4"). *)
+val rule_id : rule -> string
+
+(** [rule_mnemonic r] is the short name accepted in allow comments
+    ("poly", "float", "nondet", "io"). *)
+val rule_mnemonic : rule -> string
+
+(** [rule_of_string s] accepts ids and mnemonics, case-insensitive. *)
+val rule_of_string : string -> rule option
+
+type finding = {
+  file : string;  (** normalized path as given to the linter *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based *)
+  rule : rule;
+  message : string;
+  suppressed : bool;  (** silenced by an allow comment or allowlist *)
+}
+
+(** [default_rules path] is the repo scoping policy: which rules apply
+    to [path] (relative to the repo root). *)
+val default_rules : string -> rule list
+
+(** [lint_source ~rules ~path content] parses [content] as an
+    implementation file and returns findings sorted by position, with
+    per-site [(* lint: allow ... *)] suppressions already marked.
+    @raise Syntaxerr.Error when the source does not parse. *)
+val lint_source : rules:rule list -> path:string -> string -> finding list
+
+(** [lint_file ~rules path] is [lint_source] on the file's contents. *)
+val lint_file : rules:rule list -> string -> finding list
+
+type allowlist_entry = { al_rule : rule option; al_path : string }
+
+(** [load_allowlist path] parses lines of [<rule> <path>] ([#]
+    comments allowed); rule [*] matches every rule, a path ending in
+    [/] matches the whole subtree. @raise Failure on malformed input. *)
+val load_allowlist : string -> allowlist_entry list
+
+val parse_allowlist : string -> allowlist_entry list
+
+(** [apply_allowlist entries findings] marks matching findings
+    suppressed (never unsuppresses). *)
+val apply_allowlist : allowlist_entry list -> finding list -> finding list
