@@ -931,6 +931,168 @@ let bench_engine_json () =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* ------------------------------------------------------------------ *)
+(* Incremental-evaluation benchmark: BENCH_walk.json artefact          *)
+
+(* Old-vs-new evaluation core.  [Seed_eval] reimplements the seed's
+   recompute-from-scratch semantics exactly as shipped before the
+   incremental [Model.View] existed — every latency pays an O(n) load
+   scan, every step re-lists the defectors and then re-derives the
+   mover's best response — because [Pure] itself now delegates to
+   views, so timing [Pure] would no longer measure the old core.  Two
+   fixed workloads run through both cores and must agree exactly: a
+   First_defector best-response walk and an exhaustive OPT1 sweep.
+   Writes schema bench-walk/1 to BENCH_walk.json or $BENCH_WALK_JSON.
+   BENCH_WALK_ONLY=1 runs just this section. *)
+module Seed_eval = struct
+  let load_on g p l =
+    let acc = ref Rational.zero in
+    Array.iteri (fun k lk -> if lk = l then acc := Rational.add !acc (Game.weight g k)) p;
+    !acc
+
+  let latency g p i = Rational.div (load_on g p p.(i)) (Game.capacity g i p.(i))
+
+  let latency_on_link g p i l =
+    let base = load_on g p l in
+    let load = if p.(i) = l then base else Rational.add base (Game.weight g i) in
+    Rational.div load (Game.capacity g i l)
+
+  let best_response g p i =
+    let best_link = ref 0 and best = ref (latency_on_link g p i 0) in
+    for l = 1 to Game.links g - 1 do
+      let lat = latency_on_link g p i l in
+      if Rational.compare lat !best < 0 then begin
+        best_link := l;
+        best := lat
+      end
+    done;
+    (!best_link, !best)
+
+  let is_defector g p i =
+    let current = latency g p i in
+    let rec scan l =
+      if l >= Game.links g then false
+      else if l <> p.(i) && Rational.compare (latency_on_link g p i l) current < 0 then true
+      else scan (l + 1)
+    in
+    scan 0
+
+  let defectors g p = List.filter (is_defector g p) (List.init (Game.users g) Fun.id)
+  let social_cost1 g p = Rational.sum (List.init (Game.users g) (fun i -> latency g p i))
+
+  let step g p =
+    match defectors g p with
+    | [] -> None
+    | mover :: _ ->
+      let target, _ = best_response g p mover in
+      let next = Array.copy p in
+      next.(mover) <- target;
+      Some next
+
+  let converge g ~max_steps p =
+    let rec go p steps =
+      if steps >= max_steps then (p, steps)
+      else match step g p with None -> (p, steps) | Some next -> go next (steps + 1)
+    in
+    go (Array.copy p) 0
+
+  let opt1 g =
+    let best = ref None and best_profile = ref [||] in
+    Social.iter_profiles g (fun p ->
+        let c = social_cost1 g p in
+        match !best with
+        | Some b when Rational.compare b c <= 0 -> ()
+        | _ ->
+          best := Some c;
+          best_profile := Array.copy p);
+    (Option.get !best, !best_profile)
+end
+
+let bench_walk_json () =
+  Report.heading "WALK" "seed recompute vs incremental view (emits BENCH_walk.json)";
+  let ms_of f =
+    let us, _ = Scaling.time_call f in
+    us /. 1000.0
+  in
+  (* Workload 1: a fixed First_defector best-response walk. *)
+  let n_walk = if quick then 8 else 12 and m_walk = 4 in
+  let rng = Prng.Rng.create 0x11A1 in
+  let g_walk =
+    Generators.game rng ~n:n_walk ~m:m_walk
+      ~weights:(Generators.Rational_weights 6)
+      ~beliefs:(Generators.Shared_space { states = 3; cap_bound = 6; grain = 4 })
+  in
+  let start = Array.make n_walk 0 in
+  let budget = 64 * n_walk * m_walk * (n_walk + m_walk) in
+  let seed_final = ref [||] and seed_steps = ref 0 in
+  let walk_seed_ms =
+    ms_of (fun () ->
+        let p, k = Seed_eval.converge g_walk ~max_steps:budget start in
+        seed_final := p;
+        seed_steps := k)
+  in
+  let inc_outcome = ref None in
+  let walk_inc_ms =
+    ms_of (fun () -> inc_outcome := Some (Algo.Best_response.converge g_walk ~max_steps:budget start))
+  in
+  let inc = Option.get !inc_outcome in
+  let walk_identical =
+    inc.Algo.Best_response.converged
+    && Pure.equal !seed_final inc.Algo.Best_response.profile
+    && !seed_steps = inc.Algo.Best_response.steps
+  in
+  (* Workload 2: a fixed exhaustive OPT1 sweep over all m^n profiles. *)
+  let n_opt = if quick then 7 else 9 and m_opt = 3 in
+  let g_opt =
+    Generators.game rng ~n:n_opt ~m:m_opt
+      ~weights:(Generators.Integer_weights 5)
+      ~beliefs:(Generators.Private_point { cap_bound = 6 })
+  in
+  let seed_opt = ref None in
+  let opt_seed_ms = ms_of (fun () -> seed_opt := Some (Seed_eval.opt1 g_opt)) in
+  let inc_opt = ref None in
+  let opt_inc_ms = ms_of (fun () -> inc_opt := Some (Social.opt1 g_opt)) in
+  let sv, sp = Option.get !seed_opt and iv, ip = Option.get !inc_opt in
+  let opt_identical = Rational.equal sv iv && Pure.equal sp ip in
+  let profiles = int_of_float (float_of_int m_opt ** float_of_int n_opt) in
+  let rows =
+    [
+      ("br_walk", n_walk, m_walk, !seed_steps, walk_seed_ms, walk_inc_ms, walk_identical);
+      ("opt1_sweep", n_opt, m_opt, profiles, opt_seed_ms, opt_inc_ms, opt_identical);
+    ]
+  in
+  let t = Stats.Table.create [ "workload"; "n"; "m"; "work"; "seed ms"; "incremental ms"; "speedup"; "identical" ] in
+  List.iter
+    (fun (name, n, m, work, s, i, ident) ->
+      Stats.Table.add_row t
+        [
+          name; string_of_int n; string_of_int m; string_of_int work; Report.flt s;
+          Report.flt i; Printf.sprintf "%.2fx" (s /. i); string_of_bool ident;
+        ])
+    rows;
+  Stats.Table.print t;
+  let out = Buffer.create 1024 in
+  Buffer.add_string out "{\n";
+  Buffer.add_string out "  \"schema\": \"bench-walk/1\",\n";
+  Printf.bprintf out "  \"quick\": %b,\n" quick;
+  Buffer.add_string out "  \"results\": [\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun idx (name, n, m, work, s, i, ident) ->
+      Printf.bprintf out
+        "    {\"workload\": \"%s\", \"n\": %d, \"m\": %d, \"work\": %d, \"seed_ms\": %.3f, \
+         \"incremental_ms\": %.3f, \"speedup\": %.3f, \"identical\": %b}%s\n"
+        name n m work s i (s /. i) ident
+        (if idx = last then "" else ","))
+    rows;
+  Buffer.add_string out "  ]\n";
+  Buffer.add_string out "}\n";
+  let path = Option.value (Sys.getenv_opt "BENCH_WALK_JSON") ~default:"BENCH_walk.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents out);
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 let main () =
   Printf.printf "Network Uncertainty in Selfish Routing — reproduction harness%s\n"
     (if quick then " (QUICK mode)" else "");
@@ -957,9 +1119,11 @@ let main () =
   bechamel_section ();
   bench_numeric_json ();
   bench_engine_json ();
+  bench_walk_json ();
   print_endline "\nAll experiment tables regenerated. See EXPERIMENTS.md for the paper-vs-measured record."
 
 let () =
   if Sys.getenv_opt "BENCH_NUMERIC_ONLY" <> None then bench_numeric_json ()
   else if Sys.getenv_opt "BENCH_ENGINE_ONLY" <> None then bench_engine_json ()
+  else if Sys.getenv_opt "BENCH_WALK_ONLY" <> None then bench_walk_json ()
   else main ()

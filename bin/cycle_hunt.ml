@@ -24,7 +24,12 @@ let ipow b e =
   go 1 b e
 
 (* Three-colour DFS over the better-response graph of one instance;
-   weights [w], capacities [c], [m] links.  Returns true iff cyclic. *)
+   weights [w], capacities [c], [m] links.  Returns true iff cyclic.
+   [p]/[loads] mirror the node the DFS sits at: decoded and refilled
+   once per root, then maintained across edges by applying each move
+   before recursing and reverting it after — the integer analogue of
+   Model.View's O(1) move/undo, replacing the seed's per-node decode
+   plus full load refill. *)
 let has_cycle ~w ~c ~m =
   let n = Array.length w in
   let nodes = ipow m n in
@@ -35,41 +40,47 @@ let has_cycle ~w ~c ~m =
   let loads = Array.make m 0 in
   let rec dfs v =
     Bytes.set colour v '\001';
-    let rest = ref v in
     for i = 0 to n - 1 do
-      p.(i) <- !rest mod m;
-      rest := !rest / m
+      if not !cycle then begin
+        let x = p.(i) in
+        for y = 0 to m - 1 do
+          if
+            (not !cycle) && y <> x
+            && (loads.(y) + w.(i)) * c.(i).(x) < loads.(x) * c.(i).(y)
+          then begin
+            let s = v + ((y - x) * pw.(i)) in
+            match Bytes.get colour s with
+            | '\000' ->
+              (* Apply the move, explore, revert — [cycle] only ever
+                 flips to true, so the revert is safe to run always. *)
+              p.(i) <- y;
+              loads.(x) <- loads.(x) - w.(i);
+              loads.(y) <- loads.(y) + w.(i);
+              dfs s;
+              p.(i) <- x;
+              loads.(y) <- loads.(y) - w.(i);
+              loads.(x) <- loads.(x) + w.(i)
+            | '\001' -> cycle := true
+            | _ -> ()
+          end
+        done
+      end
     done;
-    Array.fill loads 0 m 0;
-    Array.iteri (fun i l -> loads.(l) <- loads.(l) + w.(i)) p;
-    (* Successors mutate [p]/[loads]; recompute them per [v] on entry,
-       so the loop below snapshots what it needs first. *)
-    let snapshot_p = Array.copy p and snapshot_loads = Array.copy loads in
-    (try
-       for i = 0 to n - 1 do
-         let x = snapshot_p.(i) in
-         for y = 0 to m - 1 do
-           if
-             y <> x
-             && (snapshot_loads.(y) + w.(i)) * c.(i).(x) < snapshot_loads.(x) * c.(i).(y)
-           then begin
-             let s = v + ((y - x) * pw.(i)) in
-             match Bytes.get colour s with
-             | '\000' -> dfs s
-             | '\001' ->
-               cycle := true;
-               raise Exit
-             | _ -> ()
-           end
-         done
-       done
-     with Exit -> ());
     if not !cycle then Bytes.set colour v '\002'
   in
   (try
      let v = ref 0 in
      while (not !cycle) && !v < nodes do
-       if Bytes.get colour !v = '\000' then dfs !v;
+       if Bytes.get colour !v = '\000' then begin
+         let rest = ref !v in
+         for i = 0 to n - 1 do
+           p.(i) <- !rest mod m;
+           rest := !rest / m
+         done;
+         Array.fill loads 0 m 0;
+         Array.iteri (fun i l -> loads.(l) <- loads.(l) + w.(i)) p;
+         dfs !v
+       end;
        incr v
      done
    with Stack_overflow -> prerr_endline "warning: DFS overflow; instance skipped");

@@ -5,38 +5,66 @@ type policy = First_defector | Last_defector | Best_improvement
 
 type outcome = { profile : Pure.profile; steps : int; converged : bool }
 
-let gain g ?initial p i =
-  let current = Pure.latency g ?initial p i in
-  let _, best = Pure.best_response g ?initial p i in
-  Rational.sub current best
+(* One pass over the users picks the mover and its best-response target
+   under [policy].  Each user costs one O(m) [best_response_for] scan
+   against the view's O(1) loads; the seed path listed the defectors
+   first and then recomputed the best response of the chosen one — two
+   O(n·m·n) traversals per step.  [First_defector] exits at the first
+   hit; [Last_defector] remembers the latest hit in the same single
+   pass (the seed walked the whole defector list a second time with
+   [List.nth]).  [Best_improvement] keeps the first user attaining the
+   strictly largest gain, matching the seed's fold tie-breaking. *)
+let choose_move v ~policy =
+  let n = View.users v in
+  match policy with
+  | First_defector ->
+    let rec scan i =
+      if i >= n then None
+      else
+        let target, best = View.best_response_for v i in
+        if Rational.compare best (View.latency v i) < 0 then Some (i, target) else scan (i + 1)
+    in
+    scan 0
+  | Last_defector ->
+    let found = ref None in
+    for i = 0 to n - 1 do
+      let target, best = View.best_response_for v i in
+      if Rational.compare best (View.latency v i) < 0 then found := Some (i, target)
+    done;
+    !found
+  | Best_improvement ->
+    let found = ref None and best_gain = ref Rational.zero in
+    for i = 0 to n - 1 do
+      let target, best = View.best_response_for v i in
+      let gain = Rational.sub (View.latency v i) best in
+      if Rational.sign gain > 0 && Rational.compare gain !best_gain > 0 then begin
+        found := Some (i, target);
+        best_gain := gain
+      end
+    done;
+    !found
 
 let step g ?initial ~policy p =
-  let defectors = Pure.defectors g ?initial p in
-  match defectors with
-  | [] -> None
-  | first :: _ ->
-    let mover =
-      match policy with
-      | First_defector -> first
-      | Last_defector -> List.nth defectors (List.length defectors - 1)
-      | Best_improvement ->
-        let better a b = Rational.compare (gain g ?initial p a) (gain g ?initial p b) > 0 in
-        List.fold_left (fun best d -> if better d best then d else best) first defectors
-    in
-    let target, _ = Pure.best_response g ?initial p mover in
+  let v = View.of_profile g ?initial p in
+  match choose_move v ~policy with
+  | None -> None
+  | Some (mover, target) ->
     let next = Array.copy p in
     next.(mover) <- target;
     Some next
 
 let converge g ?initial ?(policy = First_defector) ~max_steps p =
-  let rec go p steps =
-    if steps >= max_steps then { profile = p; steps; converged = Pure.is_nash g ?initial p }
+  let v = View.of_profile g ?initial p in
+  let rec go steps =
+    if steps >= max_steps then { profile = View.profile v; steps; converged = View.is_nash v }
     else
-      match step g ?initial ~policy p with
-      | None -> { profile = p; steps; converged = true }
-      | Some next -> go next (steps + 1)
+      match choose_move v ~policy with
+      | None -> { profile = View.profile v; steps; converged = true }
+      | Some (mover, target) ->
+        View.move v mover target;
+        go (steps + 1)
   in
-  go (Array.copy p) 0
+  go 0
 
 (* Cycle detection keys whole pure profiles.  The table is functorized
    with an explicit int-array equality and hash so no lookup falls back
@@ -58,26 +86,30 @@ end)
 
 let random_better_response_walk g ~rng ~max_steps p =
   let seen = Profile_table.create 64 in
-  let rec go p steps =
+  let v = View.of_profile g p in
+  let rec go steps =
+    let p = View.profile v in
     match Profile_table.find_opt seen p with
     | Some at -> ({ profile = p; steps; converged = false }, Some (steps - at))
     | None ->
-      Profile_table.add seen (Array.copy p) steps;
-      if steps >= max_steps then ({ profile = p; steps; converged = Pure.is_nash g p }, None)
+      Profile_table.add seen p steps;
+      if steps >= max_steps then ({ profile = p; steps; converged = View.is_nash v }, None)
       else begin
         (* Collect every improving (user, link) move and pick one
-           uniformly: better-response, not best-response. *)
+           uniformly: better-response, not best-response.  The move list
+           is built exactly as before — ascending links per user,
+           prepended over ascending users — so the RNG draw protocol is
+           unchanged. *)
         let moves = ref [] in
         for i = 0 to Game.users g - 1 do
-          List.iter (fun l -> moves := (i, l) :: !moves) (Pure.improving_moves g p i)
+          List.iter (fun l -> moves := (i, l) :: !moves) (View.improving_moves v i)
         done;
         match !moves with
         | [] -> ({ profile = p; steps; converged = true }, None)
         | moves ->
           let i, l = Prng.Rng.pick_list rng moves in
-          let next = Array.copy p in
-          next.(i) <- l;
-          go next (steps + 1)
+          View.move v i l;
+          go (steps + 1)
       end
   in
-  go (Array.copy p) 0
+  go 0

@@ -20,13 +20,17 @@ type outcome = {
 }
 
 (** [step g ?initial ~policy p] performs one best-response move, or
-    returns [None] when [p] is already a Nash equilibrium. *)
+    returns [None] when [p] is already a Nash equilibrium.  The mover
+    and its target are found in a single O(n·m) pass over a {!View}
+    (one best-response scan per user), for every policy. *)
 val step :
   Game.t -> ?initial:Numeric.Rational.t array -> policy:policy -> Pure.profile ->
   Pure.profile option
 
 (** [converge g ?initial ?policy ~max_steps p] iterates best-response
-    moves from [p] until equilibrium or the step budget runs out. *)
+    moves from [p] until equilibrium or the step budget runs out.  The
+    whole run holds one incremental {!View}: each step applies an O(1)
+    load delta instead of copying and re-materialising the profile. *)
 val converge :
   Game.t ->
   ?initial:Numeric.Rational.t array ->

@@ -4,9 +4,11 @@ open Numeric
 type result = { value : Rational.t; distribution : (Pure.profile * Rational.t) list }
 
 (* λ_i(σ) − λ_i(σ[i→b]): user i's regret for following recommendation
-   σ_i instead of b, at profile σ. *)
-let deviation_gain g sigma i b =
-  Rational.sub (Pure.latency g sigma i) (Pure.latency_on_link g sigma i b)
+   σ_i instead of b, at profile σ.  Evaluated against a view positioned
+   at σ, both latencies are O(1) load lookups; building one view per
+   support profile up front replaces the seed's O(n) load rescan under
+   every one of the n·m² constraint coefficients. *)
+let deviation_gain_v v i b = Rational.sub (View.latency v i) (View.latency_on_link v i b)
 
 let profiles g =
   let acc = ref [] in
@@ -24,6 +26,12 @@ let is_correlated_equilibrium g dist =
     dist;
   if not (Rational.equal !total Rational.one) then
     invalid_arg "Correlated.is_correlated_equilibrium: probabilities must sum to 1";
+  let support =
+    List.filter_map
+      (fun (p, prob) ->
+        if Rational.is_zero prob then None else Some (p, prob, View.of_profile g p))
+      dist
+  in
   let n = Game.users g and m = Game.links g in
   let rec check_user i =
     if i >= n then true
@@ -36,10 +44,10 @@ let is_correlated_equilibrium g dist =
           (* Σ_{σ: σ_i = a} x_σ (λ_i(σ) − λ_i(σ[i→b])) ≤ 0 *)
           let acc = ref Rational.zero in
           List.iter
-            (fun (p, prob) ->
-              if p.(i) = a && not (Rational.is_zero prob) then
-                acc := Rational.add !acc (Rational.mul prob (deviation_gain g p i b)))
-            dist;
+            (fun (p, prob, v) ->
+              if p.(i) = a then
+                acc := Rational.add !acc (Rational.mul prob (deviation_gain_v v i b)))
+            support;
           Rational.sign !acc <= 0 && check_pair a (b + 1)
         end
       in
@@ -51,6 +59,7 @@ let is_correlated_equilibrium g dist =
 let ce_constraints g all =
   let n = Game.users g and m = Game.links g in
   let nvars = Array.length all in
+  let views = Array.map (View.of_profile g) all in
   let constraints = ref [] in
   (* Normalisation: Σ x = 1. *)
   constraints :=
@@ -61,9 +70,8 @@ let ce_constraints g all =
       for b = 0 to m - 1 do
         if a <> b then begin
           let coeffs =
-            Array.map
-              (fun p -> if p.(i) = a then deviation_gain g p i b else Rational.zero)
-              all
+            Array.init nvars (fun j ->
+                if all.(j).(i) = a then deviation_gain_v views.(j) i b else Rational.zero)
           in
           if Array.exists (fun q -> not (Rational.is_zero q)) coeffs then
             constraints :=

@@ -6,23 +6,27 @@ let guard name limit g =
   | Some c when c <= limit -> ()
   | _ -> invalid_arg (Printf.sprintf "Enumerate.%s: state space exceeds the limit" name)
 
+(* The exhaustive scans ride [View.sweep]: the odometer applies O(1)
+   load deltas between consecutive profiles, so checking a profile is
+   the O(n·m) [View.is_nash] pass instead of the seed's O(n²·m)
+   recompute-per-user. *)
 let pure_nash ?(limit = 10_000_000) g =
   guard "pure_nash" limit g;
   let acc = ref [] in
-  Social.iter_profiles g (fun p -> if Pure.is_nash g p then acc := Array.copy p :: !acc);
+  View.sweep g (fun v -> if View.is_nash v then acc := View.profile v :: !acc);
   List.rev !acc
 
 let count ?(limit = 10_000_000) g =
   guard "count" limit g;
   let acc = ref 0 in
-  Social.iter_profiles g (fun p -> if Pure.is_nash g p then incr acc);
+  View.sweep g (fun v -> if View.is_nash v then incr acc);
   !acc
 
 let exists ?(limit = 10_000_000) g =
   guard "exists" limit g;
   let exception Found in
   try
-    Social.iter_profiles g (fun p -> if Pure.is_nash g p then raise Found);
+    View.sweep g (fun v -> if View.is_nash v then raise Found);
     false
   with Found -> true
 

@@ -1,12 +1,28 @@
 open Model
+
 type move_kind = Best_response | Better_response
+
+(* Exact [m^n] with the multiply checked against [max_int] before it
+   happens (the bin/cycle_hunt [ipow] discipline): the mixed-radix node
+   ids below are only bijective while every intermediate power stays
+   representable. *)
+let ipow_checked name ~m ~n =
+  let rec go acc i =
+    if i = 0 then acc
+    else if acc > max_int / m then
+      invalid_arg (Printf.sprintf "Game_graph.%s: %d^%d overflows the native int range" name m n)
+    else go (acc * m) (i - 1)
+  in
+  go 1 n
 
 let encode g p =
   let m = Game.links g in
+  ignore (ipow_checked "encode" ~m ~n:(Game.users g));
   Array.fold_right (fun l acc -> (acc * m) + l) p 0
 
 let decode g k =
   let n = Game.users g and m = Game.links g in
+  ignore (ipow_checked "decode" ~m ~n);
   let p = Array.make n 0 in
   let rest = ref k in
   for i = 0 to n - 1 do
@@ -15,26 +31,29 @@ let decode g k =
   done;
   p
 
-let successors g ?initial ~kind p =
+(* The (user, target) moves defining a node's out-edges, in the order
+   [successors] has always listed them: ascending user, and within a
+   user the better-response targets in descending link order. *)
+let successor_moves v ~kind =
   let acc = ref [] in
-  for i = Game.users g - 1 downto 0 do
+  for i = View.users v - 1 downto 0 do
     match kind with
     | Best_response ->
-      let target, best = Pure.best_response g ?initial p i in
-      if Numeric.Rational.compare best (Pure.latency g ?initial p i) < 0 then begin
-        let next = Array.copy p in
-        next.(i) <- target;
-        acc := next :: !acc
-      end
+      let target, best = View.best_response_for v i in
+      if Numeric.Rational.compare best (View.latency v i) < 0 then acc := (i, target) :: !acc
     | Better_response ->
-      List.iter
-        (fun l ->
-          let next = Array.copy p in
-          next.(i) <- l;
-          acc := next :: !acc)
-        (Pure.improving_moves g ?initial p i)
+      List.iter (fun l -> acc := (i, l) :: !acc) (View.improving_moves v i)
   done;
   !acc
+
+let successors g ?initial ~kind p =
+  let v = View.of_profile g ?initial p in
+  List.map
+    (fun (i, l) ->
+      let next = Array.copy p in
+      next.(i) <- l;
+      next)
+    (successor_moves v ~kind)
 
 let node_count name limit g =
   match Social.profile_count g with
@@ -43,35 +62,46 @@ let node_count name limit g =
 
 let find_cycle ?(limit = 2_000_000) ?initial g ~kind =
   let count = node_count "find_cycle" limit g in
+  let n = Game.users g and m = Game.links g in
+  (* pw.(i) = m^i: moving user i from link l to l' shifts the node id by
+     (l' - l)·m^i, so the DFS never re-encodes a whole profile. *)
+  let pw = Array.make (max n 1) 1 in
+  for i = 1 to n - 1 do
+    pw.(i) <- pw.(i - 1) * m
+  done;
   (* Iterative three-colour DFS; colours: 0 unvisited, 1 on stack,
-     2 done.  [parent] reconstructs the witness cycle. *)
+     2 done.  [parent] reconstructs the witness cycle.  One [View] per
+     DFS root carries the loads down the tree: each edge is an O(1)
+     [move] on descent and an [undo] on return, where the seed decoded
+     and re-materialised every node from scratch. *)
   let colour = Bytes.make count '\000' in
   let parent = Array.make count (-1) in
   let cycle = ref None in
-  let rec dfs v =
-    Bytes.set colour v '\001';
-    let succs = successors g ?initial ~kind (decode g v) in
+  let rec dfs v id =
+    Bytes.set colour id '\001';
     List.iter
-      (fun sp ->
+      (fun (i, l) ->
         if !cycle = None then begin
-          let s = encode g sp in
+          let s = id + ((l - View.link v i) * pw.(i)) in
           match Bytes.get colour s with
           | '\000' ->
-            parent.(s) <- v;
-            dfs s
+            parent.(s) <- id;
+            View.move v i l;
+            dfs v s;
+            View.undo v
           | '\001' ->
-            (* Back edge: walk parents from v back to s. *)
+            (* Back edge: walk parents from id back to s. *)
             let rec collect u acc = if u = s then u :: acc else collect parent.(u) (u :: acc) in
-            cycle := Some (List.map (decode g) (collect v []))
+            cycle := Some (List.map (decode g) (collect id []))
           | _ -> ()
         end)
-      succs;
-    if Bytes.get colour v = '\001' then Bytes.set colour v '\002'
+      (successor_moves v ~kind);
+    if Bytes.get colour id = '\001' then Bytes.set colour id '\002'
   in
-  let v = ref 0 in
-  while !cycle = None && !v < count do
-    if Bytes.get colour !v = '\000' then dfs !v;
-    incr v
+  let id = ref 0 in
+  while !cycle = None && !id < count do
+    if Bytes.get colour !id = '\000' then dfs (View.of_profile g ?initial (decode g !id)) !id;
+    incr id
   done;
   !cycle
 

@@ -12,7 +12,10 @@ open Model
 type move_kind = Best_response | Better_response
 
 (** [encode g p] bijectively maps a profile to an integer in
-    [0, m^n); [decode g k] inverts it. *)
+    [0, m^n); [decode g k] inverts it.
+    @raise Invalid_argument when [m^n] overflows the native int range
+    (the message names the offending [m] and [n]) — without the guard
+    the mixed-radix id would silently wrap and stop being injective. *)
 val encode : Game.t -> Pure.profile -> int
 
 val decode : Game.t -> int -> Pure.profile
@@ -26,7 +29,10 @@ val successors :
 
 (** [find_cycle g ~kind] searches the whole graph and returns a witness
     cycle (a list of successive profiles, first = last omitted) if one
-    exists. @raise Invalid_argument when [m^n] exceeds [limit]
+    exists.  The DFS carries one incremental {!View} per root — an O(1)
+    move/undo per tree edge and an id delta of [(l' - l)·m^i] — instead
+    of decoding and re-materialising every node.
+    @raise Invalid_argument when [m^n] exceeds [limit]
     (default [2_000_000]). *)
 val find_cycle :
   ?limit:int -> ?initial:Numeric.Rational.t array -> Game.t -> kind:move_kind ->

@@ -1,28 +1,31 @@
 open Model
 open Numeric
 
-let square_defect g sigma ~i ~j ~li ~lj =
+(* Walk the square a → b → c → d → a with balanced [move]/[undo] pairs
+   on the view, reading the two movers' latencies at each corner; the
+   seed allocated four profile copies and paid an O(n) load scan for
+   each of the eight latencies. *)
+let square_defect_v v ~i ~j ~li ~lj =
   if i = j then invalid_arg "Potential.square_defect: users must differ";
-  let cost p k = Pure.latency g p k in
-  let move p k l =
-    let q = Array.copy p in
-    q.(k) <- l;
-    q
-  in
-  let a = Array.copy sigma in
-  let b = move a i li in
-  (* around the square a → b → c → d → a, alternating movers i, j *)
-  let c = move b j lj in
-  let d = move a j lj in
+  let ai = View.latency v i and aj = View.latency v j in
+  View.move v i li;
+  (* at b = a[i ↦ li] *)
+  let bi = View.latency v i and bj = View.latency v j in
+  View.move v j lj;
+  (* at c = b[j ↦ lj] *)
+  let ci = View.latency v i and cj = View.latency v j in
+  View.undo v;
+  View.undo v;
+  View.move v j lj;
+  (* at d = a[j ↦ lj] *)
+  let di = View.latency v i and dj = View.latency v j in
+  View.undo v;
   (* Monderer–Shapley: (u_i(b) - u_i(a)) + (u_j(c) - u_j(b))
      + (u_i(d) - u_i(c)) + (u_j(a) - u_j(d)) = 0 for exact potentials. *)
   Rational.sum
-    [
-      Rational.sub (cost b i) (cost a i);
-      Rational.sub (cost c j) (cost b j);
-      Rational.sub (cost d i) (cost c i);
-      Rational.sub (cost a j) (cost d j);
-    ]
+    [ Rational.sub bi ai; Rational.sub cj bj; Rational.sub di ci; Rational.sub aj dj ]
+
+let square_defect g sigma ~i ~j ~li ~lj = square_defect_v (View.of_profile g sigma) ~i ~j ~li ~lj
 
 let find_nonzero_square ?(limit = 100_000) g =
   (match Social.profile_count g with
@@ -31,15 +34,15 @@ let find_nonzero_square ?(limit = 100_000) g =
   let n = Game.users g and m = Game.links g in
   let witness = ref None in
   (try
-     Social.iter_profiles g (fun sigma ->
+     View.sweep g (fun v ->
          for i = 0 to n - 1 do
            for j = i + 1 to n - 1 do
              for li = 0 to m - 1 do
-               if li <> sigma.(i) then
+               if li <> View.link v i then
                  for lj = 0 to m - 1 do
-                   if lj <> sigma.(j) then
-                     if not (Rational.is_zero (square_defect g sigma ~i ~j ~li ~lj)) then begin
-                       witness := Some (Array.copy sigma, i, j, li, lj);
+                   if lj <> View.link v j then
+                     if not (Rational.is_zero (square_defect_v v ~i ~j ~li ~lj)) then begin
+                       witness := Some (View.profile v, i, j, li, lj);
                        raise Exit
                      end
                  done

@@ -17,6 +17,9 @@ let run ?(domains = 1) ~seed ~ns ~ms ~trials ~weights ~beliefs () =
   Engine.sweep ~domains ~seed ~cells ~trials
     ~task:(fun (n, m) rng _trial ->
       let g = Generators.game rng ~n ~m ~weights ~beliefs in
+      (* Both graph searches and the existence scan run on incremental
+         views underneath (O(1) load deltas per edge/profile), which is
+         what makes exhausting m^n states per trial affordable here. *)
       let best =
         Algo.Game_graph.find_cycle g ~kind:Algo.Game_graph.Best_response <> None
       in

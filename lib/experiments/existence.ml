@@ -25,6 +25,9 @@ let run ?(domains = 1) ~seed ~ns ~ms ~trials ~weights ~beliefs () =
   Engine.sweep ~domains ~seed ~cells ~trials
     ~task:(fun (n, m) rng _trial ->
       let g = Generators.game rng ~n ~m ~weights ~beliefs in
+      (* [count] sweeps an incremental view over all m^n profiles and
+         [converge] holds one view for the whole walk — per-trial cost
+         is dominated by the O(n·m) Nash checks, not load recomputes. *)
       let ne_count = Algo.Enumerate.count g in
       let start = random_profile rng g in
       let budget = 16 * n * m * (n + m) in

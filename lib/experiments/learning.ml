@@ -43,11 +43,14 @@ let run ?(domains = 1) ~seed ~n ~m ~states ~observations ~trials () =
         else begin
           let true_belief = Belief.make space truth in
           let true_caps = Belief.effective_capacities true_belief in
-          let loads = Pure.loads g o.profile in
+          (* One view materialises the final loads; the realised cost
+             reads them under the true capacities (the players' beliefs
+             only shaped the dynamics above). *)
+          let v = View.of_profile g o.profile in
           let realised =
             Rational.sum
               (List.init n (fun i ->
-                   Rational.div loads.(o.profile.(i)) true_caps.(o.profile.(i))))
+                   Rational.div (View.load v o.profile.(i)) true_caps.(o.profile.(i))))
           in
           let informed = Game.make ~weights ~beliefs:(Array.make n true_belief) in
           let opt, _ = Social.opt1_bb informed in

@@ -38,9 +38,9 @@ let run ?(domains = 1) ~seed ~ns ~ms ~trials ~weights ~beliefs ~bound () =
         | `General -> Bounds.theorem_4_14 g
       in
       let opt1, _ = Social.opt1_bb g and opt2, _ = Social.opt2_bb g in
-      let consider mixed =
-        let r1 = Rational.div (Mixed.social_cost1 g mixed) opt1 in
-        let r2 = Rational.div (Mixed.social_cost2 g mixed) opt2 in
+      let consider ~sc1 ~sc2 =
+        let r1 = Rational.div sc1 opt1 in
+        let r2 = Rational.div sc2 opt2 in
         {
           r1 = Rational.to_float r1;
           r2 = Rational.to_float r2;
@@ -50,8 +50,20 @@ let run ?(domains = 1) ~seed ~ns ~ms ~trials ~weights ~beliefs ~bound () =
             Rational.compare r1 bound_value > 0 || Rational.compare r2 bound_value > 0;
         }
       in
-      let pure = List.map (fun ne -> consider (Mixed.of_pure g ne)) (Algo.Enumerate.pure_nash g) in
-      let fm = match Algo.Fully_mixed.compute g with Some p -> [ consider p ] | None -> [] in
+      (* A pure equilibrium's mixed costs are its pure costs (the
+         product measure is a point mass), so score it directly on the
+         profile instead of expanding the degenerate m^n expectation
+         through [Mixed.of_pure]. *)
+      let pure =
+        List.map
+          (fun ne -> consider ~sc1:(Pure.social_cost1 g ne) ~sc2:(Pure.social_cost2 g ne))
+          (Algo.Enumerate.pure_nash g)
+      in
+      let fm =
+        match Algo.Fully_mixed.compute g with
+        | Some p -> [ consider ~sc1:(Mixed.social_cost1 g p) ~sc2:(Mixed.social_cost2 g p) ]
+        | None -> []
+      in
       { bound_f = Rational.to_float bound_value; eqs = pure @ fm })
     ~reduce:(fun (n, m) outcomes ->
       let equilibria = ref 0 and violations = ref 0 in

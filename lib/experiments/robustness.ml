@@ -40,14 +40,15 @@ let run ?(domains = 1) ?(noise = `Simplex) ~seed ~n ~m ~states ~epsilons ~trials
       let o = Algo.Best_response.converge g ~max_steps:(64 * n * m * (n + m)) start in
       if not o.converged then None
       else begin
-        (* Price the equilibrium under the truth. *)
+        (* Price the equilibrium under the truth: one view materialises
+           the final loads, read under the true capacities. *)
         let true_belief = Belief.make space truth in
         let true_caps = Belief.effective_capacities true_belief in
-        let loads = Pure.loads g o.profile in
+        let v = View.of_profile g o.profile in
         let realised =
           Rational.sum
             (List.init n (fun i ->
-                 Rational.div loads.(o.profile.(i)) true_caps.(o.profile.(i))))
+                 Rational.div (View.load v o.profile.(i)) true_caps.(o.profile.(i))))
         in
         (* The best any coordinator could do if everyone knew the
            truth: OPT1 of the game with the true shared belief. *)

@@ -19,17 +19,30 @@ let guard name limit g =
   | Some c when c <= limit -> ()
   | _ -> invalid_arg (Printf.sprintf "Congestion.%s: realisation space exceeds the limit" name)
 
+(* The max congestion of the profile a view is positioned at: O(m)
+   against the view's O(1) loads (the one-shot [max_congestion] above
+   pays an O(n) load materialisation instead). *)
+let max_congestion_of_view g v =
+  let best = ref (Rational.div (View.load v 0) (Game.capacity g 0 0)) in
+  for l = 1 to Game.links g - 1 do
+    best := Rational.max !best (Rational.div (View.load v l) (Game.capacity g 0 l))
+  done;
+  !best
+
 let expected_max_congestion ?(limit = 1_000_000) g p =
   require_kp "expected_max_congestion" g;
   Mixed.validate g p;
   guard "expected_max_congestion" limit g;
+  let n = Game.users g in
   let acc = ref Rational.zero in
-  Social.iter_profiles g (fun sigma ->
+  View.sweep g (fun v ->
       (* Probability of this realisation under the product measure. *)
       let prob = ref Rational.one in
-      Array.iteri (fun i l -> prob := Rational.mul !prob p.(i).(l)) sigma;
+      for i = 0 to n - 1 do
+        prob := Rational.mul !prob p.(i).(View.link v i)
+      done;
       if not (Rational.is_zero !prob) then
-        acc := Rational.add !acc (Rational.mul !prob (max_congestion g sigma)));
+        acc := Rational.add !acc (Rational.mul !prob (max_congestion_of_view g v)));
   !acc
 
 let estimate g p ~samples rng =
@@ -52,13 +65,13 @@ let optimum ?(limit = 1_000_000) g =
   require_kp "optimum" g;
   guard "optimum" limit g;
   let best = ref None and best_profile = ref [||] in
-  Social.iter_profiles g (fun sigma ->
-      let v = max_congestion g sigma in
+  View.sweep g (fun v ->
+      let c = max_congestion_of_view g v in
       match !best with
-      | Some b when Rational.compare b v <= 0 -> ()
+      | Some b when Rational.compare b c <= 0 -> ()
       | _ ->
-        best := Some v;
-        best_profile := Array.copy sigma);
+        best := Some c;
+        best_profile := View.profile v);
   match !best with
   | Some v -> (v, !best_profile)
   | None -> assert false

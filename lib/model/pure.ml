@@ -55,47 +55,23 @@ let latency_on_link g ?initial p i l =
   let load = if p.(i) = l then base else Rational.add base (Game.weight g i) in
   Rational.div load (Game.capacity g i l)
 
-let best_response g ?initial p i =
-  let best_link = ref 0 and best = ref (latency_on_link g ?initial p i 0) in
-  for l = 1 to Game.links g - 1 do
-    let lat = latency_on_link g ?initial p i l in
-    if Rational.compare lat !best < 0 then begin
-      best_link := l;
-      best := lat
-    end
-  done;
-  (!best_link, !best)
+(* Everything below delegates to a transient [View]: materialise the
+   loads once, then answer each query against O(1) lookups.  This keeps
+   the array-based API while dropping e.g. [is_nash] from O(n²·m) to
+   O(n·m); callers issuing many queries against one evolving profile
+   should hold a [View.t] themselves instead of re-materialising here. *)
 
-let improving_moves g ?initial p i =
-  let current = latency g ?initial p i in
-  let moves = ref [] in
-  for l = Game.links g - 1 downto 0 do
-    if l <> p.(i) && Rational.compare (latency_on_link g ?initial p i l) current < 0 then
-      moves := l :: !moves
-  done;
-  !moves
+let best_response g ?initial p i = View.best_response_for (View.of_profile g ?initial p) i
 
-let is_defector g ?initial p i =
-  let current = latency g ?initial p i in
-  let rec scan l =
-    if l >= Game.links g then false
-    else if l <> p.(i) && Rational.compare (latency_on_link g ?initial p i l) current < 0 then true
-    else scan (l + 1)
-  in
-  scan 0
+let improving_moves g ?initial p i = View.improving_moves (View.of_profile g ?initial p) i
 
-let is_nash g ?initial p =
-  let rec check i = i >= Game.users g || ((not (is_defector g ?initial p i)) && check (i + 1)) in
-  check 0
+let is_nash g ?initial p = View.is_nash (View.of_profile g ?initial p)
 
-let defectors g ?initial p =
-  List.filter (is_defector g ?initial p) (List.init (Game.users g) Fun.id)
+let defectors g ?initial p = View.defectors (View.of_profile g ?initial p)
 
-let social_cost1 g ?initial p =
-  Rational.sum (List.init (Game.users g) (latency g ?initial p))
+let social_cost1 g ?initial p = View.social_cost1 (View.of_profile g ?initial p)
 
-let social_cost2 g ?initial p =
-  List.fold_left Rational.max Rational.zero (List.init (Game.users g) (latency g ?initial p))
+let social_cost2 g ?initial p = View.social_cost2 (View.of_profile g ?initial p)
 
 let equal (a : profile) b = a = b
 

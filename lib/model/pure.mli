@@ -4,7 +4,15 @@
     optional [?initial] per-link traffic vector [t] (defaulting to zero)
     because the paper's algorithms for two links and for uniform beliefs
     solve the more general problem with initial link loads
-    (Definition 3.1, Algorithm A_uniform). *)
+    (Definition 3.1, Algorithm A_uniform).
+
+    The multi-scan predicates below ({!best_response},
+    {!improving_moves}, {!is_nash}, {!defectors}, {!social_cost1},
+    {!social_cost2}) delegate to a transient {!View} that materialises
+    the loads once per call.  They are convenient for one-shot queries;
+    code that evaluates many single-user deviations of the same profile
+    — dynamics, sweeps, graph traversals — should hold a {!View.t}
+    directly and use its O(1) [move]/[undo] instead. *)
 
 type profile = int array
 (** [profile.(i)] is the link chosen by user [i], in [0, m). *)
@@ -39,21 +47,28 @@ val latency_on_link :
   Game.t -> ?initial:Numeric.Rational.t array -> profile -> int -> int -> Numeric.Rational.t
 
 (** [best_response g ?initial p i] is the lowest-index link minimising
-    user [i]'s post-move latency, paired with that latency. *)
+    user [i]'s post-move latency, paired with that latency.
+    @deprecated in per-step loops: use {!View.best_response_for} on a
+    long-lived view. *)
 val best_response :
   Game.t -> ?initial:Numeric.Rational.t array -> profile -> int -> int * Numeric.Rational.t
 
 (** [improving_moves g ?initial p i] lists the links that would
-    strictly lower user [i]'s latency. *)
+    strictly lower user [i]'s latency.
+    @deprecated in per-step loops: use {!View.improving_moves}. *)
 val improving_moves :
   Game.t -> ?initial:Numeric.Rational.t array -> profile -> int -> int list
 
 (** [is_nash g ?initial p] holds when no user can strictly improve by
-    unilaterally switching links (exact comparison). *)
+    unilaterally switching links (exact comparison).  O(n·m) via a
+    transient view.
+    @deprecated in per-step loops: use {!View.is_nash}. *)
 val is_nash : Game.t -> ?initial:Numeric.Rational.t array -> profile -> bool
 
 (** [defectors g ?initial p] is the list of users violating the Nash
-    condition in [p]. *)
+    condition in [p].
+    @deprecated in per-step loops: use {!View.defectors} (or
+    {!View.first_and_last_defector} for just the ends). *)
 val defectors : Game.t -> ?initial:Numeric.Rational.t array -> profile -> int list
 
 (** [social_cost1 g ?initial p] is [SC1 = Σ_i λ_{i,b_i}(σ)]. *)

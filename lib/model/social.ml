@@ -38,22 +38,27 @@ let guard name limit g =
       (Printf.sprintf "Social.%s: %d^%d pure profiles exceed the limit %d" name (Game.links g)
          (Game.users g) limit)
 
+(* Exhaustive optimisation walks the profiles in odometer order through
+   an incremental [View.sweep]: consecutive profiles differ by an
+   amortised O(1) number of single-user moves, so the per-profile cost
+   is the O(n) cost evaluation against O(1) loads — the seed path
+   rebuilt every load with an O(n) scan, i.e. O(n²) per profile. *)
 let optimum name cost ?(limit = 10_000_000) g =
   guard name limit g;
   let best_value = ref None and best_profile = ref [||] in
-  iter_profiles g (fun p ->
-      let v = cost g p in
+  View.sweep g (fun v ->
+      let c = cost v in
       match !best_value with
-      | Some b when Rational.compare b v <= 0 -> ()
+      | Some b when Rational.compare b c <= 0 -> ()
       | _ ->
-        best_value := Some v;
-        best_profile := Array.copy p);
+        best_value := Some c;
+        best_profile := View.profile v);
   match !best_value with
   | Some v -> (v, !best_profile)
-  | None -> assert false (* iter_profiles visits at least one profile *)
+  | None -> assert false (* the sweep visits at least one profile *)
 
-let opt1 ?limit g = optimum "opt1" (fun g p -> Pure.social_cost1 g p) ?limit g
-let opt2 ?limit g = optimum "opt2" (fun g p -> Pure.social_cost2 g p) ?limit g
+let opt1 ?limit g = optimum "opt1" View.social_cost1 ?limit g
+let opt2 ?limit g = optimum "opt2" View.social_cost2 ?limit g
 
 let ratio1 ?limit g p =
   let opt, _ = opt1 ?limit g in

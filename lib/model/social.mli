@@ -15,7 +15,9 @@ val iter_profiles : Game.t -> (Pure.profile -> unit) -> unit
 val profile_count : Game.t -> int option
 
 (** [opt1 g] is [(OPT1, argmin)] — the minimum over pure profiles of
-    [Σ_i λ_{i,b_i}(σ)].
+    [Σ_i λ_{i,b_i}(σ)].  The scan walks profiles in odometer order on
+    an incremental {!View}, so each profile costs O(n) instead of the
+    seed path's O(n²) recompute.
     @raise Invalid_argument when [m^n] exceeds [limit]
     (default [10_000_000]). *)
 val opt1 : ?limit:int -> Game.t -> Numeric.Rational.t * Pure.profile

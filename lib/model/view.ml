@@ -1,0 +1,176 @@
+open Numeric
+
+(* The cursor: current profile, current loads (initial traffic
+   included), and a packed move history for [undo].  A history entry
+   stores [i * m + old_link] in one native int, so the stack is a flat
+   int array that doubles on demand — no per-move allocation beyond the
+   two rational load updates. *)
+type t = {
+  game : Game.t;
+  prof : int array;
+  loads : Rational.t array;
+  mutable hist : int array;
+  mutable depth : int;
+}
+
+let game v = v.game
+let users v = Array.length v.prof
+let links v = Array.length v.loads
+
+let of_profile g ?initial p =
+  if Array.length p <> Game.users g then
+    invalid_arg "View.of_profile: profile length differs from user count";
+  let m = Game.links g in
+  let loads =
+    match initial with
+    | None -> Array.make m Rational.zero
+    | Some t ->
+      if Array.length t <> m then
+        invalid_arg "View.of_profile: initial traffic length differs from link count";
+      Array.iter
+        (fun q -> if Rational.sign q < 0 then invalid_arg "View.of_profile: negative initial traffic")
+        t;
+      Array.copy t
+  in
+  Array.iteri
+    (fun i l ->
+      if l < 0 || l >= m then invalid_arg "View.of_profile: link out of range";
+      loads.(l) <- Rational.add loads.(l) (Game.weight g i))
+    p;
+  { game = g; prof = Array.copy p; loads; hist = Array.make 16 0; depth = 0 }
+
+let link v i = v.prof.(i)
+let profile v = Array.copy v.prof
+let load v l = v.loads.(l)
+let loads v = Array.copy v.loads
+let depth v = v.depth
+
+(* Unrecorded reassignment: the O(1) delta shared by [move], [undo] and
+   the sweep odometer.  Touches exactly the two affected load entries;
+   exact rational add/sub round-trips, so repeated shifts never drift. *)
+let shift v i l =
+  let old = v.prof.(i) in
+  if l <> old then begin
+    let w = Game.weight v.game i in
+    v.loads.(old) <- Rational.sub v.loads.(old) w;
+    v.loads.(l) <- Rational.add v.loads.(l) w;
+    v.prof.(i) <- l
+  end
+
+let push v entry =
+  if v.depth = Array.length v.hist then begin
+    let bigger = Array.make (2 * v.depth) 0 in
+    Array.blit v.hist 0 bigger 0 v.depth;
+    v.hist <- bigger
+  end;
+  v.hist.(v.depth) <- entry;
+  v.depth <- v.depth + 1
+
+let move v i l =
+  if i < 0 || i >= users v then invalid_arg "View.move: user out of range";
+  if l < 0 || l >= links v then invalid_arg "View.move: link out of range";
+  push v ((i * links v) + v.prof.(i));
+  shift v i l
+
+let undo v =
+  if v.depth = 0 then invalid_arg "View.undo: empty history";
+  v.depth <- v.depth - 1;
+  let entry = v.hist.(v.depth) in
+  let m = links v in
+  shift v (entry / m) (entry mod m)
+
+let latency v i =
+  let l = v.prof.(i) in
+  Rational.div v.loads.(l) (Game.capacity v.game i l)
+
+let latency_on_link v i l =
+  let base = v.loads.(l) in
+  let total = if v.prof.(i) = l then base else Rational.add base (Game.weight v.game i) in
+  Rational.div total (Game.capacity v.game i l)
+
+let best_response_for v i =
+  let best_link = ref 0 and best = ref (latency_on_link v i 0) in
+  for l = 1 to links v - 1 do
+    let lat = latency_on_link v i l in
+    if Rational.compare lat !best < 0 then begin
+      best_link := l;
+      best := lat
+    end
+  done;
+  (!best_link, !best)
+
+let improving_moves v i =
+  let current = latency v i in
+  let moves = ref [] in
+  for l = links v - 1 downto 0 do
+    if l <> v.prof.(i) && Rational.compare (latency_on_link v i l) current < 0 then
+      moves := l :: !moves
+  done;
+  !moves
+
+let is_defector v i =
+  let current = latency v i in
+  let m = links v in
+  let rec scan l =
+    if l >= m then false
+    else if l <> v.prof.(i) && Rational.compare (latency_on_link v i l) current < 0 then true
+    else scan (l + 1)
+  in
+  scan 0
+
+let is_nash v =
+  let n = users v in
+  let rec check i = i >= n || ((not (is_defector v i)) && check (i + 1)) in
+  check 0
+
+let defectors v = List.filter (is_defector v) (List.init (users v) Fun.id)
+
+let first_and_last_defector v =
+  let first = ref (-1) and last = ref (-1) in
+  for i = 0 to users v - 1 do
+    if is_defector v i then begin
+      if !first < 0 then first := i;
+      last := i
+    end
+  done;
+  if !first < 0 then None else Some (!first, !last)
+
+let social_cost1 v =
+  let acc = ref Rational.zero in
+  for i = 0 to users v - 1 do
+    acc := Rational.add !acc (latency v i)
+  done;
+  !acc
+
+let social_cost2 v =
+  let acc = ref Rational.zero in
+  for i = 0 to users v - 1 do
+    acc := Rational.max !acc (latency v i)
+  done;
+  !acc
+
+let sweep g ?initial f =
+  let v = of_profile g ?initial (Array.make (Game.users g) 0) in
+  let n = users v and m = links v in
+  (* The odometer of [Social.iter_profiles], expressed as moves: a
+     non-carrying tick is one shift, a carry resets a suffix — 1 + 1/m
+     + 1/m² + … ≤ m/(m-1) shifts amortised per profile. *)
+  let rec next i =
+    if i < 0 then false
+    else begin
+      let l = v.prof.(i) in
+      if l + 1 < m then begin
+        shift v i (l + 1);
+        true
+      end
+      else begin
+        shift v i 0;
+        next (i - 1)
+      end
+    end
+  in
+  let continue = ref true in
+  while !continue do
+    f v;
+    continue := next (n - 1)
+  done

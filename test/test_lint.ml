@@ -76,7 +76,12 @@ let test_default_rules_scoping () =
   Alcotest.(check bool) "bench: R3 off" false (has Nondet bench);
   let experiments = default_rules "lib/experiments/curves.ml" in
   Alcotest.(check bool) "experiments: R2 on (allowlist, not scoping)" true
-    (has Float_op experiments)
+    (has Float_op experiments);
+  (* The incremental evaluation core carries exact rationals and must
+     stay under the full numeric scope. *)
+  let view = default_rules "lib/model/view.ml" in
+  Alcotest.(check bool) "view.ml: R1 on" true (has Poly view);
+  Alcotest.(check bool) "view.ml: R2 on" true (has Float_op view)
 
 let test_rule_of_string () =
   let rule_t : rule option Alcotest.testable =
