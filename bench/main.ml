@@ -547,7 +547,11 @@ let figures () =
     (fun (m, worst, bound) ->
       Stats.Table.add_row t [ string_of_int m; Report.flt worst; Report.flt bound ])
     (Curves.lpt_quality ~seed:134 ~ms:[ 2; 3; 4 ] ~trials:(trials 300));
-  Stats.Table.print t
+  Stats.Table.print t;
+  print_endline
+    "F6 — exact E[SC] of the equiprobable FMNE on identical unit links, normalised by n/m:";
+  Stats.Table.print
+    (Curves.table "E[SC] / (n/m)" (Curves.fmne_emc ~ns:[ 4; 8; 16; 32 ] ~ms:[ 2; 3; 4 ]))
 
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
@@ -1093,6 +1097,135 @@ let bench_walk_json () =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* ------------------------------------------------------------------ *)
+(* Mixed-layer benchmark: BENCH_mixed.json artefact                    *)
+
+(* Old-vs-new exact expectation engine for the classical KP social
+   cost E[max congestion].  [seed_expected_max_congestion] reimplements
+   the seed semantics exactly as shipped — a View.sweep over all m^n
+   realisations, each weighted by its product-measure probability —
+   because the live [Congestion.expected_max_congestion] now rides the
+   [Model.Load_dist] user-class DP over distinct load vectors.  Both
+   engines run on the same instances and their exact rationals must be
+   bit-identical before times are reported; instances whose m^n exceeds
+   the seed's 10^6 realisation cap run the DP only and record the state
+   count that made them feasible.  Writes schema bench-mixed/1 to
+   BENCH_mixed.json or $BENCH_MIXED_JSON.  BENCH_MIXED_ONLY=1 runs just
+   this section. *)
+let seed_expected_max_congestion g p =
+  let n = Game.users g and m = Game.links g in
+  let caps = Game.capacity_row g 0 in
+  let acc = ref Rational.zero in
+  View.sweep g (fun v ->
+      let prob = ref Rational.one in
+      for i = 0 to n - 1 do
+        prob := Rational.mul !prob p.(i).(View.link v i)
+      done;
+      if not (Rational.is_zero !prob) then begin
+        let best = ref (Rational.div (View.load v 0) caps.(0)) in
+        for l = 1 to m - 1 do
+          best := Rational.max !best (Rational.div (View.load v l) caps.(l))
+        done;
+        acc := Rational.add !acc (Rational.mul !prob !best)
+      end);
+  !acc
+
+let bench_mixed_json () =
+  Report.heading "MIXED" "seed m^n enumerator vs load-distribution DP (emits BENCH_mixed.json)";
+  let ms_of f =
+    let us, _ = Scaling.time_call f in
+    us /. 1000.0
+  in
+  let caps3 = [| Rational.one; Rational.two; Rational.of_int 3 |] in
+  let uniform_kp n = Game.kp ~weights:(Array.make n Rational.one) ~capacities:caps3 in
+  let two_class_kp n =
+    Game.kp
+      ~weights:(Array.init n (fun i -> if i < n / 2 then Rational.one else Rational.two))
+      ~capacities:caps3
+  in
+  (* (instance label, game, profile, m^n within the seed's cap?) *)
+  let instances =
+    [
+      ("uniform_n12", uniform_kp 12, `Uniform, true);
+      ("two_classes_n12", two_class_kp 12, `Uniform, true);
+      ("uniform_n20", uniform_kp 20, `Uniform, false);
+      ("uniform_n40", uniform_kp 40, `Uniform, false);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, g, prof, seed_feasible) ->
+        let p = match prof with `Uniform -> Mixed.uniform g in
+        let dist = Load_dist.of_mixed g p in
+        let dp_value = ref Rational.zero in
+        let dp_ms = ms_of (fun () -> dp_value := Congestion.expected_max_congestion g p) in
+        let seed =
+          if not seed_feasible then None
+          else begin
+            let seed_value = ref Rational.zero in
+            let seed_ms = ms_of (fun () -> seed_value := seed_expected_max_congestion g p) in
+            Some (seed_ms, Rational.equal !seed_value !dp_value)
+          end
+        in
+        ( name,
+          Game.users g,
+          Game.links g,
+          Load_dist.classes dist,
+          Load_dist.size dist,
+          dp_ms,
+          seed,
+          Rational.to_string !dp_value ))
+      instances
+  in
+  let t =
+    Stats.Table.create
+      [ "instance"; "n"; "m"; "classes"; "states"; "seed ms"; "DP ms"; "speedup"; "identical" ]
+  in
+  List.iter
+    (fun (name, n, m, classes, states, dp_ms, seed, _) ->
+      let seed_ms, speedup, identical =
+        match seed with
+        | Some (s, ident) -> (Report.flt s, Printf.sprintf "%.1fx" (s /. dp_ms), string_of_bool ident)
+        | None -> ("beyond m^n cap", "n/a", "n/a")
+      in
+      Stats.Table.add_row t
+        [
+          name; string_of_int n; string_of_int m; string_of_int classes;
+          string_of_int states; seed_ms; Report.flt dp_ms; speedup; identical;
+        ])
+    rows;
+  Stats.Table.print t;
+  let out = Buffer.create 1024 in
+  Buffer.add_string out "{\n";
+  Buffer.add_string out "  \"schema\": \"bench-mixed/1\",\n";
+  Printf.bprintf out "  \"quick\": %b,\n" quick;
+  Buffer.add_string out "  \"results\": [\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun idx (name, n, m, classes, states, dp_ms, seed, value) ->
+      let seed_ms, speedup, identical =
+        match seed with
+        | Some (s, ident) ->
+          ( Printf.sprintf "%.3f" s,
+            Printf.sprintf "%.3f" (s /. dp_ms),
+            string_of_bool ident )
+        | None -> ("null", "null", "null")
+      in
+      Printf.bprintf out
+        "    {\"instance\": \"%s\", \"n\": %d, \"m\": %d, \"classes\": %d, \"states\": %d, \
+         \"seed_ms\": %s, \"dp_ms\": %.3f, \"speedup\": %s, \"identical\": %s, \
+         \"exceeds_seed_limit\": %b, \"value\": \"%s\"}%s\n"
+        name n m classes states seed_ms dp_ms speedup identical (seed = None) value
+        (if idx = last then "" else ","))
+    rows;
+  Buffer.add_string out "  ]\n";
+  Buffer.add_string out "}\n";
+  let path = Option.value (Sys.getenv_opt "BENCH_MIXED_JSON") ~default:"BENCH_mixed.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents out);
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 let main () =
   Printf.printf "Network Uncertainty in Selfish Routing — reproduction harness%s\n"
     (if quick then " (QUICK mode)" else "");
@@ -1120,10 +1253,12 @@ let main () =
   bench_numeric_json ();
   bench_engine_json ();
   bench_walk_json ();
+  bench_mixed_json ();
   print_endline "\nAll experiment tables regenerated. See EXPERIMENTS.md for the paper-vs-measured record."
 
 let () =
   if Sys.getenv_opt "BENCH_NUMERIC_ONLY" <> None then bench_numeric_json ()
   else if Sys.getenv_opt "BENCH_ENGINE_ONLY" <> None then bench_engine_json ()
   else if Sys.getenv_opt "BENCH_WALK_ONLY" <> None then bench_walk_json ()
+  else if Sys.getenv_opt "BENCH_MIXED_ONLY" <> None then bench_mixed_json ()
   else main ()

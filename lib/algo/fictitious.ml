@@ -26,16 +26,20 @@ let play g ~rounds ~window start =
     let empirical =
       Array.init n (fun i -> Array.init m (fun l -> Rational.of_ints counts.(i).(l) !played))
     in
+    (* One cached evaluator per round: the expected traffics W are
+       shared by every (user, link) query below, so the round costs
+       O(n·m) instead of the O(n²·m) of per-query traffic rescans. *)
+    let eval = Mixed.Eval.make g empirical in
     let next =
       Array.init n (fun i ->
           (* Best response of user i to the others' empirical mix:
              minimise ((1-p^l_i)w_i + W^l)/c^l_i where the W include
              the opponents' empirical probabilities.  Using
-             Mixed.latency_on_link with i's own row set to its
+             Eval.latency_on_link with i's own row set to its
              empirical frequencies is exactly that expectation. *)
-          let best = ref 0 and best_v = ref (Mixed.latency_on_link g empirical i 0) in
+          let best = ref 0 and best_v = ref (Mixed.Eval.latency_on_link eval i 0) in
           for l = 1 to m - 1 do
-            let v = Mixed.latency_on_link g empirical i l in
+            let v = Mixed.Eval.latency_on_link eval i l in
             if Rational.compare v !best_v < 0 then begin
               best := l;
               best_v := v

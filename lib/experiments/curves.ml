@@ -58,6 +58,28 @@ let br_steps_histogram ~seed ~trials ~bins =
   done;
   h
 
+(* Expected maximum congestion of the equiprobable fully mixed NE
+   (Theorem 4.8 / the classical KP FMNE) on identical unit links,
+   normalised by the perfectly-split load n/m.  Exact via the
+   load-distribution DP of [Model.Load_dist]: all n users form one
+   class, so the state space is C(n + m - 1, m - 1) and n = 40 is
+   instant where the seed enumerator was hard-capped at m^n <= 10^6
+   (n = 12 at m = 3).  The curve is the classical Θ(log m / log log m)
+   FMNE blow-up, now measurable well past the old ceiling. *)
+let fmne_emc ~ns ~ms =
+  List.concat_map
+    (fun n ->
+      List.map
+        (fun m ->
+          let g =
+            Game.kp ~weights:(Array.make n Rational.one)
+              ~capacities:(Array.make m Rational.one)
+          in
+          let emc = Congestion.expected_max_congestion g (Mixed.uniform g) in
+          { n; m; value = Rational.to_float (Rational.div emc (Rational.of_ints n m)) })
+        ms)
+    ns
+
 let lpt_quality ~seed ~ms ~trials =
   List.map
     (fun m ->

@@ -23,6 +23,14 @@ val poa_histogram : seed:int -> trials:int -> bins:int -> Stats.Histogram.t
     convergence lengths from random starts. *)
 val br_steps_histogram : seed:int -> trials:int -> bins:int -> Stats.Histogram.t
 
+(** [fmne_emc ~ns ~ms] is the exact expected maximum congestion
+    [SC(w, P)] of the equiprobable fully mixed NE on [m] identical unit
+    links with [n] unit-weight users, normalised by the perfectly-split
+    load [n/m].  Deterministic (no sampling): computed by the
+    load-distribution DP, which handles [n] far beyond the seed
+    enumerator's [m^n] ceiling. *)
+val fmne_emc : ns:int list -> ms:int list -> point list
+
 (** [lpt_quality ~seed ~ms ~trials] checks Graham's LPT guarantee on
     identical links: for each m, the worst observed makespan ratio of
     the LPT equilibrium against the (4/3 - 1/(3m)) bound. *)

@@ -23,20 +23,22 @@ let equiprobable g p =
   Array.for_all (Array.for_all (Rational.equal share)) p
 
 (* λ_i(P) ≤ λ_i(F) for every user (Lemma 4.9), using the candidate
-   comparator even when no fully mixed NE exists (Corollary 4.10). *)
-let dominated g pure_profile comparator =
-  let mixed = Mixed.of_pure g pure_profile in
+   comparator even when no fully mixed NE exists (Corollary 4.10).
+   Both sides arrive as cached [Mixed.Eval]s: the comparator is built
+   once per trial and reused across every pure NE checked against it. *)
+let dominated g pure_eval comparator =
   let rec check i =
     i >= Game.users g
-    || (Rational.compare (Mixed.min_latency g mixed i) (Mixed.min_latency g comparator i) <= 0
+    || (Rational.compare (Mixed.Eval.min_latency pure_eval i)
+          (Mixed.Eval.min_latency comparator i)
+        <= 0
         && check (i + 1))
   in
   check 0
 
-let sc_below g pure_profile comparator =
-  let mixed = Mixed.of_pure g pure_profile in
-  Rational.compare (Mixed.social_cost1 g mixed) (Mixed.social_cost1 g comparator) <= 0
-  && Rational.compare (Mixed.social_cost2 g mixed) (Mixed.social_cost2 g comparator) <= 0
+let sc_below pure_eval comparator =
+  Rational.compare (Mixed.Eval.social_cost1 pure_eval) (Mixed.Eval.social_cost1 comparator) <= 0
+  && Rational.compare (Mixed.Eval.social_cost2 pure_eval) (Mixed.Eval.social_cost2 comparator) <= 0
 
 let run ~seed ~ns ~ms ~trials ~weights ~beliefs =
   let rng = Prng.Rng.create seed in
@@ -51,14 +53,19 @@ let run ~seed ~ns ~ms ~trials ~weights ~beliefs =
             let g = Generators.game rng ~n ~m ~weights ~beliefs in
             let candidate = Algo.Fully_mixed.candidate g in
             if rows_sum_one candidate then incr sums;
+            (* [unchecked]: candidate rows may leave [0, 1] when no
+               FMNE exists — Corollary 4.10 compares against them
+               anyway. *)
+            let candidate_eval = Mixed.Eval.unchecked g candidate in
             (match Algo.Fully_mixed.compute g with
              | Some p ->
                incr exists;
-               if Mixed.is_nash g p then incr nash;
+               let p_eval = Mixed.Eval.make g p in
+               if Mixed.Eval.is_nash p_eval then incr nash;
                let matches =
                  List.for_all
                    (fun i ->
-                     Rational.equal (Mixed.min_latency g p i)
+                     Rational.equal (Mixed.Eval.min_latency p_eval i)
                        (Algo.Fully_mixed.equilibrium_latency g i))
                    (List.init n Fun.id)
                in
@@ -68,8 +75,9 @@ let run ~seed ~ns ~ms ~trials ~weights ~beliefs =
             List.iter
               (fun ne ->
                 incr checked;
-                if dominated g ne candidate then incr dominated_count;
-                if sc_below g ne candidate then incr sc_max)
+                let ne_eval = Mixed.Eval.make g (Mixed.of_pure g ne) in
+                if dominated g ne_eval candidate_eval then incr dominated_count;
+                if sc_below ne_eval candidate_eval then incr sc_max)
               (Algo.Enumerate.pure_nash g)
           done;
           {

@@ -61,7 +61,10 @@ let run ?(domains = 1) ~seed ~ns ~ms ~trials ~weights ~beliefs ~bound () =
       in
       let fm =
         match Algo.Fully_mixed.compute g with
-        | Some p -> [ consider ~sc1:(Mixed.social_cost1 g p) ~sc2:(Mixed.social_cost2 g p) ]
+        | Some p ->
+          (* One cached evaluator serves both social costs. *)
+          let e = Mixed.Eval.make g p in
+          [ consider ~sc1:(Mixed.Eval.social_cost1 e) ~sc2:(Mixed.Eval.social_cost2 e) ]
         | None -> []
       in
       { bound_f = Rational.to_float bound_value; eqs = pure @ fm })

@@ -29,21 +29,24 @@ let max_congestion_of_view g v =
   done;
   !best
 
-let expected_max_congestion ?(limit = 1_000_000) g p =
+(* The expectation no longer sweeps the m^n realisations: the product
+   measure is pushed forward to the distribution of the load vector
+   (Load_dist), whose user-class DP merges equal-load realisations, so
+   [limit] now bounds distinct load states instead of m^n.  The result
+   is bit-identical to the seed sweep (exact arithmetic throughout);
+   test/test_load_dist.ml pins that equality differentially. *)
+let expected_max_congestion ?limit g p =
   require_kp "expected_max_congestion" g;
   Mixed.validate g p;
-  guard "expected_max_congestion" limit g;
-  let n = Game.users g in
-  let acc = ref Rational.zero in
-  View.sweep g (fun v ->
-      (* Probability of this realisation under the product measure. *)
-      let prob = ref Rational.one in
-      for i = 0 to n - 1 do
-        prob := Rational.mul !prob p.(i).(View.link v i)
+  let caps = Game.capacity_row g 0 in
+  let m = Game.links g in
+  let dist = Load_dist.of_mixed ?limit g p in
+  Load_dist.expect dist (fun loads ->
+      let best = ref (Rational.div loads.(0) caps.(0)) in
+      for l = 1 to m - 1 do
+        best := Rational.max !best (Rational.div loads.(l) caps.(l))
       done;
-      if not (Rational.is_zero !prob) then
-        acc := Rational.add !acc (Rational.mul !prob (max_congestion_of_view g v)));
-  !acc
+      !best)
 
 let estimate g p ~samples rng =
   require_kp "estimate" g;
@@ -52,14 +55,17 @@ let estimate g p ~samples rng =
   let samplers = Array.map Prng.Alias.of_rationals p in
   let n = Game.users g in
   let sigma = Array.make n 0 in
-  let acc = ref 0.0 in
+  (* The sample sum stays exact; one float conversion at the end, so
+     the estimator's only error is sampling error, not accumulated
+     rounding drift. *)
+  let acc = ref Rational.zero in
   for _ = 1 to samples do
     for i = 0 to n - 1 do
       sigma.(i) <- Prng.Alias.sample samplers.(i) rng
     done;
-    acc := !acc +. Rational.to_float (max_congestion g sigma)
+    acc := Rational.add !acc (max_congestion g sigma)
   done;
-  !acc /. float_of_int samples
+  Rational.to_float (Rational.div !acc (Rational.of_int samples))
 
 let optimum ?(limit = 1_000_000) g =
   require_kp "optimum" g;

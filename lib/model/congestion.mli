@@ -18,15 +18,22 @@
 val max_congestion : Game.t -> Pure.profile -> Numeric.Rational.t
 
 (** [expected_max_congestion g p] is the exact expectation of
-    {!max_congestion} over the product distribution of the mixed profile
-    [p] — a sum over all [m^n] pure realisations.
-    @raise Invalid_argument unless [g] is a KP instance, or when [m^n]
-    exceeds [limit] (default [1_000_000]). *)
+    {!max_congestion} over the product distribution of the mixed
+    profile [p] — the classical [SC(w, P)] of Section 4.  Computed via
+    the {!Load_dist} dynamic program over distinct load vectors, not by
+    enumerating the [m^n] realisations, so exchangeable users (equal
+    weight, equal row) cost [C(n_c + m - 1, m - 1)] states per class:
+    uniform fully mixed profiles far beyond the seed enumerator's
+    [m^n <= 1_000_000] range are exact and fast.  [limit] bounds the
+    number of distinct load states (default [1_000_000]).
+    @raise Invalid_argument unless [g] is a KP instance, or when the
+    load-state space exceeds [limit]. *)
 val expected_max_congestion :
   ?limit:int -> Game.t -> Mixed.profile -> Numeric.Rational.t
 
 (** [estimate g p ~samples rng] is a Monte-Carlo estimate of
-    {!expected_max_congestion} usable beyond the exact limit. *)
+    {!expected_max_congestion} usable beyond the exact limit.  The
+    sample sum is accumulated exactly and converted to float once. *)
 val estimate : Game.t -> Mixed.profile -> samples:int -> Prng.Rng.t -> float
 
 (** [optimum g] is the makespan optimum: the minimum over pure profiles

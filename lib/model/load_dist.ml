@@ -1,0 +1,131 @@
+open Numeric
+
+(* Keyed on the exact load vector; Qvec.hash/Qvec.equal compose the
+   canonical Rational hashes, so equal vectors collide by law and the
+   polymorphic hash never runs (R1). *)
+module Tbl = Hashtbl.Make (struct
+  type t = Qvec.t
+
+  let equal = Qvec.equal
+  let hash = Qvec.hash
+end)
+
+type t = { table : Rational.t Tbl.t; links : int; classes : int }
+
+let links d = d.links
+let size d = Tbl.length d.table
+let classes d = d.classes
+
+(* [choose n k] over Bigint with the multiplicative formula; every
+   intermediate division is exact (the running value is C(n-k+i, i)). *)
+let choose n k =
+  let k = if k > n - k then n - k else k in
+  let c = ref Bigint.one in
+  for i = 1 to k do
+    c := Bigint.div (Bigint.mul !c (Bigint.of_int (n - k + i))) (Bigint.of_int i)
+  done;
+  Rational.of_bigint !c
+
+(* Group users into classes of equal weight and equal probability row,
+   in first-seen order.  Capacities are irrelevant: the load vector is
+   a function of weights and link choices only. *)
+let classes_of g p =
+  let n = Game.users g in
+  let cls = ref [] in
+  for i = n - 1 downto 0 do
+    (* downto + prepend keeps first-seen order in the final list *)
+    let w = Game.weight g i in
+    match
+      List.find_opt (fun (w', row', _) -> Rational.equal w w' && Qvec.equal p.(i) row') !cls
+    with
+    | Some (_, _, count) -> incr count
+    | None -> cls := (w, p.(i), ref 1) :: !cls
+  done;
+  List.map (fun (w, row, count) -> (w, row, !count)) !cls
+
+(* All ways to split [count] exchangeable users of weight [weight]
+   across the links, as (load delta, probability mass) pairs.  The mass
+   of the split (k_1, …, k_m) is the multinomial C(count; k_1 … k_m)
+   times Π_l row(l)^{k_l}; links with zero probability only admit
+   k_l = 0, so zero-probability realisations are never generated. *)
+let class_splits ~links:m ~count ~weight ~(row : Qvec.t) =
+  let pows =
+    Array.map
+      (fun q ->
+        let a = Array.make (count + 1) Rational.one in
+        for k = 1 to count do
+          a.(k) <- Rational.mul a.(k - 1) q
+        done;
+        a)
+      row
+  in
+  let splits = ref [] in
+  let counts = Array.make m 0 in
+  let emit mass =
+    let delta = Qvec.init m (fun l -> Rational.mul (Rational.of_int counts.(l)) weight) in
+    splits := (delta, mass) :: !splits
+  in
+  let rec go l remaining mass =
+    if l = m - 1 then begin
+      if remaining = 0 || Rational.sign row.(l) > 0 then begin
+        counts.(l) <- remaining;
+        emit (Rational.mul mass pows.(l).(remaining));
+        counts.(l) <- 0
+      end
+    end
+    else begin
+      let top = if Rational.sign row.(l) > 0 then remaining else 0 in
+      for k = 0 to top do
+        counts.(l) <- k;
+        go (l + 1) (remaining - k) (Rational.mul mass (Rational.mul (choose remaining k) pows.(l).(k)))
+      done;
+      counts.(l) <- 0
+    end
+  in
+  go 0 count Rational.one;
+  !splits
+
+(* One DP layer: fold a class's splits into every accumulated state,
+   merging states that land on the same load vector. *)
+let apply ~limit table splits =
+  let next = Tbl.create (2 * Tbl.length table) in
+  Tbl.iter
+    (fun loads prob ->
+      List.iter
+        (fun (delta, mass) ->
+          let loads' = Qvec.add loads delta in
+          let contribution = Rational.mul prob mass in
+          match Tbl.find_opt next loads' with
+          | Some q -> Tbl.replace next loads' (Rational.add q contribution)
+          | None ->
+            if Tbl.length next >= limit then
+              invalid_arg "Load_dist.of_mixed: distinct load states exceed the limit";
+            Tbl.add next loads' contribution)
+        splits)
+    table;
+  next
+
+let of_mixed ?(limit = 1_000_000) g p =
+  Mixed.validate g p;
+  if limit <= 0 then invalid_arg "Load_dist.of_mixed: limit must be positive";
+  let m = Game.links g in
+  let cls = classes_of g p in
+  let table = ref (Tbl.create 16) in
+  Tbl.add !table (Qvec.make m Rational.zero) Rational.one;
+  List.iter
+    (fun (weight, row, count) ->
+      table := apply ~limit !table (class_splits ~links:m ~count ~weight ~row))
+    cls;
+  { table = !table; links = m; classes = List.length cls }
+
+let total_probability d =
+  let acc = ref Rational.zero in
+  Tbl.iter (fun _ prob -> acc := Rational.add !acc prob) d.table;
+  !acc
+
+let expect d f =
+  let acc = ref Rational.zero in
+  Tbl.iter (fun loads prob -> acc := Rational.add !acc (Rational.mul prob (f loads))) d.table;
+  !acc
+
+let iter d f = Tbl.iter f d.table

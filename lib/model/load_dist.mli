@@ -1,0 +1,65 @@
+(** The exact distribution of the load vector under a mixed profile.
+
+    A mixed profile [P] induces a product measure over the [m^n] pure
+    realisations, but every quantity the KP social cost needs — the
+    expected maximum congestion [SC(w, P)] of Section 4, and any other
+    expectation of a function of the per-link loads — factors through
+    the much smaller distribution of the {e load vector}
+    [(load(0), …, load(m-1))].  This module computes that distribution
+    exactly, by a user-by-user dynamic program:
+
+    {ul
+    {- users with equal weight and equal probability row (a {e class};
+       capacities play no role — loads do not depend on them) are
+       exchangeable, so a class of [n_c] users is absorbed in one step
+       that enumerates its [C(n_c + m - 1, m - 1)] link-count splits
+       with multinomial weights instead of its [m^{n_c}] realisations;}
+    {- realisations that produce the same load vector are merged into a
+       single state of a hash table keyed on the exact rational vector
+       ({!Numeric.Qvec.hash}/{!Numeric.Qvec.equal}), with their
+       probabilities accumulated.}}
+
+    All arithmetic is exact, so the resulting expectations are
+    bit-identical to the brute-force [m^n] sum.  For exchangeable users
+    (e.g. the uniform fully mixed profiles of Theorem 4.8) the state
+    space is polynomial: one class of [n] users over [m] links has at
+    most [C(n + m - 1, m - 1)] states — [n = 40, m = 3] is 861 states
+    where the seed enumerator faced [3^40] realisations. *)
+
+type t
+
+(** [of_mixed ?limit g p] is the exact distribution of the load vector
+    when every user draws its link independently from its row of [p].
+    Does not require a KP instance — loads depend only on weights.
+    [limit] bounds the number of {e distinct load states} the dynamic
+    program may hold at any point (default [1_000_000]; the seed
+    enumerator's limit bounded [m^n] instead, which this bound only
+    reaches when every user is its own class and no loads collide).
+    @raise Invalid_argument when [p] is not a valid mixed profile for
+    [g] or when the state space exceeds [limit]. *)
+val of_mixed : ?limit:int -> Game.t -> Mixed.profile -> t
+
+(** [links d] is the dimension of the load vectors. *)
+val links : t -> int
+
+(** [size d] is the number of distinct load vectors with positive
+    probability (zero-probability realisations are never materialised). *)
+val size : t -> int
+
+(** [classes d] is the number of user classes the profile was grouped
+    into — [1] for fully exchangeable users, [n] when all users are
+    distinct. *)
+val classes : t -> int
+
+(** [total_probability d] is the sum of all state probabilities —
+    exactly [1] by construction; exposed for tests and sanity checks. *)
+val total_probability : t -> Numeric.Rational.t
+
+(** [expect d f] is the exact expectation [Σ_v P(v)·f(v)] of a function
+    of the load vector.  [f] must treat its argument as read-only (it
+    is the distribution's internal state, not a copy). *)
+val expect : t -> (Numeric.Rational.t array -> Numeric.Rational.t) -> Numeric.Rational.t
+
+(** [iter d f] calls [f loads prob] on every state, in an unspecified
+    (but deterministic) order.  [loads] is read-only, as in {!expect}. *)
+val iter : t -> (Numeric.Rational.t array -> Numeric.Rational.t -> unit) -> unit

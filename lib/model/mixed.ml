@@ -38,12 +38,90 @@ let latency_on_link g p i l =
   let own = Rational.mul (Rational.sub Rational.one p.(i).(l)) w_i in
   Rational.div (Rational.add own (expected_traffic g p l)) (Game.capacity g i l)
 
-let min_latency g p i =
-  let best = ref (latency_on_link g p i 0) in
-  for l = 1 to Game.links g - 1 do
-    best := Rational.min !best (latency_on_link g p i l)
-  done;
-  !best
+(* Cached evaluator: the mixed-layer analogue of [Model.View].  The
+   expected-traffic vector W is materialised once (O(n·m)); every
+   latency query is then O(1) against it, so a full Nash check is
+   O(n·m) where the scan-based path paid an O(n) traffic rescan per
+   (user, link) pair. *)
+module Eval = struct
+  type eval = { game : Game.t; rows : profile; traffics : Rational.t array }
+  type t = eval
+
+  (* Internal constructor: trusts dimensions, optionally skips the
+     distribution check (the Lemma 4.9 comparator of fmne_exp evaluates
+     FMNE *candidates* whose rows may leave [0, 1]). *)
+  let of_rows g rows = { game = g; rows; traffics = expected_traffics g rows }
+
+  let check_dims g p =
+    if Array.length p <> Game.users g then
+      invalid_arg "Mixed.Eval: one distribution per user required";
+    Array.iter
+      (fun row ->
+        if Qvec.dim row <> Game.links g then
+          invalid_arg "Mixed.Eval: distribution dimension differs from link count")
+      p
+
+  let make g p =
+    validate g p;
+    of_rows g (Array.map Array.copy p)
+
+  let unchecked g p =
+    check_dims g p;
+    of_rows g (Array.map Array.copy p)
+
+  let game e = e.game
+  let profile e = Array.map Array.copy e.rows
+  let expected_traffic e l = e.traffics.(l)
+
+  let latency_on_link e i l =
+    let w_i = Game.weight e.game i in
+    let own = Rational.mul (Rational.sub Rational.one e.rows.(i).(l)) w_i in
+    Rational.div (Rational.add own e.traffics.(l)) (Game.capacity e.game i l)
+
+  let min_latency e i =
+    let best = ref (latency_on_link e i 0) in
+    for l = 1 to Game.links e.game - 1 do
+      best := Rational.min !best (latency_on_link e i l)
+    done;
+    !best
+
+  let is_nash e =
+    let g = e.game in
+    let rec check_user i =
+      if i >= Game.users g then true
+      else begin
+        let lambda = min_latency e i in
+        let rec check_link l =
+          if l >= Game.links g then true
+          else begin
+            let on_l = latency_on_link e i l in
+            let ok =
+              if Rational.sign e.rows.(i).(l) > 0 then Rational.equal on_l lambda
+              else Rational.compare on_l lambda >= 0
+            in
+            ok && check_link (l + 1)
+          end
+        in
+        check_link 0 && check_user (i + 1)
+      end
+    in
+    check_user 0
+
+  let social_cost1 e = Rational.sum (List.init (Game.users e.game) (min_latency e))
+
+  let social_cost2 e =
+    List.fold_left Rational.max Rational.zero (List.init (Game.users e.game) (min_latency e))
+end
+
+(* One-shot conveniences ride a transient evaluator that shares the
+   caller's rows (no copy: the eval does not outlive the call).  The
+   seed paths never validated, and the Lemma 4.9 comparator relies on
+   evaluating non-distribution candidates, so neither do these. *)
+let transient g p =
+  Eval.check_dims g p;
+  Eval.of_rows g p
+
+let min_latency g p i = Eval.min_latency (transient g p) i
 
 let support p i =
   let row = p.(i) in
@@ -52,31 +130,9 @@ let support p i =
 let is_fully_mixed p =
   Array.for_all (Array.for_all (fun q -> Rational.sign q > 0)) p
 
-let is_nash g p =
-  let rec check_user i =
-    if i >= Game.users g then true
-    else begin
-      let lambda = min_latency g p i in
-      let rec check_link l =
-        if l >= Game.links g then true
-        else begin
-          let on_l = latency_on_link g p i l in
-          let ok =
-            if Rational.sign p.(i).(l) > 0 then Rational.equal on_l lambda
-            else Rational.compare on_l lambda >= 0
-          in
-          ok && check_link (l + 1)
-        end
-      in
-      check_link 0 && check_user (i + 1)
-    end
-  in
-  check_user 0
-
-let social_cost1 g p = Rational.sum (List.init (Game.users g) (min_latency g p))
-
-let social_cost2 g p =
-  List.fold_left Rational.max Rational.zero (List.init (Game.users g) (min_latency g p))
+let is_nash g p = Eval.is_nash (transient g p)
+let social_cost1 g p = Eval.social_cost1 (transient g p)
+let social_cost2 g p = Eval.social_cost2 (transient g p)
 
 let equal (a : profile) b =
   Array.length a = Array.length b && Array.for_all2 Qvec.equal a b

@@ -31,7 +31,55 @@ val expected_traffics : Game.t -> profile -> Numeric.Rational.t array
 (** [latency_on_link g p i l] is [λ^l_{i,b_i}(P)]. *)
 val latency_on_link : Game.t -> profile -> int -> int -> Numeric.Rational.t
 
-(** [min_latency g p i] is [λ_{i,b_i}(P) = min_l λ^l_{i,b_i}(P)]. *)
+(** Cached evaluator over one mixed profile — the mixed-layer analogue
+    of {!View}.  [make]/[unchecked] materialise the expected-traffic
+    vector [W] once in O(n·m); against it every latency is O(1), a
+    user's minimum latency is O(m) and a full Nash check is O(n·m) —
+    where the one-shot functions below paid an O(n) traffic rescan per
+    (user, link) query, O(n²·m) for a Nash check.  Build one evaluator
+    per profile whenever more than one query is made. *)
+module Eval : sig
+  type t
+
+  (** [make g p] validates [p] like {!validate} and caches its
+      expected traffics.  The rows are copied.
+      @raise Invalid_argument on a malformed profile. *)
+  val make : Game.t -> profile -> t
+
+  (** [unchecked g p] is {!make} minus the per-row distribution check:
+      only dimensions are verified.  Needed to evaluate fully mixed
+      {e candidates} (Lemma 4.9 comparators) whose rows may leave
+      [0, 1] when no FMNE exists; all formulas remain well-defined. *)
+  val unchecked : Game.t -> profile -> t
+
+  val game : t -> Game.t
+
+  (** [profile e] is a fresh copy of the evaluated rows. *)
+  val profile : t -> profile
+
+  (** [expected_traffic e l] is [W^l]. O(1). *)
+  val expected_traffic : t -> int -> Numeric.Rational.t
+
+  (** [latency_on_link e i l] is [λ^l_{i,b_i}(P)]. O(1). *)
+  val latency_on_link : t -> int -> int -> Numeric.Rational.t
+
+  (** [min_latency e i] is [λ_{i,b_i}(P)]. O(m). *)
+  val min_latency : t -> int -> Numeric.Rational.t
+
+  (** [is_nash e] is the exact Nash predicate of {!Mixed.is_nash}.
+      O(n·m). *)
+  val is_nash : t -> bool
+
+  (** [social_cost1 e] is [SC1]. O(n·m). *)
+  val social_cost1 : t -> Numeric.Rational.t
+
+  (** [social_cost2 e] is [SC2]. O(n·m). *)
+  val social_cost2 : t -> Numeric.Rational.t
+end
+
+(** [min_latency g p i] is [λ_{i,b_i}(P) = min_l λ^l_{i,b_i}(P)].
+    One-shot convenience over a transient {!Eval}.
+    @deprecated in per-profile loops: build one {!Eval.t} and query it. *)
 val min_latency : Game.t -> profile -> int -> Numeric.Rational.t
 
 (** [support p i] is the set of links user [i] plays with positive
@@ -44,13 +92,18 @@ val is_fully_mixed : profile -> bool
 
 (** [is_nash g p] holds when, for every user [i] and link [l]:
     [p^l_i > 0] implies [λ^l_i = λ_i], and [p^l_i = 0] implies
-    [λ^l_i >= λ_i] (exact comparisons). *)
+    [λ^l_i >= λ_i] (exact comparisons).  O(n·m) via a transient
+    {!Eval}. *)
 val is_nash : Game.t -> profile -> bool
 
-(** [social_cost1 g p] is [SC1 = Σ_i λ_{i,b_i}(P)]. *)
+(** [social_cost1 g p] is [SC1 = Σ_i λ_{i,b_i}(P)].
+    @deprecated with {!social_cost2} on the same profile: build one
+    {!Eval.t} and take both costs off it. *)
 val social_cost1 : Game.t -> profile -> Numeric.Rational.t
 
-(** [social_cost2 g p] is [SC2 = max_i λ_{i,b_i}(P)]. *)
+(** [social_cost2 g p] is [SC2 = max_i λ_{i,b_i}(P)].
+    @deprecated with {!social_cost1} on the same profile: build one
+    {!Eval.t} and take both costs off it. *)
 val social_cost2 : Game.t -> profile -> Numeric.Rational.t
 
 val equal : profile -> profile -> bool

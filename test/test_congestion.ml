@@ -16,9 +16,11 @@ let seed_gen = QCheck2.Gen.(int_bound 1_000_000)
 
 let kp_fixture () = Game.kp ~weights:[| qi 2; qi 1 |] ~capacities:[| qi 2; qi 1 |]
 
+(* n runs to 5 now that the expectation is the load-distribution DP
+   (the seed m^n sweep kept these properties at toy sizes). *)
 let random_kp seed =
   let rng = Prng.Rng.create seed in
-  let n = Prng.Rng.int_in rng 2 4 and m = Prng.Rng.int_in rng 2 3 in
+  let n = Prng.Rng.int_in rng 2 5 and m = Prng.Rng.int_in rng 2 3 in
   ( rng,
     Experiments.Generators.game rng ~n ~m
       ~weights:(Experiments.Generators.Integer_weights 4)
@@ -58,6 +60,31 @@ let test_optimum () =
   let v, sigma = Congestion.optimum g in
   Alcotest.check check_q "makespan optimum" (qi 1) v;
   Alcotest.(check (array int)) "argmin" [| 0; 1 |] sigma
+
+(* n = 20, m = 2: 2^20 realisations, past the seed enumerator's 10^6
+   cap.  With unit weights and unit capacities the expectation has the
+   independent closed form Σ_k C(20,k)/2^20 · max(k, 20-k), computable
+   with 21 exact terms. *)
+let test_expected_max_beyond_seed_limit () =
+  let n = 20 in
+  let g =
+    Game.kp ~weights:(Array.make n Rational.one) ~capacities:[| Rational.one; Rational.one |]
+  in
+  let choose n k =
+    let c = ref Rational.one in
+    for i = 1 to k do
+      c := Rational.div (Rational.mul !c (qi (n - k + i))) (qi i)
+    done;
+    !c
+  in
+  let scale = Rational.div Rational.one (Rational.mul (qi 1024) (qi 1024)) in
+  let closed_form =
+    Rational.sum
+      (List.init (n + 1) (fun k ->
+           Rational.mul (Rational.mul (choose n k) scale) (qi (Stdlib.max k (n - k)))))
+  in
+  Alcotest.check check_q "binomial closed form" closed_form
+    (Congestion.expected_max_congestion g (Mixed.uniform g))
 
 let test_estimate_close () =
   let g = kp_fixture () in
@@ -116,6 +143,7 @@ let suite =
     ("expected max hand case", `Quick, test_expected_max_hand);
     ("expectation of a pure profile", `Quick, test_expected_max_of_pure);
     ("makespan optimum", `Quick, test_optimum);
+    ("expectation beyond the seed limit", `Quick, test_expected_max_beyond_seed_limit);
     ("Monte-Carlo estimate", `Slow, test_estimate_close);
   ]
 

@@ -81,7 +81,12 @@ let test_default_rules_scoping () =
      stay under the full numeric scope. *)
   let view = default_rules "lib/model/view.ml" in
   Alcotest.(check bool) "view.ml: R1 on" true (has Poly view);
-  Alcotest.(check bool) "view.ml: R2 on" true (has Float_op view)
+  Alcotest.(check bool) "view.ml: R2 on" true (has Float_op view);
+  (* The load-distribution DP keys a hash table on exact load vectors;
+     R1 must cover it so a polymorphic Hashtbl can never sneak in. *)
+  let load_dist = default_rules "lib/model/load_dist.ml" in
+  Alcotest.(check bool) "load_dist.ml: R1 on" true (has Poly load_dist);
+  Alcotest.(check bool) "load_dist.ml: R2 on" true (has Float_op load_dist)
 
 let test_rule_of_string () =
   let rule_t : rule option Alcotest.testable =

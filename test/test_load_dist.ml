@@ -1,0 +1,248 @@
+(* Differential tests for the load-distribution DP (Model.Load_dist)
+   and the cached mixed evaluator (Model.Mixed.Eval).
+
+   The DP must be bit-identical to the seed enumerator — the sum over
+   all m^n pure realisations weighted by the product measure — which is
+   reimplemented here exactly as it shipped.  The evaluator must agree
+   with the seed's scan-based Mixed formulas, also reimplemented here
+   (the live Mixed one-shots now delegate to Eval, so testing against
+   them would be circular). *)
+
+open Model
+open Numeric
+
+let check_q = Alcotest.testable Rational.pp Rational.equal
+
+(* ------------------------------------------------------------------ *)
+(* Seed reimplementations                                              *)
+
+(* Seed [Congestion.expected_max_congestion]: brute force over all m^n
+   realisations of the product measure. *)
+let seed_expected_max g p =
+  let n = Game.users g and m = Game.links g in
+  let caps = Game.capacity_row g 0 in
+  let acc = ref Rational.zero in
+  Social.iter_profiles g (fun sigma ->
+      let prob = ref Rational.one in
+      for i = 0 to n - 1 do
+        prob := Rational.mul !prob p.(i).(sigma.(i))
+      done;
+      if not (Rational.is_zero !prob) then begin
+        let loads = Pure.loads g sigma in
+        let best = ref (Rational.div loads.(0) caps.(0)) in
+        for l = 1 to m - 1 do
+          best := Rational.max !best (Rational.div loads.(l) caps.(l))
+        done;
+        acc := Rational.add !acc (Rational.mul !prob !best)
+      end);
+  !acc
+
+(* Seed Mixed layer: every traffic is an O(n) rescan. *)
+let seed_expected_traffic g p l =
+  let acc = ref Rational.zero in
+  Array.iteri (fun i row -> acc := Rational.add !acc (Rational.mul row.(l) (Game.weight g i))) p;
+  !acc
+
+let seed_latency_on_link g p i l =
+  let w_i = Game.weight g i in
+  let own = Rational.mul (Rational.sub Rational.one p.(i).(l)) w_i in
+  Rational.div (Rational.add own (seed_expected_traffic g p l)) (Game.capacity g i l)
+
+let seed_min_latency g p i =
+  let best = ref (seed_latency_on_link g p i 0) in
+  for l = 1 to Game.links g - 1 do
+    best := Rational.min !best (seed_latency_on_link g p i l)
+  done;
+  !best
+
+let seed_is_nash g p =
+  let rec check_user i =
+    if i >= Game.users g then true
+    else begin
+      let lambda = seed_min_latency g p i in
+      let rec check_link l =
+        if l >= Game.links g then true
+        else begin
+          let on_l = seed_latency_on_link g p i l in
+          let ok =
+            if Rational.sign p.(i).(l) > 0 then Rational.equal on_l lambda
+            else Rational.compare on_l lambda >= 0
+          in
+          ok && check_link (l + 1)
+        end
+      in
+      check_link 0 && check_user (i + 1)
+    end
+  in
+  check_user 0
+
+let seed_social_cost1 g p = Rational.sum (List.init (Game.users g) (seed_min_latency g p))
+
+let seed_social_cost2 g p =
+  List.fold_left Rational.max Rational.zero (List.init (Game.users g) (seed_min_latency g p))
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+
+(* Small weight/capacity pools make duplicate user classes common. *)
+let random_kp rng ~n ~m =
+  Game.kp
+    ~weights:(Array.init n (fun _ -> Rational.of_int (1 + Prng.Rng.int rng 3)))
+    ~capacities:(Array.init m (fun _ -> Rational.of_int (1 + Prng.Rng.int rng 5)))
+
+let random_non_kp rng ~n ~m =
+  Game.of_capacities
+    ~weights:(Array.init n (fun _ -> Rational.of_int (1 + Prng.Rng.int rng 3)))
+    (Array.init n (fun _ -> Array.init m (fun _ -> Rational.of_int (1 + Prng.Rng.int rng 5))))
+
+(* The profile kinds named by the issue: fully mixed rows, pure
+   embeddings, rows with zero-probability entries, duplicated user
+   classes, and n = 1 degenerates (kind 4 pairs with n = 1 below). *)
+let random_profile rng ~kind g =
+  let n = Game.users g and m = Game.links g in
+  match kind with
+  | 0 -> Array.init n (fun _ -> Prng.Rng.positive_simplex rng ~dim:m ~grain:(m + 2))
+  | 1 -> Mixed.of_pure g (Array.init n (fun _ -> Prng.Rng.int rng m))
+  | 2 ->
+    (* Lattice simplex points: zero entries are common. *)
+    Array.init n (fun _ -> Prng.Rng.simplex rng ~dim:m ~grain:(m + 1))
+  | 3 ->
+    (* At most two distinct rows shared across all users: the
+       multinomial block path dominates. *)
+    let pool =
+      Array.init 2 (fun _ -> Prng.Rng.positive_simplex rng ~dim:m ~grain:(m + 2))
+    in
+    Array.init n (fun _ -> Array.copy pool.(Prng.Rng.int rng 2))
+  | _ -> Array.init n (fun _ -> Prng.Rng.simplex rng ~dim:m ~grain:(m + 2))
+
+(* ------------------------------------------------------------------ *)
+(* The DP vs the seed enumerator                                       *)
+
+let test_dp_differential () =
+  let rng = Prng.Rng.create 0x10AD in
+  let games = 10_000 in
+  for trial = 1 to games do
+    let kind = trial mod 5 in
+    let n = if kind = 4 then 1 else 1 + Prng.Rng.int_in rng 1 4 in
+    let m = Prng.Rng.int_in rng 2 3 in
+    let g = random_kp rng ~n ~m in
+    let p = random_profile rng ~kind g in
+    let dist = Load_dist.of_mixed g p in
+    Alcotest.check check_q
+      (Printf.sprintf "total probability (trial %d)" trial)
+      Rational.one (Load_dist.total_probability dist);
+    if Load_dist.classes dist > n then
+      Alcotest.failf "trial %d: %d classes for %d users" trial (Load_dist.classes dist) n;
+    let dp = Congestion.expected_max_congestion g p in
+    let seed = seed_expected_max g p in
+    if not (Rational.equal dp seed) then
+      Alcotest.failf "trial %d (kind %d, n=%d, m=%d): DP %s <> seed %s" trial kind n m
+        (Rational.to_string dp) (Rational.to_string seed)
+  done
+
+(* Exchangeable users collapse to one class and a polynomial state
+   space; the seed guard (m^n <= 10^6) would reject n = 20 outright. *)
+let test_beyond_seed_limit () =
+  let n = 20 and m = 3 in
+  let g = Game.kp ~weights:(Array.make n Rational.one) ~capacities:[| Rational.one; Rational.two; Rational.of_int 3 |] in
+  let p = Mixed.uniform g in
+  let dist = Load_dist.of_mixed g p in
+  Alcotest.(check int) "one class" 1 (Load_dist.classes dist);
+  Alcotest.(check int) "C(n+m-1, m-1) states" 231 (Load_dist.size dist);
+  Alcotest.check check_q "probabilities sum to one" Rational.one
+    (Load_dist.total_probability dist);
+  let emc = Congestion.expected_max_congestion g p in
+  (* E[max_l load_l/c_l] >= max_l E[load_l]/c_l = (n/m)/1 by Jensen on
+     the max, and <= n/min_c = n (all users on the slowest link). *)
+  Alcotest.(check bool) "lower bound" true
+    (Rational.compare emc (Rational.of_ints n m) >= 0);
+  Alcotest.(check bool) "upper bound" true (Rational.compare emc (Rational.of_int n) <= 0);
+  (* A pure profile embedded as mixed is a point mass: one state, and
+     the expectation collapses to the pure max congestion. *)
+  let sigma = Array.init n (fun i -> i mod m) in
+  let pure_dist = Load_dist.of_mixed g (Mixed.of_pure g sigma) in
+  Alcotest.(check int) "point mass" 1 (Load_dist.size pure_dist);
+  Alcotest.check check_q "degenerate expectation"
+    (Congestion.max_congestion g sigma)
+    (Congestion.expected_max_congestion g (Mixed.of_pure g sigma))
+
+let test_state_limit_guard () =
+  let g = random_kp (Prng.Rng.create 7) ~n:4 ~m:3 in
+  let p = random_profile (Prng.Rng.create 8) ~kind:0 g in
+  Alcotest.check_raises "limit trips"
+    (Invalid_argument "Load_dist.of_mixed: distinct load states exceed the limit")
+    (fun () -> ignore (Load_dist.of_mixed ~limit:2 g p))
+
+(* ------------------------------------------------------------------ *)
+(* Mixed.Eval vs the seed Mixed formulas                               *)
+
+let test_eval_differential () =
+  let rng = Prng.Rng.create 0xE7A1 in
+  for trial = 1 to 2_000 do
+    let n = Prng.Rng.int_in rng 1 4 and m = Prng.Rng.int_in rng 2 3 in
+    let g =
+      if Prng.Rng.bool rng then random_kp rng ~n ~m else random_non_kp rng ~n ~m
+    in
+    let p = random_profile rng ~kind:(trial mod 3) g in
+    let e = Mixed.Eval.make g p in
+    for l = 0 to m - 1 do
+      Alcotest.check check_q "expected traffic" (seed_expected_traffic g p l)
+        (Mixed.Eval.expected_traffic e l)
+    done;
+    for i = 0 to n - 1 do
+      Alcotest.check check_q "min latency" (seed_min_latency g p i)
+        (Mixed.Eval.min_latency e i);
+      for l = 0 to m - 1 do
+        Alcotest.check check_q "latency on link" (seed_latency_on_link g p i l)
+          (Mixed.Eval.latency_on_link e i l)
+      done
+    done;
+    Alcotest.check check_q "SC1" (seed_social_cost1 g p) (Mixed.Eval.social_cost1 e);
+    Alcotest.check check_q "SC2" (seed_social_cost2 g p) (Mixed.Eval.social_cost2 e);
+    if seed_is_nash g p <> Mixed.Eval.is_nash e then
+      Alcotest.failf "trial %d: Eval.is_nash disagrees with the seed predicate" trial;
+    (* The one-shot Mixed functions now ride a transient Eval; they
+       must still match the seed scans bit for bit. *)
+    if seed_is_nash g p <> Mixed.is_nash g p then
+      Alcotest.failf "trial %d: one-shot Mixed.is_nash drifted" trial
+  done
+
+(* Profiles that actually ARE equilibria: the closed-form FMNE and
+   every enumerated pure NE, on random games of both belief shapes. *)
+let test_eval_is_nash_on_equilibria () =
+  let rng = Prng.Rng.create 0x4E54 in
+  let seen_nash = ref 0 in
+  for _ = 1 to 300 do
+    let n = Prng.Rng.int_in rng 2 3 and m = Prng.Rng.int_in rng 2 3 in
+    let g =
+      if Prng.Rng.bool rng then random_kp rng ~n ~m else random_non_kp rng ~n ~m
+    in
+    let check p =
+      let agree = Bool.equal (seed_is_nash g p) (Mixed.Eval.is_nash (Mixed.Eval.make g p)) in
+      Alcotest.(check bool) "Eval agrees with seed on an equilibrium profile" true agree;
+      if seed_is_nash g p then incr seen_nash
+    in
+    (match Algo.Fully_mixed.compute g with Some p -> check p | None -> ());
+    List.iter (fun ne -> check (Mixed.of_pure g ne)) (Algo.Enumerate.pure_nash g)
+  done;
+  if !seen_nash = 0 then Alcotest.fail "no equilibrium profile was ever exercised"
+
+let () =
+  Alcotest.run "load_dist"
+    [
+      ( "dp",
+        [
+          Alcotest.test_case "10k-game differential vs seed enumerator" `Slow
+            test_dp_differential;
+          Alcotest.test_case "exchangeable users beyond the seed limit" `Quick
+            test_beyond_seed_limit;
+          Alcotest.test_case "state limit guard" `Quick test_state_limit_guard;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "2k-game differential vs seed formulas" `Slow
+            test_eval_differential;
+          Alcotest.test_case "is_nash on real equilibria" `Quick
+            test_eval_is_nash_on_equilibria;
+        ] );
+    ]
