@@ -1226,6 +1226,112 @@ let bench_mixed_json () =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* ------------------------------------------------------------------ *)
+(* Class-layer benchmark: BENCH_class.json artefact                    *)
+
+(* Exact equilibria at population scale.  The same k = 8, m = 4 class
+   family is instantiated at n ≈ 10^3 and n ≈ 10^6 (per-class counts
+   proportional to the class index); every per-class capacity row is a
+   rational multiple of one common base vector, so block best-response
+   dynamics ride a weighted potential and must converge.  Each row
+   times [Algo.Cbr.converge] from the proportional start and
+   [Model.Cview.is_nash] on the result — both poly(k, m), so the two
+   sizes should cost the same — and at the small size the verdict is
+   cross-checked against the per-user [Pure.is_nash] on the expanded
+   game.  Writes schema bench-class/1 to BENCH_class.json or
+   $BENCH_CLASS_JSON.  BENCH_CLASS_ONLY=1 runs just this section. *)
+let bench_class_json () =
+  Report.heading "CLASS" "exact equilibria for millions of users (emits BENCH_class.json)";
+  let ms_of f =
+    let us, _ = Scaling.time_call f in
+    us /. 1000.0
+  in
+  let k = 8 and m = 4 in
+  let base = [| Rational.of_int 5; Rational.of_int 4; Rational.of_int 3; Rational.two |] in
+  let class_game per_class =
+    (* counts proportional to c+1, weights 1..k, rows (c+2)/2 · base *)
+    let counts = Array.init k (fun c -> per_class * (c + 1)) in
+    let weights = Array.init k (fun c -> Rational.of_int (c + 1)) in
+    let caps =
+      Array.init k (fun c ->
+          Array.map (fun b -> Rational.mul (Rational.of_ints (c + 2) 2) b) base)
+    in
+    Cgame.of_capacities ~counts ~weights caps
+  in
+  let sizes = [ ("k8_m4_small", 28); ("k8_m4_million", 27_778) ] in
+  let rows =
+    List.map
+      (fun (name, per_class) ->
+        let g = class_game per_class in
+        let n = Cgame.users g in
+        let start = Algo.Cbr.proportional_start g in
+        let o = Algo.Cbr.converge g start in
+        if not o.Algo.Cbr.converged then
+          failwith "bench_class: dynamics did not converge on a potential game";
+        let v = Cview.of_profile g o.Algo.Cbr.profile in
+        let nash = Cview.is_nash v in
+        let converge_ms = ms_of (fun () -> ignore (Algo.Cbr.converge g start)) in
+        let is_nash_us, _ = Scaling.time_call (fun () -> ignore (Cview.is_nash v)) in
+        let expand_agrees =
+          if n > 2_000 then None
+          else
+            let eg = Cgame.expand g in
+            let ep = Cgame.expand_profile g o.Algo.Cbr.profile in
+            Some (Pure.is_nash eg ep = nash)
+        in
+        (name, n, o.Algo.Cbr.steps, o.Algo.Cbr.users_moved, converge_ms, is_nash_us, nash,
+         expand_agrees))
+      sizes
+  in
+  let t =
+    Stats.Table.create
+      [ "instance"; "n"; "k"; "m"; "steps"; "users moved"; "converge ms"; "is_nash µs";
+        "nash"; "per-user agrees" ]
+  in
+  List.iter
+    (fun (name, n, steps, moved, converge_ms, is_nash_us, nash, agrees) ->
+      Stats.Table.add_row t
+        [
+          name; string_of_int n; string_of_int k; string_of_int m; string_of_int steps;
+          string_of_int moved; Report.flt converge_ms; Report.flt is_nash_us;
+          string_of_bool nash;
+          (match agrees with Some b -> string_of_bool b | None -> "skipped (n large)");
+        ])
+    rows;
+  Stats.Table.print t;
+  let ratio small big = if small > 0.0 then big /. small else 0.0 in
+  let pick f = match rows with [ s; b ] -> ratio (f s) (f b) | _ -> 0.0 in
+  let is_nash_ratio = pick (fun (_, _, _, _, _, us, _, _) -> us) in
+  let converge_ratio = pick (fun (_, _, _, _, ms, _, _, _) -> ms) in
+  Printf.printf "cost flatness across 1000x population growth: is_nash %.2fx, converge %.2fx\n"
+    is_nash_ratio converge_ratio;
+  let out = Buffer.create 1024 in
+  Buffer.add_string out "{\n";
+  Buffer.add_string out "  \"schema\": \"bench-class/1\",\n";
+  Printf.bprintf out "  \"quick\": %b,\n" quick;
+  Buffer.add_string out "  \"results\": [\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun idx (name, n, steps, moved, converge_ms, is_nash_us, nash, agrees) ->
+      Printf.bprintf out
+        "    {\"instance\": \"%s\", \"n\": %d, \"k\": %d, \"m\": %d, \"steps\": %d, \
+         \"users_moved\": %d, \"converge_ms\": %.4f, \"is_nash_us\": %.3f, \
+         \"converged\": true, \"nash\": %b, \"expand_agrees\": %s}%s\n"
+        name n k m steps moved converge_ms is_nash_us nash
+        (match agrees with Some b -> string_of_bool b | None -> "null")
+        (if idx = last then "" else ","))
+    rows;
+  Buffer.add_string out "  ],\n";
+  Printf.bprintf out
+    "  \"flatness\": {\"is_nash_ratio\": %.3f, \"converge_ratio\": %.3f}\n"
+    is_nash_ratio converge_ratio;
+  Buffer.add_string out "}\n";
+  let path = Option.value (Sys.getenv_opt "BENCH_CLASS_JSON") ~default:"BENCH_class.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents out);
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 let main () =
   Printf.printf "Network Uncertainty in Selfish Routing — reproduction harness%s\n"
     (if quick then " (QUICK mode)" else "");
@@ -1254,6 +1360,7 @@ let main () =
   bench_engine_json ();
   bench_walk_json ();
   bench_mixed_json ();
+  bench_class_json ();
   print_endline "\nAll experiment tables regenerated. See EXPERIMENTS.md for the paper-vs-measured record."
 
 let () =
@@ -1261,4 +1368,5 @@ let () =
   else if Sys.getenv_opt "BENCH_ENGINE_ONLY" <> None then bench_engine_json ()
   else if Sys.getenv_opt "BENCH_WALK_ONLY" <> None then bench_walk_json ()
   else if Sys.getenv_opt "BENCH_MIXED_ONLY" <> None then bench_mixed_json ()
+  else if Sys.getenv_opt "BENCH_CLASS_ONLY" <> None then bench_class_json ()
   else main ()

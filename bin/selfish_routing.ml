@@ -52,6 +52,35 @@ let print_profile g ?initial sigma =
 (* ------------------------------------------------------------------ *)
 (* solve                                                               *)
 
+let classes_arg =
+  let doc =
+    "Treat the game file as a class game ('class <count> <weight> <c_1> ... <c_m>' \
+     rows) and solve it with block best-response dynamics in poly(k,m) — \
+     population size does not matter."
+  in
+  Arg.(value & flag & info [ "classes" ] ~doc)
+
+let run_solve_classes file =
+  let g = Game_io.parse_cgame_file file in
+  Printf.printf "class game: %d classes, %d users, %d links\n" (Cgame.classes g)
+    (Cgame.users g) (Cgame.links g);
+  Printf.printf "algorithm: block best-response dynamics from the proportional start\n";
+  let o = Algo.Cbr.converge g (Algo.Cbr.proportional_start g) in
+  if not o.converged then
+    failwith "block best-response dynamics did not converge within budget";
+  Printf.printf "(converged after %d block moves, %d users moved)\n" o.steps o.users_moved;
+  let v = Cview.of_profile g o.profile in
+  Array.iteri
+    (fun c row ->
+      Printf.printf "  class %d (count %d, weight %s): [%s]\n" c (Cgame.count g c)
+        (Rational.to_string (Cgame.weight g c))
+        (String.concat "; " (Array.to_list (Array.map string_of_int row))))
+    o.profile;
+  Printf.printf "is Nash equilibrium: %b\n" (Cview.is_nash v);
+  Printf.printf "SC1 = %s, SC2 = %s\n"
+    (Rational.to_string (Cview.social_cost1 v))
+    (Rational.to_string (Cview.social_cost2 v))
+
 let algo_arg =
   let algos =
     [
@@ -72,7 +101,7 @@ let pick_auto g initial =
   else if Game.is_symmetric g && initial = None then `Symmetric
   else `Best_response
 
-let run_solve file algo initial_str seed =
+let run_solve_users file algo initial_str seed =
   let g = Game_io.parse_file file in
   let initial = parse_initial g initial_str in
   let algo = if algo = `Auto then pick_auto g initial else algo in
@@ -100,9 +129,19 @@ let run_solve file algo initial_str seed =
   in
   print_profile g ?initial sigma
 
+let run_solve file classes algo initial_str seed =
+  if classes then begin
+    if initial_str <> None then invalid_arg "--initial is not supported with --classes";
+    (match algo with
+     | `Auto -> ()
+     | _ -> invalid_arg "--algo is not supported with --classes");
+    run_solve_classes file
+  end
+  else run_solve_users file algo initial_str seed
+
 let solve_cmd =
   let info = Cmd.info "solve" ~doc:"Compute a pure Nash equilibrium of a game file." in
-  Cmd.v info Term.(const run_solve $ game_arg $ algo_arg $ initial_arg $ seed_arg)
+  Cmd.v info Term.(const run_solve $ game_arg $ classes_arg $ algo_arg $ initial_arg $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fmne                                                                *)

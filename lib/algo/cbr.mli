@@ -1,0 +1,32 @@
+(** Best-response dynamics over class profiles: maximal improving
+    blocks instead of single users, so each step is O(k·m²) and the
+    total work never scales with the population size [n].
+
+    Each step takes the class layer's first defector — the exact
+    (class, link) pair the per-user first-defector policy would pick on
+    the expanded game — and moves the {e maximal improving block}
+    ({!Model.Cview.max_improving_block}) of that class from its link to
+    its best response.  Every such block is a sequence of strictly
+    improving single-user moves, so on games admitting a potential
+    (e.g. classes whose capacity rows are positive multiples of a
+    common vector, as in the bench instance) the dynamics terminate at
+    a pure Nash equilibrium.  Player-specific capacities in general may
+    cycle (Milchtaich 1996), hence the [max_steps] guard and the
+    [converged] flag rather than a guarantee. *)
+
+type outcome = {
+  profile : Model.Cgame.profile;  (** final class profile *)
+  steps : int;  (** block moves performed *)
+  users_moved : int;  (** total users moved, summed over blocks *)
+  converged : bool;  (** [true] iff a Nash equilibrium was reached *)
+}
+
+(** [proportional_start g] assigns each class's users to links in
+    proportion to the class's effective capacities (largest-remainder
+    by cumulative rounding, so counts are exact and sum to the class
+    count). *)
+val proportional_start : Model.Cgame.t -> Model.Cgame.profile
+
+(** [converge ?max_steps g x] runs block best-response dynamics from
+    [x] (default [max_steps] 1_000_000 block moves). *)
+val converge : ?max_steps:int -> Model.Cgame.t -> Model.Cgame.profile -> outcome

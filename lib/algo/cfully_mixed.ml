@@ -1,0 +1,70 @@
+open Model
+open Numeric
+
+let require_two_users g =
+  if Cgame.users g < 2 then
+    invalid_arg "Cfully_mixed: at least two users required (the closed form divides by n-1)"
+
+let capacity_sum g c = Rational.sum (List.init (Cgame.links g) (Cgame.capacity g c))
+
+let equilibrium_latency g c =
+  require_two_users g;
+  let m = Cgame.links g in
+  let num =
+    Rational.add
+      (Rational.mul (Rational.of_int (m - 1)) (Cgame.weight g c))
+      (Cgame.total_traffic g)
+  in
+  Rational.div num (capacity_sum g c)
+
+let share g c l = Rational.div (Cgame.capacity g c l) (capacity_sum g c)
+
+(* The per-user sums Σ_i share_i(l)·w_i and Σ_i share_i(l) regrouped by
+   class: every user of class c contributes the same term, so the sums
+   become Σ_c n_c·share_c(l)·w_c and Σ_c n_c·share_c(l) — identical
+   values under exact rational arithmetic. *)
+let expected_traffic g l =
+  require_two_users g;
+  let n = Cgame.users g and m = Cgame.links g in
+  let t = Cgame.total_traffic g in
+  let weighted_shares =
+    Rational.sum
+      (List.init (Cgame.classes g) (fun c ->
+           Rational.mul
+             (Rational.of_int (Cgame.count g c))
+             (Rational.mul (share g c l) (Cgame.weight g c))))
+  in
+  let share_sum =
+    Rational.sum
+      (List.init (Cgame.classes g) (fun c ->
+           Rational.mul (Rational.of_int (Cgame.count g c)) (share g c l)))
+  in
+  Rational.div
+    (Rational.sub
+       (Rational.add
+          (Rational.mul (Rational.of_int (m - 1)) weighted_shares)
+          (Rational.mul t share_sum))
+       t)
+    (Rational.of_int (n - 1))
+
+let candidate g =
+  require_two_users g;
+  let k = Cgame.classes g and m = Cgame.links g in
+  let w_link = Array.init m (expected_traffic g) in
+  let lambda = Array.init k (equilibrium_latency g) in
+  Array.init k (fun c ->
+      let w_c = Cgame.weight g c in
+      Array.init m (fun l ->
+          (* p^l_c = (W^l + w_c - c^l_c λ_c) / w_c      (equation 2) *)
+          Rational.div
+            (Rational.sub (Rational.add w_link.(l) w_c)
+               (Rational.mul (Cgame.capacity g c l) lambda.(c)))
+            w_c))
+
+let in_open_unit q = Rational.sign q > 0 && Rational.compare q Rational.one < 0
+
+let compute g =
+  let p = candidate g in
+  if Array.for_all (Array.for_all in_open_unit) p then Some p else None
+
+let exists g = Option.is_some (compute g)

@@ -1,0 +1,35 @@
+(** Fully mixed Nash equilibrium closed forms over class games —
+    {!Fully_mixed} recomputed in poly(k, m).
+
+    Every quantity is the per-user closed form with the user sums
+    re-grouped by class (exact rational arithmetic makes the regrouping
+    bit-identical): the candidate row of a class equals the candidate
+    row {!Fully_mixed.candidate} assigns each of that class's users on
+    the expanded game. *)
+
+(** [capacity_sum g c] is [Σ_l c^l] for class [c]. *)
+val capacity_sum : Model.Cgame.t -> int -> Numeric.Rational.t
+
+(** [equilibrium_latency g c] is [λ_c = ((m−1)·w_c + T) / Σ_l c^l_c].
+    @raise Invalid_argument when the game has fewer than two users. *)
+val equilibrium_latency : Model.Cgame.t -> int -> Numeric.Rational.t
+
+(** [share g c l] is [c^l_c / Σ_l c^l_c]. *)
+val share : Model.Cgame.t -> int -> int -> Numeric.Rational.t
+
+(** [expected_traffic g l] is the FMNE expected traffic [W^l].
+    @raise Invalid_argument when the game has fewer than two users. *)
+val expected_traffic : Model.Cgame.t -> int -> Numeric.Rational.t
+
+(** [candidate g] is the unique FMNE candidate as a class-symmetric
+    mixed profile (equation 2 of the paper, one row per class).  Rows
+    may leave [0, 1]; the candidate is an equilibrium iff they do not.
+    @raise Invalid_argument when the game has fewer than two users. *)
+val candidate : Model.Cgame.t -> Model.Cmixed.t
+
+(** [compute g] is [Some (candidate g)] when every entry lies in the
+    open interval (0, 1) — i.e. the FMNE exists — and [None]
+    otherwise. *)
+val compute : Model.Cgame.t -> Model.Cmixed.t option
+
+val exists : Model.Cgame.t -> bool

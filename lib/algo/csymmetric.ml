@@ -1,0 +1,9 @@
+open Model
+
+let solve ?max_steps g =
+  if not (Cgame.is_symmetric g) then
+    invalid_arg "Csymmetric.solve: classes must have equal weights";
+  let outcome = Cbr.converge ?max_steps g (Cbr.proportional_start g) in
+  if not outcome.converged then
+    failwith "Csymmetric.solve: block best-response dynamics did not converge";
+  outcome.profile

@@ -1,0 +1,16 @@
+(** Pure Nash equilibria for symmetric-weight class games.
+
+    The class analogue of {!Symmetric}: with equal weights the game is
+    a congestion game in the per-link counts, so block best-response
+    dynamics ({!Cbr}) from the capacity-proportional start converge to
+    a pure Nash equilibrium whenever an improvement potential exists —
+    in particular for uniform beliefs and for classes whose capacity
+    rows are positive multiples of a common vector.  Player-specific
+    capacity rows in general may cycle (Milchtaich 1996); the guard
+    raises instead of looping forever. *)
+
+(** [solve ?max_steps g] is a pure Nash class profile.
+    @raise Invalid_argument when class weights are not all equal.
+    @raise Failure when the dynamics exhaust [max_steps] (default
+    1_000_000) without reaching equilibrium. *)
+val solve : ?max_steps:int -> Model.Cgame.t -> Model.Cgame.profile

@@ -1,0 +1,94 @@
+open Model
+open Numeric
+
+(* Placing q users of weight w one at a time, each on the currently
+   lightest link (lowest index on ties), is a q-way merge of the m
+   strictly increasing progressions h_{l,j} = t_l + (j-1)·w: the chosen
+   placements are the q smallest start heights, ties by link index
+   (at most one element per link can equal any given height).  We find
+   the q-th smallest height λ* by binary search instead of simulating
+   the q placements. *)
+let place_class t q w =
+  let m = Array.length t in
+  let height l j = Rational.add t.(l) (Rational.mul (Rational.of_int (j - 1)) w) in
+  (* Number of start heights ≤ lam, each link capped at q. *)
+  let total_leq lam =
+    let acc = ref 0 in
+    for l = 0 to m - 1 do
+      let d = Rational.div (Rational.sub lam t.(l)) w in
+      if Rational.sign d >= 0 then
+        if Rational.compare d (Rational.of_int q) >= 0 then acc := !acc + q
+        else acc := !acc + Bigint.to_int_exn (Rational.num (Rational.floor d)) + 1
+    done;
+    !acc
+  in
+  (* Per link, the smallest of its heights that reaches rank q — the
+     q-th smallest height λ* is the least such candidate.  (The link
+     holding the overall largest q-th height always yields one, so the
+     minimum is over a non-empty set.) *)
+  let lam_star = ref None in
+  for l = 0 to m - 1 do
+    if total_leq (height l q) >= q then begin
+      let lo = ref 1 and hi = ref q in
+      while !lo < !hi do
+        let mid = !lo + ((!hi - !lo) / 2) in
+        if total_leq (height l mid) >= q then hi := mid else lo := mid + 1
+      done;
+      let cand = height l !lo in
+      lam_star :=
+        Some (match !lam_star with None -> cand | Some best -> Rational.min best cand)
+    end
+  done;
+  let lam = match !lam_star with Some lam -> lam | None -> assert false in
+  (* Heights strictly below λ* are all taken; the remaining placements
+     go to links whose next height equals λ* exactly, lowest index
+     first — the greedy tie-break. *)
+  let counts = Array.make m 0 in
+  let taken = ref 0 in
+  for l = 0 to m - 1 do
+    let d = Rational.div (Rational.sub lam t.(l)) w in
+    let below =
+      if Rational.sign d <= 0 then 0
+      else if Rational.compare d (Rational.of_int q) >= 0 then q
+      else if Rational.is_integer d then Bigint.to_int_exn (Rational.num d)
+      else Bigint.to_int_exn (Rational.num (Rational.floor d)) + 1
+    in
+    counts.(l) <- below;
+    taken := !taken + below
+  done;
+  let rem = ref (q - !taken) in
+  for l = 0 to m - 1 do
+    if !rem > 0 && counts.(l) < q && Rational.equal (height l (counts.(l) + 1)) lam then begin
+      counts.(l) <- counts.(l) + 1;
+      decr rem
+    end
+  done;
+  assert (!rem = 0);
+  for l = 0 to m - 1 do
+    if counts.(l) > 0 then
+      t.(l) <- Rational.add t.(l) (Rational.mul (Rational.of_int counts.(l)) w)
+  done;
+  counts
+
+let solve ?initial g =
+  if not (Cgame.has_uniform_beliefs g) then
+    invalid_arg "Cuniform_beliefs.solve: game must have uniform class beliefs";
+  let k = Cgame.classes g and m = Cgame.links g in
+  let t =
+    match initial with
+    | Some t when Array.length t = m -> Array.copy t
+    | Some _ -> invalid_arg "Cuniform_beliefs.solve: initial traffic has wrong length"
+    | None -> Array.make m Rational.zero
+  in
+  (* Heaviest classes first, ties by class index: the order in which
+     the expanded game's per-user LPT meets these users (expansion is
+     class-major, so equal-weight users sort into class blocks). *)
+  let order = Array.init k Fun.id in
+  Array.sort
+    (fun a b ->
+      let c = Rational.compare (Cgame.weight g b) (Cgame.weight g a) in
+      if c <> 0 then c else Int.compare a b)
+    order;
+  let x = Array.make k [||] in
+  Array.iter (fun c -> x.(c) <- place_class t (Cgame.count g c) (Cgame.weight g c)) order;
+  x

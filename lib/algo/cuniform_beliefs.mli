@@ -1,0 +1,20 @@
+(** LPT scheduling over class games with uniform beliefs, in
+    poly(k, m, log n).
+
+    {!Uniform_beliefs.solve} places users heaviest-first, each on the
+    lowest-index link of minimum traffic.  When [q] users share one
+    weight, their [q] placements are the [q] smallest {e start heights}
+    [h_{l,j} = t_l + (j−1)·w] ([j]-th consecutive placement on link
+    [l]), ties broken by link index — an order statistic over [m]
+    arithmetic progressions that a binary search finds without
+    simulating the [q] placements.  [solve] therefore returns, class by
+    class in (weight desc, class index asc) order, exactly the
+    per-link counts that {!Uniform_beliefs.solve} produces on the
+    expanded game. *)
+
+(** [solve ?initial g] is the class profile of the LPT schedule
+    ([initial] seeds the per-link traffics, default zero).
+    @raise Invalid_argument when the game does not have uniform
+    beliefs, or [initial] has the wrong length. *)
+val solve :
+  ?initial:Numeric.Rational.t array -> Model.Cgame.t -> Model.Cgame.profile

@@ -1,0 +1,204 @@
+open Numeric
+
+type t = {
+  counts : int array;
+  weights : Rational.t array;
+  beliefs : Belief.t array;
+  capacities : Rational.t array array; (* capacities.(c).(l) = c^l of class c *)
+  users : int; (* Σ counts, overflow-checked at construction *)
+  total : Rational.t; (* Σ counts·w *)
+}
+
+type profile = int array array
+
+let checked_total_users counts =
+  Array.fold_left
+    (fun acc c ->
+      if c <= 0 then invalid_arg "Cgame.make: class counts must be positive";
+      if c > max_int - acc then invalid_arg "Cgame.make: total user count overflows a native int";
+      acc + c)
+    0 counts
+
+let make ~counts ~weights ~beliefs =
+  let k = Array.length counts in
+  if k = 0 then invalid_arg "Cgame.make: no classes";
+  if Array.length weights <> k || Array.length beliefs <> k then
+    invalid_arg "Cgame.make: one count, weight and belief per class required";
+  Array.iter
+    (fun w -> if Rational.sign w <= 0 then invalid_arg "Cgame.make: traffics must be positive")
+    weights;
+  let m = Belief.links beliefs.(0) in
+  Array.iter
+    (fun b -> if Belief.links b <> m then invalid_arg "Cgame.make: beliefs disagree on link count")
+    beliefs;
+  if m < 2 then invalid_arg "Cgame.make: at least two links required";
+  let users = checked_total_users counts in
+  let total = ref Rational.zero in
+  Array.iteri
+    (fun c n -> total := Rational.add !total (Rational.mul (Rational.of_int n) weights.(c)))
+    counts;
+  {
+    counts = Array.copy counts;
+    weights = Array.copy weights;
+    beliefs = Array.copy beliefs;
+    capacities = Array.map Belief.effective_capacities beliefs;
+    users;
+    total = !total;
+  }
+
+let of_capacities ~counts ~weights caps =
+  if Array.length caps <> Array.length counts then
+    invalid_arg "Cgame.of_capacities: one capacity row per class required";
+  let beliefs = Array.map (fun row -> Belief.certain (State.make row)) caps in
+  make ~counts ~weights ~beliefs
+
+let kp ~counts ~weights ~capacities =
+  let st = State.make capacities in
+  let beliefs = Array.map (fun _ -> Belief.certain st) weights in
+  make ~counts ~weights ~beliefs
+
+let classes g = Array.length g.counts
+let links g = Array.length g.capacities.(0)
+let users g = g.users
+
+let check_class name g c =
+  if c < 0 || c >= classes g then invalid_arg (Printf.sprintf "Cgame.%s: class out of range" name)
+
+let count g c =
+  check_class "count" g c;
+  g.counts.(c)
+
+let weight g c =
+  check_class "weight" g c;
+  g.weights.(c)
+
+let belief g c =
+  check_class "belief" g c;
+  g.beliefs.(c)
+
+let capacity g c l =
+  check_class "capacity" g c;
+  if l < 0 || l >= links g then invalid_arg "Cgame.capacity: link out of range";
+  g.capacities.(c).(l)
+
+let capacity_row g c =
+  check_class "capacity_row" g c;
+  Array.copy g.capacities.(c)
+
+let total_traffic g = g.total
+
+let is_kp g =
+  let first = g.capacities.(0) in
+  Array.for_all (fun row -> Array.for_all2 Rational.equal first row) g.capacities
+
+let has_uniform_beliefs g =
+  Array.for_all (fun row -> Array.for_all (Rational.equal row.(0)) row) g.capacities
+
+let is_symmetric g = Array.for_all (Rational.equal g.weights.(0)) g.weights
+
+(* Group by (weight, effective capacity row), first-seen order — the
+   observational identity of a user: two users with this pair equal are
+   interchangeable in every latency and every predicate. *)
+let compress g =
+  let n = Game.users g in
+  let reps = ref [] (* class representatives, reversed *) and k = ref 0 in
+  let class_of = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let w = Game.weight g i in
+    let row = Game.capacity_row g i in
+    let rec find idx = function
+      | [] -> None
+      | (w', row', _) :: rest ->
+        if Rational.equal w w' && Array.for_all2 Rational.equal row row' then Some (idx - 1)
+        else find (idx - 1) rest
+    in
+    match find !k !reps with
+    | Some c -> class_of.(i) <- c
+    | None ->
+      class_of.(i) <- !k;
+      reps := (w, row, i) :: !reps;
+      incr k
+  done;
+  let members = Array.make !k 0 in
+  Array.iter (fun c -> members.(c) <- members.(c) + 1) class_of;
+  let rep_users = Array.make !k 0 in
+  List.iteri (fun j (_, _, i) -> rep_users.(!k - 1 - j) <- i) !reps;
+  let cg =
+    make ~counts:members
+      ~weights:(Array.map (Game.weight g) rep_users)
+      ~beliefs:(Array.map (Game.belief g) rep_users)
+  in
+  (cg, class_of)
+
+let expand g =
+  let weights = Array.make g.users Rational.zero in
+  let beliefs = Array.make g.users g.beliefs.(0) in
+  let pos = ref 0 in
+  Array.iteri
+    (fun c n ->
+      for _ = 1 to n do
+        weights.(!pos) <- g.weights.(c);
+        beliefs.(!pos) <- g.beliefs.(c);
+        incr pos
+      done)
+    g.counts;
+  Game.make ~weights ~beliefs
+
+let validate g x =
+  if Array.length x <> classes g then
+    invalid_arg "Cgame.validate: profile has wrong number of classes";
+  let m = links g in
+  Array.iteri
+    (fun c row ->
+      if Array.length row <> m then
+        invalid_arg "Cgame.validate: profile row has wrong number of links";
+      let sum =
+        Array.fold_left
+          (fun acc e ->
+            if e < 0 then invalid_arg "Cgame.validate: negative assignment count";
+            if e > max_int - acc then
+              invalid_arg "Cgame.validate: assignment counts overflow a native int";
+            acc + e)
+          0 row
+      in
+      if sum <> g.counts.(c) then
+        invalid_arg
+          (Printf.sprintf "Cgame.validate: class %d assigns %d users, expected %d" c sum
+             g.counts.(c)))
+    x
+
+let expand_profile g x =
+  validate g x;
+  let p = Array.make g.users 0 in
+  let pos = ref 0 in
+  Array.iter
+    (fun row ->
+      Array.iteri
+        (fun l e ->
+          for _ = 1 to e do
+            p.(!pos) <- l;
+            incr pos
+          done)
+        row)
+    x;
+  p
+
+let compress_profile g ~class_of p =
+  if Array.length class_of <> Array.length p then
+    invalid_arg "Cgame.compress_profile: profile length differs from the class map";
+  let k = classes g and m = links g in
+  let x = Array.make_matrix k m 0 in
+  Array.iteri
+    (fun i l ->
+      let c = class_of.(i) in
+      if c < 0 || c >= k then invalid_arg "Cgame.compress_profile: class out of range";
+      if l < 0 || l >= m then invalid_arg "Cgame.compress_profile: link out of range";
+      x.(c).(l) <- x.(c).(l) + 1)
+    p;
+  validate g x;
+  x
+
+let pp fmt g =
+  Format.fprintf fmt "cgame k=%d n=%d m=%d counts=%a" (classes g) g.users (links g)
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ",") Format.pp_print_int)
+    (Array.to_list g.counts)

@@ -1,0 +1,126 @@
+open Numeric
+
+type t = Rational.t array array
+
+let validate g p =
+  if Array.length p <> Cgame.classes g then
+    invalid_arg "Cmixed.validate: one distribution per class required";
+  Array.iter
+    (fun row ->
+      if Qvec.dim row <> Cgame.links g then
+        invalid_arg "Cmixed.validate: distribution dimension differs from link count";
+      if not (Qvec.is_distribution row) then
+        invalid_arg "Cmixed.validate: rows must be probability distributions")
+    p
+
+let uniform g =
+  let m = Cgame.links g in
+  Array.init (Cgame.classes g) (fun _ -> Array.make m (Rational.of_ints 1 m))
+
+let of_pure g x =
+  Cgame.validate g x;
+  let m = Cgame.links g in
+  Array.mapi
+    (fun c row ->
+      let link = ref (-1) in
+      Array.iteri
+        (fun l e ->
+          if e > 0 then
+            if !link < 0 then link := l
+            else
+              invalid_arg
+                (Printf.sprintf "Cmixed.of_pure: class %d splits across links, not class-symmetric"
+                   c))
+        row;
+      let out = Array.make m Rational.zero in
+      out.(!link) <- Rational.one;
+      out)
+    x
+
+let expand g p =
+  validate g p;
+  let rows = Array.make (Cgame.users g) [||] in
+  let pos = ref 0 in
+  Array.iteri
+    (fun c row ->
+      for _ = 1 to Cgame.count g c do
+        rows.(!pos) <- Array.copy row;
+        incr pos
+      done)
+    p;
+  rows
+
+module Eval = struct
+  type profile = t
+  type nonrec t = { game : Cgame.t; rows : profile; traffics : Rational.t array }
+
+  let make g p =
+    validate g p;
+    let m = Cgame.links g in
+    let traffics =
+      Array.init m (fun l ->
+          let acc = ref Rational.zero in
+          for c = 0 to Cgame.classes g - 1 do
+            acc :=
+              Rational.add !acc
+                (Rational.mul p.(c).(l)
+                   (Rational.mul (Rational.of_int (Cgame.count g c)) (Cgame.weight g c)))
+          done;
+          !acc)
+    in
+    { game = g; rows = Array.map Array.copy p; traffics }
+
+  let game e = e.game
+  let expected_traffic e l = e.traffics.(l)
+
+  let latency_on_link e c l =
+    let w = Cgame.weight e.game c in
+    let own = Rational.mul (Rational.sub Rational.one e.rows.(c).(l)) w in
+    Rational.div (Rational.add own e.traffics.(l)) (Cgame.capacity e.game c l)
+
+  let min_latency e c =
+    let best = ref (latency_on_link e c 0) in
+    for l = 1 to Cgame.links e.game - 1 do
+      best := Rational.min !best (latency_on_link e c l)
+    done;
+    !best
+
+  let social_cost1 e =
+    let acc = ref Rational.zero in
+    for c = 0 to Cgame.classes e.game - 1 do
+      acc :=
+        Rational.add !acc (Rational.mul (Rational.of_int (Cgame.count e.game c)) (min_latency e c))
+    done;
+    !acc
+
+  let social_cost2 e =
+    let acc = ref Rational.zero in
+    for c = 0 to Cgame.classes e.game - 1 do
+      acc := Rational.max !acc (min_latency e c)
+    done;
+    !acc
+
+  let is_nash e =
+    let g = e.game in
+    let rec check_class c =
+      if c >= Cgame.classes g then true
+      else begin
+        let lambda = min_latency e c in
+        let rec check_link l =
+          if l >= Cgame.links g then true
+          else begin
+            let on_l = latency_on_link e c l in
+            let ok =
+              if Rational.sign e.rows.(c).(l) > 0 then Rational.equal on_l lambda
+              else Rational.compare on_l lambda >= 0
+            in
+            ok && check_link (l + 1)
+          end
+        in
+        check_link 0 && check_class (c + 1)
+      end
+    in
+    check_class 0
+end
+
+let is_nash g p = Eval.is_nash (Eval.make g p)

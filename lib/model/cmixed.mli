@@ -1,0 +1,77 @@
+(** Class-symmetric mixed profiles and their exact evaluation in
+    poly(k, m).
+
+    A class-symmetric mixed profile gives every user of a class the
+    same strategy row: [p.(c).(l)] is the probability that a class-[c]
+    user plays link [l].  This covers every mixed object the class
+    layer needs — fully mixed equilibria, uniform rows, and products of
+    symmetric per-class strategies — while staying [k × m] instead of
+    [n × m].  (A {e pure} class profile that splits one class across
+    links is not class-symmetric and is handled by {!Cview} instead.)
+
+    {!Eval} mirrors {!Mixed.Eval}: expected traffics, per-link/per-class
+    expected latencies and both social-cost surrogates, all derived
+    from a single O(k·m) pass and pinned bit-identical to the per-user
+    evaluator on the expanded game by [test/test_cgame.ml]. *)
+
+type t = Numeric.Rational.t array array
+
+(** [validate g p] checks [p] is [k × m], rows non-negative and summing
+    to one. @raise Invalid_argument otherwise. *)
+val validate : Cgame.t -> t -> unit
+
+(** [uniform g] is the profile assigning every class the uniform row
+    [1/m]. *)
+val uniform : Cgame.t -> t
+
+(** [of_pure g x] is the degenerate profile of a class profile in which
+    every class occupies a single link.
+    @raise Invalid_argument when some class splits across links (such a
+    profile is not class-symmetric). *)
+val of_pure : Cgame.t -> Cgame.profile -> t
+
+(** [expand g p] replicates each class row [count c] times, yielding
+    the per-user mixed profile of {!Cgame.expand}'s layout. *)
+val expand : Cgame.t -> t -> Numeric.Rational.t array array
+
+module Eval : sig
+  type profile = t
+
+  (** Cached evaluation of a class-symmetric mixed profile.  All
+      accessors are O(1) after the O(k·m) construction. *)
+  type t
+
+  val make : Cgame.t -> profile -> t
+  val game : t -> Cgame.t
+
+  (** [expected_traffic e l] is [E[load on l] = Σ_c n_c·w_c·p.(c).(l)]. *)
+  val expected_traffic : t -> int -> Numeric.Rational.t
+
+  (** [latency_on_link e c l] is the conditional expected latency of a
+      class-[c] user on link [l]:
+      [((1 - p.(c).(l))·w_c + W_l) / capacity c l] where [W_l] is the
+      expected traffic on [l].  (The user's own contribution is counted
+      once, not in expectation.) *)
+  val latency_on_link : t -> int -> int -> Numeric.Rational.t
+
+  (** [min_latency e c] is [min_l latency_on_link c l] — the latency a
+      class-[c] user secures by best-responding. *)
+  val min_latency : t -> int -> Numeric.Rational.t
+
+  (** [social_cost1 e] is [Σ_c n_c·min_latency c] — the class-weighted
+      form of {!Mixed.Eval.social_cost1}'s per-user sum. *)
+  val social_cost1 : t -> Numeric.Rational.t
+
+  (** [social_cost2 e] is [max_c min_latency c] (zero floor), matching
+      {!Mixed.Eval.social_cost2}. *)
+  val social_cost2 : t -> Numeric.Rational.t
+
+  (** [is_nash e] — see the top-level {!val:is_nash}. *)
+  val is_nash : t -> bool
+end
+
+(** [is_nash g p] holds when [p] is a (class-symmetric) Nash
+    equilibrium: every link a class plays with positive probability
+    attains that class's minimum conditional expected latency.
+    Matches {!Mixed.is_nash} on the expanded profile. *)
+val is_nash : Cgame.t -> t -> bool

@@ -1,0 +1,190 @@
+open Numeric
+
+(* The cursor: current assignment counts, current loads (initial
+   traffic included), and a packed move history for [undo].  A history
+   entry is two ints — [(cls * m + src) * m + dst] and [count] — so
+   the stack is a flat int array that doubles on demand. *)
+type t = {
+  game : Cgame.t;
+  assign : int array array;
+  loads : Rational.t array;
+  mutable hist : int array;
+  mutable depth : int;
+}
+
+let game v = v.game
+let classes v = Array.length v.assign
+let links v = Array.length v.loads
+
+let of_profile g ?initial x =
+  Cgame.validate g x;
+  let m = Cgame.links g in
+  let loads =
+    match initial with
+    | None -> Array.make m Rational.zero
+    | Some t ->
+      if Array.length t <> m then
+        invalid_arg "Cview.of_profile: initial traffic length differs from link count";
+      Array.iter
+        (fun q ->
+          if Rational.sign q < 0 then invalid_arg "Cview.of_profile: negative initial traffic")
+        t;
+      Array.copy t
+  in
+  Array.iteri
+    (fun c row ->
+      let w = Cgame.weight g c in
+      Array.iteri
+        (fun l e ->
+          if e > 0 then loads.(l) <- Rational.add loads.(l) (Rational.mul (Rational.of_int e) w))
+        row)
+    x;
+  { game = g; assign = Array.map Array.copy x; loads; hist = Array.make 32 0; depth = 0 }
+
+let assigned v c l = v.assign.(c).(l)
+let profile v = Array.map Array.copy v.assign
+let load v l = v.loads.(l)
+let loads v = Array.copy v.loads
+let depth v = v.depth
+
+(* Unrecorded block reassignment shared by [move] and [undo]: one
+   exact multiplication and two load updates, whatever [count] is. *)
+let shift v cls src dst count =
+  if count > 0 && src <> dst then begin
+    let delta = Rational.mul (Rational.of_int count) (Cgame.weight v.game cls) in
+    v.assign.(cls).(src) <- v.assign.(cls).(src) - count;
+    v.assign.(cls).(dst) <- v.assign.(cls).(dst) + count;
+    v.loads.(src) <- Rational.sub v.loads.(src) delta;
+    v.loads.(dst) <- Rational.add v.loads.(dst) delta
+  end
+
+let push v meta count =
+  if 2 * v.depth = Array.length v.hist then begin
+    let bigger = Array.make (4 * v.depth) 0 in
+    Array.blit v.hist 0 bigger 0 (2 * v.depth);
+    v.hist <- bigger
+  end;
+  v.hist.(2 * v.depth) <- meta;
+  v.hist.((2 * v.depth) + 1) <- count;
+  v.depth <- v.depth + 1
+
+let move v ~cls ~src ~dst ~count =
+  let k = classes v and m = links v in
+  if cls < 0 || cls >= k then invalid_arg "Cview.move: class out of range";
+  if src < 0 || src >= m || dst < 0 || dst >= m then invalid_arg "Cview.move: link out of range";
+  if count < 0 then invalid_arg "Cview.move: negative count";
+  if count > v.assign.(cls).(src) && src <> dst then
+    invalid_arg "Cview.move: not enough users of the class on the source link";
+  push v (((cls * m) + src) * m + dst) count;
+  shift v cls src dst count
+
+let undo v =
+  if v.depth = 0 then invalid_arg "Cview.undo: empty history";
+  v.depth <- v.depth - 1;
+  let meta = v.hist.(2 * v.depth) and count = v.hist.((2 * v.depth) + 1) in
+  let m = links v in
+  let dst = meta mod m in
+  let src = meta / m mod m in
+  let cls = meta / (m * m) in
+  shift v cls dst src count
+
+let latency v c l = Rational.div v.loads.(l) (Cgame.capacity v.game c l)
+
+let latency_after_move v ~cls ~src dst =
+  let base = v.loads.(dst) in
+  let total = if dst = src then base else Rational.add base (Cgame.weight v.game cls) in
+  Rational.div total (Cgame.capacity v.game cls dst)
+
+let best_response_for v ~cls ~src =
+  let best_link = ref 0 and best = ref (latency_after_move v ~cls ~src 0) in
+  for l = 1 to links v - 1 do
+    let lat = latency_after_move v ~cls ~src l in
+    if Rational.compare lat !best < 0 then begin
+      best_link := l;
+      best := lat
+    end
+  done;
+  (!best_link, !best)
+
+let is_defector v ~cls ~src =
+  let current = latency v cls src in
+  let m = links v in
+  let rec scan l =
+    if l >= m then false
+    else if l <> src && Rational.compare (latency_after_move v ~cls ~src l) current < 0 then true
+    else scan (l + 1)
+  in
+  scan 0
+
+(* Class ascending, source link ascending: the exact order in which
+   [Cgame.expand_profile] lays out the users, so this is the per-user
+   first-defector choice computed without any per-user work. *)
+let first_defector v =
+  let k = classes v and m = links v in
+  let rec over_links c l =
+    if l >= m then over_classes (c + 1)
+    else if v.assign.(c).(l) > 0 then begin
+      let target, best = best_response_for v ~cls:c ~src:l in
+      if Rational.compare best (latency v c l) < 0 then Some (c, l, target) else over_links c (l + 1)
+    end
+    else over_links c (l + 1)
+  and over_classes c = if c >= k then None else over_links c 0 in
+  over_classes 0
+
+let is_nash v =
+  let k = classes v and m = links v in
+  let rec over_links c l =
+    if l >= m then over_classes (c + 1)
+    else if v.assign.(c).(l) > 0 && is_defector v ~cls:c ~src:l then false
+    else over_links c (l + 1)
+  and over_classes c = c >= k || over_links c 0 in
+  over_classes 0
+
+(* The j-th sequential mover (j ≥ 1) improves iff
+     (load_dst + j·w)/c_dst < (load_src - (j-1)·w)/c_src
+   ⟺ j < q  for  q = (Δ + w/c_src) / (w·(1/c_dst + 1/c_src)),
+   Δ = load_src/c_src − load_dst/c_dst.  The valid j form a prefix
+   (LHS grows, RHS shrinks), so the maximal block is the largest
+   integer strictly below q, clamped to the available users. *)
+let max_improving_block v ~cls ~src ~dst =
+  let k = classes v and m = links v in
+  if cls < 0 || cls >= k then invalid_arg "Cview.max_improving_block: class out of range";
+  if src < 0 || src >= m || dst < 0 || dst >= m then
+    invalid_arg "Cview.max_improving_block: link out of range";
+  if src = dst then invalid_arg "Cview.max_improving_block: source and destination coincide";
+  let w = Cgame.weight v.game cls in
+  let cap_s = Cgame.capacity v.game cls src and cap_d = Cgame.capacity v.game cls dst in
+  let delta =
+    Rational.sub (Rational.div v.loads.(src) cap_s) (Rational.div v.loads.(dst) cap_d)
+  in
+  let q =
+    Rational.div
+      (Rational.add delta (Rational.div w cap_s))
+      (Rational.mul w (Rational.add (Rational.inv cap_d) (Rational.inv cap_s)))
+  in
+  let avail = v.assign.(cls).(src) in
+  if Rational.compare q Rational.one <= 0 then 0
+  else if Rational.compare q (Rational.of_int avail) > 0 then avail
+  else
+    (* q ∈ (1, avail]: ceil(q) − 1 ∈ [1, avail] fits a native int. *)
+    Bigint.to_int_exn (Rational.num (Rational.sub (Rational.ceil q) Rational.one))
+
+let social_cost1 v =
+  let acc = ref Rational.zero in
+  for c = 0 to classes v - 1 do
+    for l = 0 to links v - 1 do
+      let e = v.assign.(c).(l) in
+      if e > 0 then
+        acc := Rational.add !acc (Rational.mul (Rational.of_int e) (latency v c l))
+    done
+  done;
+  !acc
+
+let social_cost2 v =
+  let acc = ref Rational.zero in
+  for c = 0 to classes v - 1 do
+    for l = 0 to links v - 1 do
+      if v.assign.(c).(l) > 0 then acc := Rational.max !acc (latency v c l)
+    done
+  done;
+  !acc

@@ -1,0 +1,106 @@
+(** Incremental evaluation cursor over a class profile.
+
+    The class-layer analogue of {!View}: per-link loads are
+    materialised once from the [k × m] assignment counts (O(k·m)) and
+    maintained under {e block moves} — [count] users of one class
+    moving from one link to another — in O(1) exact rational updates,
+    independent of [count] and of the population size [n].  Against the
+    view, a latency is O(1), a best response is O(m), a full Nash check
+    is O(k·m²) and the social costs are O(k·m): no operation ever
+    scales with [n].
+
+    All per-user predicates survive compression exactly: users of one
+    class on one link are interchangeable, so "some user defects" is a
+    property of the occupied (class, link) pairs.  The differential
+    suite ([test/test_cgame.ml]) pins every function here bit-identical
+    to its {!View}/{!Pure} counterpart through
+    {!Cgame.expand}/{!Cgame.expand_profile}.
+
+    Like {!View}, this is a mutable cursor, not a value: share it only
+    within one traversal. *)
+
+type t
+
+(** [of_profile g ?initial x] positions a fresh view at [x], validating
+    it and computing all link loads once in O(k·m).  [x] is deep-copied.
+    @raise Invalid_argument when [x] or [initial] is malformed. *)
+val of_profile : Cgame.t -> ?initial:Numeric.Rational.t array -> Cgame.profile -> t
+
+val game : t -> Cgame.t
+val classes : t -> int
+val links : t -> int
+
+(** [assigned v c l] is the number of class-[c] users on link [l]. O(1). *)
+val assigned : t -> int -> int -> int
+
+(** [profile v] is a snapshot copy of the current class profile. *)
+val profile : t -> Cgame.profile
+
+(** [load v l] is the current total traffic on link [l]. O(1). *)
+val load : t -> int -> Numeric.Rational.t
+
+(** [loads v] is a snapshot copy of the per-link loads. *)
+val loads : t -> Numeric.Rational.t array
+
+(** [move v ~cls ~src ~dst ~count] reassigns [count] users of class
+    [cls] from link [src] to link [dst] in O(1) exact rational
+    operations (one multiplication, two load updates), recording the
+    move for {!undo}.  [count = 0] and [src = dst] are recorded no-ops.
+    @raise Invalid_argument when an index is out of range, [count < 0],
+    or [count] exceeds the users of [cls] currently on [src]. *)
+val move : t -> cls:int -> src:int -> dst:int -> count:int -> unit
+
+(** [undo v] reverts the most recent un-undone {!move} in O(1).
+    @raise Invalid_argument when the history is empty. *)
+val undo : t -> unit
+
+(** [depth v] is the number of moves {!undo} can still revert. *)
+val depth : t -> int
+
+(** [latency v c l] is the expected latency of a class-[c] user playing
+    link [l] at the current loads, [load l / c^l_c].  O(1). *)
+val latency : t -> int -> int -> Numeric.Rational.t
+
+(** [latency_after_move v ~cls ~src dst] is the latency a single
+    class-[cls] user currently on [src] would experience after
+    unilaterally moving to [dst] (its current latency when
+    [dst = src]).  O(1). *)
+val latency_after_move : t -> cls:int -> src:int -> int -> Numeric.Rational.t
+
+(** [best_response_for v ~cls ~src] is the lowest-index link minimising
+    that user's post-move latency, paired with the latency.  O(m).
+    Matches {!View.best_response_for} for any expanded user of class
+    [cls] on [src]. *)
+val best_response_for : t -> cls:int -> src:int -> int * Numeric.Rational.t
+
+(** [is_defector v ~cls ~src] holds when a class-[cls] user on [src]
+    has a strictly improving move.  Meaningful when
+    [assigned v cls src > 0].  O(m). *)
+val is_defector : t -> cls:int -> src:int -> bool
+
+(** [first_defector v] is the first occupied (class, link) pair — class
+    ascending, then link ascending — whose users defect, together with
+    their best-response link: exactly the move the per-user
+    first-defector policy would pick on the expanded profile.
+    [None] at a Nash equilibrium.  O(k·m²). *)
+val first_defector : t -> (int * int * int) option
+
+(** [is_nash v] holds when no user of any class can strictly improve by
+    switching links.  O(k·m²) — independent of the population size. *)
+val is_nash : t -> bool
+
+(** [max_improving_block v ~cls ~src ~dst] is the largest [t] such that
+    moving [t] class-[cls] users from [src] to [dst] one at a time is a
+    strictly improving step for {e each} of them (the [j]-th mover
+    compares its pre-move latency on [src] against its post-move
+    latency on [dst] with [j] movers already there).  [0] when even the
+    first move does not improve.  Closed form, O(1); never exceeds
+    [assigned v cls src].  Requires [dst <> src]. *)
+val max_improving_block : t -> cls:int -> src:int -> dst:int -> int
+
+(** [social_cost1 v] is [SC1 = Σ_c count-weighted latencies].  O(k·m). *)
+val social_cost1 : t -> Numeric.Rational.t
+
+(** [social_cost2 v] is [SC2 = max latency over occupied (c, l)].
+    O(k·m). *)
+val social_cost2 : t -> Numeric.Rational.t

@@ -52,6 +52,9 @@ let parse text =
         | "capacities" :: rest ->
           if rest = [] then fail_line lineno "capacities row needs entries";
           acc.capacities <- (lineno, Array.of_list (List.map (parse_rational lineno) rest)) :: acc.capacities
+        | "class" :: _ ->
+          fail_line lineno
+            "'class' rows describe a class game; use parse_cgame (or the --classes CLI flag)"
         | word :: _ -> fail_line lineno (Printf.sprintf "unknown directive %S" word)
         | [] -> ()
       end)
@@ -127,6 +130,82 @@ let parse_file path =
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+(* Class form: one 'class <count> <weight> <c_1> … <c_m>' row per
+   class, optional 'links' directive, same comment/blank conventions.
+   Kept as a separate scanner: class files and per-user files are
+   different objects, and mixing their directives is an error in both
+   directions. *)
+let parse_cgame text =
+  let links = ref None in
+  let rows = ref [] (* reversed (lineno, count, weight, caps) *) in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let line = String.trim raw in
+      if line <> "" && line.[0] <> '#' then begin
+        match split_words line with
+        | "links" :: rest ->
+          (match rest with
+           | [ n ] ->
+             let n = try int_of_string n with Failure _ -> fail_line lineno "bad link count" in
+             if n < 2 then fail_line lineno "need at least two links";
+             links := Some n
+           | _ -> fail_line lineno "expected: links <m>")
+        | "class" :: count :: weight :: caps ->
+          let count =
+            try int_of_string count
+            with Failure _ -> fail_line lineno (Printf.sprintf "bad class count %S" count)
+          in
+          if count <= 0 then fail_line lineno "class count must be positive";
+          if caps = [] then fail_line lineno "class row needs capacities";
+          let weight = parse_rational lineno weight in
+          let caps = Array.of_list (List.map (parse_rational lineno) caps) in
+          rows := (lineno, count, weight, caps) :: !rows
+        | "class" :: _ -> fail_line lineno "expected: class <count> <weight> <c_1> ... <c_m>"
+        | ("weights" | "state" | "belief" | "capacities") :: _ ->
+          fail_line lineno "per-user directives cannot appear in a class game file"
+        | word :: _ -> fail_line lineno (Printf.sprintf "unknown directive %S" word)
+        | [] -> ()
+      end)
+    (String.split_on_char '\n' text);
+  let rows = List.rev !rows in
+  (match rows with [] -> invalid_arg "Game_io: need at least one 'class' row" | _ :: _ -> ());
+  let expected_width = ref !links in
+  List.iter
+    (fun (lineno, _, _, caps) ->
+      let n = Array.length caps in
+      match !expected_width with
+      | Some m when n <> m ->
+        fail_line lineno
+          (Printf.sprintf "class row has wrong number of capacities (%d, expected %d)" n m)
+      | Some _ -> ()
+      | None -> expected_width := Some n)
+    rows;
+  let counts = Array.of_list (List.map (fun (_, c, _, _) -> c) rows) in
+  let weights = Array.of_list (List.map (fun (_, _, w, _) -> w) rows) in
+  let caps = Array.of_list (List.map (fun (_, _, _, row) -> row) rows) in
+  try Cgame.of_capacities ~counts ~weights caps
+  with Invalid_argument m -> invalid_arg ("Game_io: " ^ m)
+
+let parse_cgame_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse_cgame (really_input_string ic (in_channel_length ic)))
+
+let to_class_string g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "links %d\n" (Cgame.links g));
+  for c = 0 to Cgame.classes g - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "class %d %s" (Cgame.count g c) (Rational.to_string (Cgame.weight g c)));
+    Array.iter
+      (fun q -> Buffer.add_string buf (" " ^ Rational.to_string q))
+      (Cgame.capacity_row g c);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
 
 let to_generative_string g =
   let buf = Buffer.create 256 in

@@ -24,6 +24,18 @@
     capacities 1 3
     v}
 
+    The {e class} form describes a {!Cgame} — one row per class of
+    interchangeable users, [class <count> <weight> <c_1> … <c_m>]:
+
+    {v
+    links 2
+    class 1000000 1 2 1
+    class 5 1/2 1 3
+    v}
+
+    Class files are parsed by {!parse_cgame}; mixing class rows with
+    per-user directives is rejected in both directions.
+
     Numbers are exact rationals ([3], [1/2], [0.75]).  Lines starting
     with [#] and blank lines are ignored. *)
 
@@ -46,3 +58,18 @@ val to_string : Game.t -> string
     under names [s1, s2, …].  [parse] of the result has the same
     dimensions, weights and effective capacities as [g]. *)
 val to_generative_string : Game.t -> string
+
+(** [parse_cgame text] builds the class game described by [text]
+    (class form only).
+    @raise Invalid_argument with a line-numbered message on malformed
+    input — non-integer or non-positive counts, width mismatches,
+    per-user directives. *)
+val parse_cgame : string -> Cgame.t
+
+(** [parse_cgame_file path] reads and parses [path] as a class game. *)
+val parse_cgame_file : string -> Cgame.t
+
+(** [to_class_string g] renders [g] in the class form;
+    [parse_cgame (to_class_string g)] yields a class game with
+    identical counts, weights and effective capacities. *)
+val to_class_string : Cgame.t -> string

@@ -16,16 +16,6 @@ let links d = d.links
 let size d = Tbl.length d.table
 let classes d = d.classes
 
-(* [choose n k] over Bigint with the multiplicative formula; every
-   intermediate division is exact (the running value is C(n-k+i, i)). *)
-let choose n k =
-  let k = if k > n - k then n - k else k in
-  let c = ref Bigint.one in
-  for i = 1 to k do
-    c := Bigint.div (Bigint.mul !c (Bigint.of_int (n - k + i))) (Bigint.of_int i)
-  done;
-  Rational.of_bigint !c
-
 (* Group users into classes of equal weight and equal probability row,
    in first-seen order.  Capacities are irrelevant: the load vector is
    a function of weights and link choices only. *)
@@ -46,8 +36,11 @@ let classes_of g p =
 (* All ways to split [count] exchangeable users of weight [weight]
    across the links, as (load delta, probability mass) pairs.  The mass
    of the split (k_1, …, k_m) is the multinomial C(count; k_1 … k_m)
-   times Π_l row(l)^{k_l}; links with zero probability only admit
-   k_l = 0, so zero-probability realisations are never generated. *)
+   times Π_l row(l)^{k_l} — both now computed by the shared
+   [Numeric.Combinat] module.  Splits placing users on a
+   zero-probability link are skipped before any arithmetic, so
+   zero-mass load states are never generated (this keeps [size]
+   identical to the seed enumeration). *)
 let class_splits ~links:m ~count ~weight ~(row : Qvec.t) =
   let pows =
     Array.map
@@ -60,29 +53,19 @@ let class_splits ~links:m ~count ~weight ~(row : Qvec.t) =
       row
   in
   let splits = ref [] in
-  let counts = Array.make m 0 in
-  let emit mass =
-    let delta = Qvec.init m (fun l -> Rational.mul (Rational.of_int counts.(l)) weight) in
-    splits := (delta, mass) :: !splits
-  in
-  let rec go l remaining mass =
-    if l = m - 1 then begin
-      if remaining = 0 || Rational.sign row.(l) > 0 then begin
-        counts.(l) <- remaining;
-        emit (Rational.mul mass pows.(l).(remaining));
-        counts.(l) <- 0
-      end
-    end
-    else begin
-      let top = if Rational.sign row.(l) > 0 then remaining else 0 in
-      for k = 0 to top do
-        counts.(l) <- k;
-        go (l + 1) (remaining - k) (Rational.mul mass (Rational.mul (choose remaining k) pows.(l).(k)))
+  Combinat.iter_compositions ~total:count ~parts:m (fun counts ->
+      let supported = ref true in
+      for l = 0 to m - 1 do
+        if counts.(l) > 0 && Rational.sign row.(l) = 0 then supported := false
       done;
-      counts.(l) <- 0
-    end
-  in
-  go 0 count Rational.one;
+      if !supported then begin
+        let mass = ref (Rational.of_bigint (Combinat.multinomial counts)) in
+        for l = 0 to m - 1 do
+          mass := Rational.mul !mass pows.(l).(counts.(l))
+        done;
+        let delta = Qvec.init m (fun l -> Rational.mul (Rational.of_int counts.(l)) weight) in
+        splits := (delta, !mass) :: !splits
+      end);
   !splits
 
 (* One DP layer: fold a class's splits into every accumulated state,

@@ -172,6 +172,45 @@ Fictitious play stabilises on the quickstart game:
   fictitious play: 20 rounds, stabilised at a pure NE: true
   last round actions: [0; 1; 1]
 
+Class game files solve exactly at population scale — a million-user
+class game converges in a handful of block moves:
+
+  $ cat > big.cgame <<'GAME'
+  > links 3
+  > class 1000000 1 3 2 1
+  > class 500000 2 6 4 2
+  > GAME
+  $ $SR solve --classes big.cgame
+  class game: 2 classes, 1500000 users, 3 links
+  algorithm: block best-response dynamics from the proportional start
+  (converged after 3 block moves, 4 users moved)
+    class 0 (count 1000000, weight 1): [500000; 333335; 166665]
+    class 1 (count 500000, weight 2): [250000; 166666; 83334]
+  is Nash equilibrium: true
+  SC1 = 1250000000002/3, SC2 = 666667/2
+
+A malformed class row is rejected with a line-numbered error:
+
+  $ cat > broken.cgame <<'GAME'
+  > links 2
+  > class -5 1 1 1
+  > GAME
+  $ $SR solve --classes broken.cgame
+  selfish_routing: internal error, uncaught exception:
+                   Invalid_argument("Game_io: line 2: class count must be positive")
+                   
+  [125]
+
+
+And class rows in a per-user file point at the class entry points:
+
+  $ $SR solve big.cgame
+  selfish_routing: internal error, uncaught exception:
+                   Invalid_argument("Game_io: line 2: 'class' rows describe a class game; use parse_cgame (or the --classes CLI flag)")
+                   
+  [125]
+
+
 The E6 witness game file ships with the repository; the solver still
 finds one of its pure equilibria:
 

@@ -1,0 +1,413 @@
+(* Differential harness for the class-compressed layer.
+
+   Every class-level quantity must be BIT-IDENTICAL to its per-user
+   counterpart through the compress/expand bridge: exact rational
+   arithmetic makes re-associated sums canonical, so the class layer is
+   not an approximation of the per-user layer but a re-grouping of the
+   same computation.  The harness runs tens of thousands of randomized
+   games (n ≤ 12) across all belief kinds — KP (shared certain
+   capacities), point beliefs (per-user certain rows) and heterogeneous
+   beliefs over shared state spaces — and compares:
+
+     - compress/expand round trips (weights, capacity rows, counts)
+     - pure-profile loads, latencies, is_nash, SC1/SC2 (Cview vs Pure)
+     - the first-defector best-response step (Cview vs Best_response)
+     - maximal improving blocks against single-move simulation
+     - class-symmetric mixed evaluation (Cmixed.Eval vs Mixed.Eval)
+     - FMNE closed forms (Cfully_mixed vs Fully_mixed)
+     - LPT schedules (Cuniform_beliefs vs Uniform_beliefs)
+     - block best-response convergence (Nash at both levels). *)
+
+open Model
+open Numeric
+
+let check_q = Alcotest.testable Rational.pp Rational.equal
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+
+(* Small pools make duplicate (weight, row) classes common, so the
+   harness exercises real compression, not just k = n. *)
+let random_kp rng ~n ~m =
+  Game.kp
+    ~weights:(Array.init n (fun _ -> Rational.of_int (1 + Prng.Rng.int rng 3)))
+    ~capacities:(Array.init m (fun _ -> Rational.of_int (1 + Prng.Rng.int rng 5)))
+
+let random_point rng ~n ~m =
+  (* Point (certain) beliefs drawn from a pool of at most three
+     (weight, capacity row) pairs: heavy duplication. *)
+  let pool_size = 1 + Prng.Rng.int rng 3 in
+  let pool_w = Array.init pool_size (fun _ -> Rational.of_int (1 + Prng.Rng.int rng 3)) in
+  let pool_row =
+    Array.init pool_size (fun _ ->
+        Array.init m (fun _ -> Rational.of_int (1 + Prng.Rng.int rng 5)))
+  in
+  let pick = Array.init n (fun _ -> Prng.Rng.int rng pool_size) in
+  Game.of_capacities
+    ~weights:(Array.map (fun j -> pool_w.(j)) pick)
+    (Array.map (fun j -> Array.copy pool_row.(j)) pick)
+
+let random_heterogeneous rng ~n ~m =
+  Experiments.Generators.game rng ~n ~m
+    ~weights:(Experiments.Generators.Rational_weights 3)
+    ~beliefs:(Experiments.Generators.Shared_space { states = 2; cap_bound = 4; grain = 3 })
+
+let random_game rng ~kind ~n ~m =
+  match kind mod 3 with
+  | 0 -> random_kp rng ~n ~m
+  | 1 -> random_point rng ~n ~m
+  | _ -> random_heterogeneous rng ~n ~m
+
+(* Class-block offsets of the expanded (class-major) layout. *)
+let offsets cg =
+  let k = Cgame.classes cg in
+  let off = Array.make k 0 in
+  for c = 1 to k - 1 do
+    off.(c) <- off.(c - 1) + Cgame.count cg (c - 1)
+  done;
+  off
+
+(* ------------------------------------------------------------------ *)
+(* compress / expand round trips                                       *)
+
+let check_bridge trial g =
+  let n = Game.users g and m = Game.links g in
+  let cg, class_of = Cgame.compress g in
+  if Cgame.users cg <> n then Alcotest.failf "trial %d: user count drifted" trial;
+  if Cgame.classes cg > n then Alcotest.failf "trial %d: more classes than users" trial;
+  for i = 0 to n - 1 do
+    let c = class_of.(i) in
+    Alcotest.check check_q "class weight matches user" (Game.weight g i) (Cgame.weight cg c);
+    for l = 0 to m - 1 do
+      Alcotest.check check_q "class capacity matches user" (Game.capacity g i l)
+        (Cgame.capacity cg c l)
+    done
+  done;
+  (* expand is class-major: every user in class c's block carries class
+     c's weight and row. *)
+  let ex = Cgame.expand cg in
+  if Game.users ex <> n then Alcotest.failf "trial %d: expand changed the user count" trial;
+  let off = offsets cg in
+  for c = 0 to Cgame.classes cg - 1 do
+    for u = off.(c) to off.(c) + Cgame.count cg c - 1 do
+      Alcotest.check check_q "expanded weight" (Cgame.weight cg c) (Game.weight ex u);
+      for l = 0 to m - 1 do
+        Alcotest.check check_q "expanded capacity" (Cgame.capacity cg c l) (Game.capacity ex u l)
+      done
+    done
+  done;
+  (* Compressing the expansion reproduces the class game exactly (the
+     class-major layout makes first-seen order the class order). *)
+  let cg', class_of' = Cgame.compress ex in
+  if Cgame.classes cg' <> Cgame.classes cg then
+    Alcotest.failf "trial %d: expand/compress changed the class count" trial;
+  for c = 0 to Cgame.classes cg - 1 do
+    if Cgame.count cg' c <> Cgame.count cg c then
+      Alcotest.failf "trial %d: expand/compress changed a class count" trial;
+    Alcotest.check check_q "expand/compress weight" (Cgame.weight cg c) (Cgame.weight cg' c)
+  done;
+  for c = 0 to Cgame.classes cg - 1 do
+    for u = off.(c) to off.(c) + Cgame.count cg c - 1 do
+      if class_of'.(u) <> c then Alcotest.failf "trial %d: class-major map drifted" trial
+    done
+  done;
+  (cg, class_of)
+
+(* ------------------------------------------------------------------ *)
+(* Pure layer: Cview vs Pure/View through the bridge                   *)
+
+let check_pure trial g (cg, class_of) p =
+  let n = Game.users g and m = Game.links g in
+  let x = Cgame.compress_profile cg ~class_of p in
+  let v = Cview.of_profile cg x in
+  let loads = Pure.loads g p in
+  for l = 0 to m - 1 do
+    Alcotest.check check_q "link load" loads.(l) (Cview.load v l)
+  done;
+  for i = 0 to n - 1 do
+    Alcotest.check check_q "user latency" (Pure.latency g p i)
+      (Cview.latency v class_of.(i) p.(i))
+  done;
+  if Pure.is_nash g p <> Cview.is_nash v then
+    Alcotest.failf "trial %d: is_nash disagrees with Pure" trial;
+  Alcotest.check check_q "SC1" (Pure.social_cost1 g p) (Cview.social_cost1 v);
+  Alcotest.check check_q "SC2" (Pure.social_cost2 g p) (Cview.social_cost2 v);
+  (* The first-defector step: the class move must be exactly the move
+     the per-user policy makes on the expanded profile. *)
+  let ex = Cgame.expand cg in
+  let ex_p = Cgame.expand_profile cg x in
+  let off = offsets cg in
+  (match
+     (Algo.Best_response.step ex ~policy:Algo.Best_response.First_defector ex_p,
+      Cview.first_defector v)
+   with
+  | None, None -> ()
+  | None, Some _ -> Alcotest.failf "trial %d: phantom class defector" trial
+  | Some _, None -> Alcotest.failf "trial %d: class layer missed a defector" trial
+  | Some stepped, Some (cls, src, dst) ->
+    (* First user of class [cls] on [src]: users within a class are laid
+       out link-ascending, so it sits right after the earlier links'
+       blocks. *)
+    let rank = ref 0 in
+    for l = 0 to src - 1 do
+      rank := !rank + x.(cls).(l)
+    done;
+    let u = off.(cls) + !rank in
+    let expected = Array.copy ex_p in
+    expected.(u) <- dst;
+    if stepped <> expected then
+      Alcotest.failf "trial %d: step mismatch (class %d, %d→%d, user %d)" trial cls src dst u);
+  (* Nash agreement must also hold on the expanded pair. *)
+  if Pure.is_nash ex ex_p <> Cview.is_nash v then
+    Alcotest.failf "trial %d: is_nash disagrees on the expanded profile" trial
+
+let test_pure_differential () =
+  let rng = Prng.Rng.create 0xC1A5 in
+  for trial = 1 to 10_000 do
+    let n = 1 + Prng.Rng.int rng 6 and m = Prng.Rng.int_in rng 2 3 in
+    let g = random_game rng ~kind:trial ~n ~m in
+    let bridge = check_bridge trial g in
+    let p = Array.init n (fun _ -> Prng.Rng.int rng m) in
+    check_pure trial g bridge p
+  done
+
+(* A twelve-user game exercises the issue's n ≤ 12 bound explicitly. *)
+let test_twelve_users () =
+  let rng = Prng.Rng.create 0x7EA2 in
+  for trial = 1 to 200 do
+    let n = 12 and m = Prng.Rng.int_in rng 2 4 in
+    let g = random_game rng ~kind:trial ~n ~m in
+    let bridge = check_bridge trial g in
+    let p = Array.init n (fun _ -> Prng.Rng.int rng m) in
+    check_pure trial g bridge p
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Maximal improving blocks vs single-move simulation                  *)
+
+let test_max_improving_block () =
+  let rng = Prng.Rng.create 0xB10C in
+  for trial = 1 to 2_000 do
+    let n = Prng.Rng.int_in rng 2 9 and m = Prng.Rng.int_in rng 2 3 in
+    let g = random_game rng ~kind:trial ~n ~m in
+    let cg, class_of = Cgame.compress g in
+    let p = Array.init n (fun _ -> Prng.Rng.int rng m) in
+    let x = Cgame.compress_profile cg ~class_of p in
+    let v = Cview.of_profile cg x in
+    let cls = Prng.Rng.int rng (Cgame.classes cg) in
+    let src = Prng.Rng.int rng m in
+    let dst = (src + 1 + Prng.Rng.int rng (m - 1)) mod m in
+    let t = Cview.max_improving_block v ~cls ~src ~dst in
+    let avail = Cview.assigned v cls src in
+    if t > avail then Alcotest.failf "trial %d: block exceeds available users" trial;
+    (* Each of the t movers must improve in turn; the (t+1)-th must
+       not.  [improves] evaluates the j-th comparison on the view state
+       after j-1 single moves. *)
+    let improves () =
+      Rational.compare (Cview.latency_after_move v ~cls ~src dst) (Cview.latency v cls src) < 0
+    in
+    for j = 1 to t do
+      if not (improves ()) then Alcotest.failf "trial %d: mover %d of %d does not improve" trial j t;
+      Cview.move v ~cls ~src ~dst ~count:1
+    done;
+    if avail > t && improves () then
+      Alcotest.failf "trial %d: block %d is not maximal (%d available)" trial t avail;
+    for _ = 1 to t do
+      Cview.undo v
+    done;
+    (* The view must be back at the start state after the undos. *)
+    for l = 0 to m - 1 do
+      Alcotest.check check_q "undo restores loads" (Pure.loads g p).(l) (Cview.load v l)
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Mixed layer: Cmixed.Eval vs Mixed.Eval                              *)
+
+let test_mixed_differential () =
+  let rng = Prng.Rng.create 0x3ED1 in
+  for trial = 1 to 2_000 do
+    let n = 1 + Prng.Rng.int rng 6 and m = Prng.Rng.int_in rng 2 3 in
+    let g = random_game rng ~kind:trial ~n ~m in
+    let cg, _ = Cgame.compress g in
+    let k = Cgame.classes cg in
+    let q =
+      Array.init k (fun _ ->
+          if Prng.Rng.bool rng then Prng.Rng.positive_simplex rng ~dim:m ~grain:(m + 2)
+          else Prng.Rng.simplex rng ~dim:m ~grain:(m + 1))
+    in
+    let ce = Cmixed.Eval.make cg q in
+    let ex = Cgame.expand cg in
+    let e = Mixed.Eval.make ex (Cmixed.expand cg q) in
+    let off = offsets cg in
+    for l = 0 to m - 1 do
+      Alcotest.check check_q "expected traffic" (Mixed.Eval.expected_traffic e l)
+        (Cmixed.Eval.expected_traffic ce l)
+    done;
+    for c = 0 to k - 1 do
+      let u = off.(c) in
+      for l = 0 to m - 1 do
+        Alcotest.check check_q "latency on link" (Mixed.Eval.latency_on_link e u l)
+          (Cmixed.Eval.latency_on_link ce c l)
+      done;
+      Alcotest.check check_q "min latency" (Mixed.Eval.min_latency e u)
+        (Cmixed.Eval.min_latency ce c)
+    done;
+    Alcotest.check check_q "SC1" (Mixed.Eval.social_cost1 e) (Cmixed.Eval.social_cost1 ce);
+    Alcotest.check check_q "SC2" (Mixed.Eval.social_cost2 e) (Cmixed.Eval.social_cost2 ce);
+    if Mixed.Eval.is_nash e <> Cmixed.Eval.is_nash ce then
+      Alcotest.failf "trial %d: mixed is_nash disagrees" trial
+  done
+
+(* ------------------------------------------------------------------ *)
+(* FMNE closed forms: Cfully_mixed vs Fully_mixed                      *)
+
+let test_fmne_differential () =
+  let rng = Prng.Rng.create 0xF43E in
+  let existed = ref 0 in
+  for trial = 1 to 1_500 do
+    let n = Prng.Rng.int_in rng 2 7 and m = Prng.Rng.int_in rng 2 3 in
+    let g = random_game rng ~kind:trial ~n ~m in
+    let cg, _ = Cgame.compress g in
+    let ex = Cgame.expand cg in
+    let off = offsets cg in
+    let class_cand = Algo.Cfully_mixed.candidate cg in
+    let user_cand = Algo.Fully_mixed.candidate ex in
+    for c = 0 to Cgame.classes cg - 1 do
+      Alcotest.check check_q "equilibrium latency"
+        (Algo.Fully_mixed.equilibrium_latency ex off.(c))
+        (Algo.Cfully_mixed.equilibrium_latency cg c);
+      for l = 0 to m - 1 do
+        Alcotest.check check_q "candidate row" user_cand.(off.(c)).(l) class_cand.(c).(l)
+      done
+    done;
+    for l = 0 to m - 1 do
+      Alcotest.check check_q "FMNE expected traffic"
+        (Algo.Fully_mixed.expected_traffic ex l)
+        (Algo.Cfully_mixed.expected_traffic cg l)
+    done;
+    let class_some = Algo.Cfully_mixed.exists cg in
+    if class_some <> Algo.Fully_mixed.exists ex then
+      Alcotest.failf "trial %d: FMNE existence disagrees" trial;
+    (match Algo.Cfully_mixed.compute cg with
+    | None -> ()
+    | Some p ->
+      incr existed;
+      if not (Cmixed.is_nash cg p) then
+        Alcotest.failf "trial %d: class FMNE fails the class Nash predicate" trial)
+  done;
+  if !existed = 0 then Alcotest.fail "no FMNE instance was ever exercised"
+
+(* ------------------------------------------------------------------ *)
+(* LPT: Cuniform_beliefs vs Uniform_beliefs                            *)
+
+let test_uniform_differential () =
+  let rng = Prng.Rng.create 0x14B7 in
+  for trial = 1 to 2_000 do
+    let n = 1 + Prng.Rng.int rng 8 and m = Prng.Rng.int_in rng 2 4 in
+    (* Uniform beliefs: each user sees all links with one capacity
+       value; pools keep classes fat. *)
+    let g =
+      Game.of_capacities
+        ~weights:(Array.init n (fun _ -> Rational.of_int (1 + Prng.Rng.int rng 3)))
+        (Array.init n (fun _ ->
+             let c = Rational.of_int (1 + Prng.Rng.int rng 3) in
+             Array.make m c))
+    in
+    let cg, _ = Cgame.compress g in
+    let ex = Cgame.expand cg in
+    let off = offsets cg in
+    let initial =
+      if Prng.Rng.bool rng then None
+      else Some (Array.init m (fun _ -> Rational.of_ints (Prng.Rng.int rng 5) 2))
+    in
+    let x = Algo.Cuniform_beliefs.solve ?initial cg in
+    let sigma = Algo.Uniform_beliefs.solve ?initial ex in
+    (* Fold the expanded schedule back into class counts. *)
+    for c = 0 to Cgame.classes cg - 1 do
+      let counts = Array.make m 0 in
+      for u = off.(c) to off.(c) + Cgame.count cg c - 1 do
+        counts.(sigma.(u)) <- counts.(sigma.(u)) + 1
+      done;
+      if counts <> x.(c) then
+        Alcotest.failf "trial %d: LPT class %d schedules disagree" trial c
+    done;
+    (* LPT on uniform beliefs is a Nash equilibrium (Theorem 3.6). *)
+    let v = Cview.of_profile cg ?initial x in
+    if not (Cview.is_nash v) then Alcotest.failf "trial %d: class LPT is not Nash" trial
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Block best-response dynamics                                        *)
+
+let test_cbr_convergence () =
+  let rng = Prng.Rng.create 0xCB12 in
+  let converged = ref 0 in
+  for trial = 1 to 1_500 do
+    let n = 1 + Prng.Rng.int rng 8 and m = Prng.Rng.int_in rng 2 3 in
+    let g = random_game rng ~kind:trial ~n ~m in
+    let cg, class_of = Cgame.compress g in
+    let p = Array.init n (fun _ -> Prng.Rng.int rng m) in
+    let x = Cgame.compress_profile cg ~class_of p in
+    let o = Algo.Cbr.converge ~max_steps:10_000 cg x in
+    if o.converged then begin
+      incr converged;
+      let v = Cview.of_profile cg o.profile in
+      if not (Cview.is_nash v) then
+        Alcotest.failf "trial %d: converged to a non-equilibrium" trial;
+      let ex = Cgame.expand cg in
+      if not (Pure.is_nash ex (Cgame.expand_profile cg o.profile)) then
+        Alcotest.failf "trial %d: class equilibrium is not a per-user equilibrium" trial;
+      if o.users_moved < o.steps then
+        Alcotest.failf "trial %d: %d steps moved only %d users" trial o.steps o.users_moved
+    end
+  done;
+  if !converged < 1_000 then
+    Alcotest.failf "block dynamics converged on only %d of 1500 instances" !converged
+
+(* The proportional start is a valid profile and Csymmetric solves
+   equal-weight instances end to end. *)
+let test_csymmetric () =
+  let rng = Prng.Rng.create 0x5E77 in
+  for trial = 1 to 500 do
+    let n = Prng.Rng.int_in rng 2 9 and m = Prng.Rng.int_in rng 2 3 in
+    (* Equal weights; capacity rows proportional to a common base so a
+       weighted potential exists and convergence is guaranteed. *)
+    let base = Array.init m (fun _ -> Rational.of_int (1 + Prng.Rng.int rng 4)) in
+    let g =
+      Game.of_capacities
+        ~weights:(Array.make n Rational.one)
+        (Array.init n (fun _ ->
+             let alpha = Rational.of_int (1 + Prng.Rng.int rng 3) in
+             Array.map (Rational.mul alpha) base))
+    in
+    let cg, _ = Cgame.compress g in
+    let start = Algo.Cbr.proportional_start cg in
+    Cgame.validate cg start;
+    let x = Algo.Csymmetric.solve cg in
+    let v = Cview.of_profile cg x in
+    if not (Cview.is_nash v) then Alcotest.failf "trial %d: Csymmetric output is not Nash" trial
+  done
+
+let () =
+  Alcotest.run "cgame"
+    [
+      ( "bridge+pure",
+        [
+          Alcotest.test_case "10k-game differential vs Pure/View" `Slow test_pure_differential;
+          Alcotest.test_case "twelve-user games" `Quick test_twelve_users;
+          Alcotest.test_case "maximal blocks vs single-move simulation" `Quick
+            test_max_improving_block;
+        ] );
+      ( "mixed",
+        [
+          Alcotest.test_case "2k-game differential vs Mixed.Eval" `Slow test_mixed_differential;
+          Alcotest.test_case "FMNE closed forms vs Fully_mixed" `Slow test_fmne_differential;
+        ] );
+      ( "algo",
+        [
+          Alcotest.test_case "LPT vs Uniform_beliefs" `Slow test_uniform_differential;
+          Alcotest.test_case "block best-response convergence" `Slow test_cbr_convergence;
+          Alcotest.test_case "Csymmetric end to end" `Quick test_csymmetric;
+        ] );
+    ]

@@ -1,0 +1,142 @@
+(* Property tests for the shared combinatorics module
+   (Numeric.Combinat): binomials against Pascal's rule, multinomials
+   against the factorial ratio, composition enumeration against its
+   closed-form count, and the overflow guard on native counts. *)
+
+open Numeric
+
+let check_big = Alcotest.testable Bigint.pp Bigint.equal
+
+let test_choose_pascal () =
+  (* C(n, k) = C(n-1, k-1) + C(n-1, k), edges C(n, 0) = C(n, n) = 1. *)
+  for n = 1 to 40 do
+    Alcotest.check check_big "left edge" Bigint.one (Combinat.choose n 0);
+    Alcotest.check check_big "right edge" Bigint.one (Combinat.choose n n);
+    for k = 1 to n - 1 do
+      Alcotest.check check_big
+        (Printf.sprintf "Pascal at (%d, %d)" n k)
+        (Bigint.add (Combinat.choose (n - 1) (k - 1)) (Combinat.choose (n - 1) k))
+        (Combinat.choose n k)
+    done
+  done;
+  Alcotest.check check_big "out of range below" Bigint.zero (Combinat.choose 5 (-1));
+  Alcotest.check check_big "out of range above" Bigint.zero (Combinat.choose 5 6);
+  (* C(68, 34) overflows a native int but not a Bigint. *)
+  Alcotest.check check_big "large binomial"
+    (Bigint.of_string "28453041475240576740")
+    (Combinat.choose 68 34)
+
+let test_factorial () =
+  let acc = ref Bigint.one in
+  for n = 1 to 30 do
+    acc := Bigint.mul !acc (Bigint.of_int n);
+    Alcotest.check check_big (Printf.sprintf "%d!" n) !acc (Combinat.factorial n)
+  done
+
+(* multinomial = (Σ parts)! / Π parts! checked by cross-multiplication
+   (no Bigint division needed). *)
+let test_multinomial_factorial_ratio () =
+  let rng = Prng.Rng.create 0xC0B1 in
+  for _ = 1 to 500 do
+    let k = Prng.Rng.int_in rng 1 4 in
+    let parts = Array.init k (fun _ -> Prng.Rng.int rng 7) in
+    let total = Array.fold_left ( + ) 0 parts in
+    let denom =
+      Array.fold_left (fun acc p -> Bigint.mul acc (Combinat.factorial p)) Bigint.one parts
+    in
+    Alcotest.check check_big "multinomial · Π parts! = total!"
+      (Combinat.factorial total)
+      (Bigint.mul (Combinat.multinomial parts) denom)
+  done;
+  Alcotest.check check_big "empty multinomial" Bigint.one (Combinat.multinomial [||]);
+  Alcotest.check_raises "negative part"
+    (Invalid_argument "Combinat.multinomial: negative part") (fun () ->
+      ignore (Combinat.multinomial [| 2; -1 |]))
+
+let test_compositions_enumeration () =
+  (* iter_compositions must produce exactly [compositions] vectors, each
+     summing to [total], in strictly increasing lexicographic order. *)
+  for total = 0 to 7 do
+    for parts = 1 to 4 do
+      let seen = ref [] in
+      Combinat.iter_compositions ~total ~parts (fun c ->
+          Alcotest.(check int)
+            (Printf.sprintf "parts length (total=%d, parts=%d)" total parts)
+            parts (Array.length c);
+          Alcotest.(check int) "composition sums to total" total (Array.fold_left ( + ) 0 c);
+          Array.iter (fun e -> Alcotest.(check bool) "non-negative part" true (e >= 0)) c;
+          seen := Array.copy c :: !seen);
+      let seen = List.rev !seen in
+      Alcotest.(check int)
+        (Printf.sprintf "count = C(%d+%d-1, %d-1)" total parts parts)
+        (Combinat.compositions_int ~total ~parts)
+        (List.length seen);
+      let rec strictly_increasing = function
+        | a :: (b :: _ as rest) ->
+          compare (Array.to_list a) (Array.to_list b) < 0 (* lint: allow R1 — int lists *)
+          && strictly_increasing rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "lexicographic order, no duplicates" true (strictly_increasing seen)
+    done
+  done
+
+let test_compositions_closed_form () =
+  (* The count equals the stars-and-bars binomial. *)
+  for total = 0 to 10 do
+    for parts = 1 to 5 do
+      Alcotest.check check_big "stars and bars"
+        (Combinat.choose (total + parts - 1) (parts - 1))
+        (Combinat.compositions ~total ~parts)
+    done
+  done
+
+let test_compositions_int_overflow_guard () =
+  (* C(10^6 + 15, 15) has ~90 digits: the native-count guard must trip
+     with a message naming the overflow, not wrap silently. *)
+  (match Combinat.compositions_int ~total:1_000_000 ~parts:16 with
+  | exception Invalid_argument msg ->
+    if
+      not
+        (let needle = "overflows" in
+         let rec contains i =
+           i + String.length needle <= String.length msg
+           && (String.sub msg i (String.length needle) = needle || contains (i + 1))
+         in
+         contains 0)
+    then Alcotest.failf "guard message %S does not mention overflow" msg
+  | n -> Alcotest.failf "expected an overflow failure, got %d" n);
+  (* Just inside the native range still works. *)
+  Alcotest.(check int) "single part" 1 (Combinat.compositions_int ~total:1_000_000 ~parts:1);
+  Alcotest.(check int) "two parts" 1_000_001 (Combinat.compositions_int ~total:1_000_000 ~parts:2)
+
+let test_argument_guards () =
+  Alcotest.check_raises "choose: negative n" (Invalid_argument "Combinat.choose: negative n")
+    (fun () -> ignore (Combinat.choose (-1) 0));
+  Alcotest.check_raises "factorial: negative"
+    (Invalid_argument "Combinat.factorial: negative n") (fun () ->
+      ignore (Combinat.factorial (-1)));
+  Alcotest.check_raises "compositions: no parts"
+    (Invalid_argument "Combinat.compositions: need at least one part") (fun () ->
+      ignore (Combinat.compositions ~total:3 ~parts:0));
+  Alcotest.check_raises "iter: negative total"
+    (Invalid_argument "Combinat.iter_compositions: negative total") (fun () ->
+      Combinat.iter_compositions ~total:(-1) ~parts:2 (fun _ -> ()))
+
+let () =
+  Alcotest.run "combinat"
+    [
+      ( "combinat",
+        [
+          Alcotest.test_case "binomials satisfy Pascal's rule" `Quick test_choose_pascal;
+          Alcotest.test_case "factorials" `Quick test_factorial;
+          Alcotest.test_case "multinomial = factorial ratio" `Quick
+            test_multinomial_factorial_ratio;
+          Alcotest.test_case "composition enumeration matches its count" `Quick
+            test_compositions_enumeration;
+          Alcotest.test_case "compositions closed form" `Quick test_compositions_closed_form;
+          Alcotest.test_case "native count overflow guard" `Quick
+            test_compositions_int_overflow_guard;
+          Alcotest.test_case "argument guards" `Quick test_argument_guards;
+        ] );
+    ]

@@ -136,6 +136,128 @@ let roundtrip_properties =
            && same (Game_io.parse (Game_io.to_generative_string g))));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Class form                                                          *)
+
+let class_example = {|
+# one heavy class, one light class
+links 3
+class 1000000 1 3 2 1
+class 5 1/2 1 3 2
+|}
+
+let test_parse_class_form () =
+  let g = Game_io.parse_cgame class_example in
+  Alcotest.(check int) "classes" 2 (Cgame.classes g);
+  Alcotest.(check int) "users" 1_000_005 (Cgame.users g);
+  Alcotest.(check int) "links" 3 (Cgame.links g);
+  Alcotest.(check int) "count" 1_000_000 (Cgame.count g 0);
+  Alcotest.check check_q "weight" (q 1 2) (Cgame.weight g 1);
+  Alcotest.check check_q "capacity" (qi 2) (Cgame.capacity g 0 1);
+  Alcotest.check check_q "total traffic" (q 2000005 2) (Cgame.total_traffic g)
+
+let test_class_roundtrip () =
+  let g = Game_io.parse_cgame class_example in
+  let g' = Game_io.parse_cgame (Game_io.to_class_string g) in
+  Alcotest.(check int) "classes preserved" (Cgame.classes g) (Cgame.classes g');
+  for c = 0 to Cgame.classes g - 1 do
+    Alcotest.(check int) "counts preserved" (Cgame.count g c) (Cgame.count g' c);
+    Alcotest.check check_q "weights preserved" (Cgame.weight g c) (Cgame.weight g' c);
+    for l = 0 to Cgame.links g - 1 do
+      Alcotest.check check_q "capacities preserved" (Cgame.capacity g c l)
+        (Cgame.capacity g' c l)
+    done
+  done
+
+(* Width inference without a 'links' directive, comments and blanks. *)
+let test_class_width_inference () =
+  let g = Game_io.parse_cgame "# no links line\n\nclass 3 1 1 2\n# comment\nclass 2 2 2 1\n" in
+  Alcotest.(check int) "links inferred" 2 (Cgame.links g);
+  Alcotest.(check int) "classes" 2 (Cgame.classes g)
+
+let check_invalid_class name text fragment =
+  ( name,
+    `Quick,
+    fun () ->
+      match Game_io.parse_cgame text with
+      | exception Invalid_argument msg ->
+        if
+          not
+            (String.length msg >= String.length fragment
+            &&
+            let rec contains i =
+              i + String.length fragment <= String.length msg
+              && (String.sub msg i (String.length fragment) = fragment || contains (i + 1))
+            in
+            contains 0)
+        then Alcotest.failf "expected %S in %S" fragment msg
+      | _ -> Alcotest.fail "expected Invalid_argument" )
+
+let class_error_cases =
+  [
+    (* Malformed rows carry their line number. *)
+    check_invalid_class "bad count" "links 2\nclass x 1 1 1\n" "line 2: bad class count";
+    check_invalid_class "negative count" "links 2\nclass -3 1 1 1\n"
+      "line 2: class count must be positive";
+    check_invalid_class "zero count" "links 2\nclass 0 1 1 1\n"
+      "line 2: class count must be positive";
+    check_invalid_class "short row" "links 2\nclass 2 1\n" "line 2: class row needs capacities";
+    check_invalid_class "bare row" "links 2\nclass 2\n"
+      "line 2: expected: class <count> <weight>";
+    check_invalid_class "width mismatch" "links 2\nclass 2 1 1 1\nclass 2 1 1 1 1\n"
+      "line 3: class row has wrong number of capacities (3, expected 2)";
+    check_invalid_class "bad weight" "links 2\nclass 2 y 1 1\n" "line 2: bad number \"y\"";
+    check_invalid_class "per-user directive" "links 2\nweights 1 2\nclass 2 1 1 1\n"
+      "line 2: per-user directives cannot appear";
+    check_invalid_class "unknown directive" "links 2\nfrobnicate\n" "line 2: unknown directive";
+    check_invalid_class "no rows" "links 2\n" "need at least one 'class' row";
+    check_invalid_class "one link" "class 2 1 5\n" "Cgame.make: at least two links";
+    (* And the per-user parser points class rows at the class entry
+       points instead of a generic unknown-directive error. *)
+    ( "class row in per-user parser",
+      `Quick,
+      fun () ->
+        match Game_io.parse "links 2\nclass 2 1 1 1\n" with
+        | exception Invalid_argument msg ->
+          if
+            not
+              (let needle = "parse_cgame" in
+               let rec contains i =
+                 i + String.length needle <= String.length msg
+                 && (String.sub msg i (String.length needle) = needle || contains (i + 1))
+               in
+               contains 0)
+          then Alcotest.failf "expected a class-form hint in %S" msg
+        | _ -> Alcotest.fail "expected Invalid_argument" );
+  ]
+
+let class_roundtrip_properties =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"random class games roundtrip through the class form" ~count:200
+         QCheck2.Gen.(int_bound 1_000_000)
+         (fun seed ->
+           let rng = Prng.Rng.create seed in
+           let k = Prng.Rng.int_in rng 1 4 and m = Prng.Rng.int_in rng 2 3 in
+           let g =
+             Cgame.of_capacities
+               ~counts:(Array.init k (fun _ -> 1 + Prng.Rng.int rng 1_000_000))
+               ~weights:(Array.init k (fun _ -> Rational.of_ints (1 + Prng.Rng.int rng 5) (1 + Prng.Rng.int rng 3)))
+               (Array.init k (fun _ ->
+                    Array.init m (fun _ -> Rational.of_ints (1 + Prng.Rng.int rng 5) (1 + Prng.Rng.int rng 2))))
+           in
+           let g' = Game_io.parse_cgame (Game_io.to_class_string g) in
+           Cgame.classes g' = k
+           && List.for_all
+                (fun c ->
+                  Cgame.count g' c = Cgame.count g c
+                  && Rational.equal (Cgame.weight g' c) (Cgame.weight g c)
+                  && List.for_all
+                       (fun l -> Rational.equal (Cgame.capacity g' c l) (Cgame.capacity g c l))
+                       (List.init m Fun.id))
+                (List.init k Fun.id)));
+  ]
+
 let suite =
   [
     ("parse generative form", `Quick, test_parse_generative);
@@ -147,4 +269,18 @@ let suite =
   ]
   @ error_cases
 
-let () = Alcotest.run "game_io" [ ("unit", suite); ("roundtrip", roundtrip_properties) ]
+let class_suite =
+  [
+    ("parse class form", `Quick, test_parse_class_form);
+    ("class roundtrip", `Quick, test_class_roundtrip);
+    ("class width inference", `Quick, test_class_width_inference);
+  ]
+  @ class_error_cases
+
+let () =
+  Alcotest.run "game_io"
+    [
+      ("unit", suite);
+      ("roundtrip", roundtrip_properties);
+      ("class", class_suite @ class_roundtrip_properties);
+    ]

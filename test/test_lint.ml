@@ -86,7 +86,19 @@ let test_default_rules_scoping () =
      R1 must cover it so a polymorphic Hashtbl can never sneak in. *)
   let load_dist = default_rules "lib/model/load_dist.ml" in
   Alcotest.(check bool) "load_dist.ml: R1 on" true (has Poly load_dist);
-  Alcotest.(check bool) "load_dist.ml: R2 on" true (has Float_op load_dist)
+  Alcotest.(check bool) "load_dist.ml: R2 on" true (has Float_op load_dist);
+  (* The class-compressed layer (counts + exact rationals) and the
+     shared combinatorics module are auto-scoped by directory; pin a
+     representative of each so a future re-scoping cannot silently
+     drop them. *)
+  let cgame = default_rules "lib/model/cgame.ml" in
+  Alcotest.(check bool) "cgame.ml: R1 on" true (has Poly cgame);
+  Alcotest.(check bool) "cgame.ml: R2 on" true (has Float_op cgame);
+  let cview = default_rules "lib/model/cview.ml" in
+  Alcotest.(check bool) "cview.ml: R1 on" true (has Poly cview);
+  let combinat = default_rules "lib/numeric/combinat.ml" in
+  Alcotest.(check bool) "combinat.ml: R1 on" true (has Poly combinat);
+  Alcotest.(check bool) "combinat.ml: R2 on" true (has Float_op combinat)
 
 let test_rule_of_string () =
   let rule_t : rule option Alcotest.testable =

@@ -166,6 +166,35 @@ let test_beyond_seed_limit () =
     (Congestion.max_congestion g sigma)
     (Congestion.expected_max_congestion g (Mixed.of_pure g sigma))
 
+(* Regression for the Combinat refactor: [class_splits] now takes its
+   multinomials and composition enumeration from [Numeric.Combinat].
+   A fixed deterministic corpus pins the DP bit-identical to the seed
+   enumerator (and the state-space size to the composition count for a
+   one-class instance), so a drift in the shared module cannot hide
+   behind the randomized trials. *)
+let test_shared_combinatorics_regression () =
+  let rng = Prng.Rng.create 0xC0DE in
+  for trial = 1 to 300 do
+    let n = 1 + Prng.Rng.int_in rng 1 4 and m = Prng.Rng.int_in rng 2 3 in
+    let g = random_kp rng ~n ~m in
+    let p = random_profile rng ~kind:(trial mod 5) g in
+    Alcotest.check check_q
+      (Printf.sprintf "combinat regression (trial %d)" trial)
+      (seed_expected_max g p)
+      (Congestion.expected_max_congestion g p)
+  done;
+  (* One exchangeable class, strictly positive rows: the DP must hold
+     exactly C(n+m-1, m-1) load states — Combinat's composition count. *)
+  let n = 9 and m = 3 in
+  let g =
+    Game.kp ~weights:(Array.make n Rational.one)
+      ~capacities:(Array.init m (fun l -> Rational.of_int (l + 1)))
+  in
+  let dist = Load_dist.of_mixed g (Mixed.uniform g) in
+  Alcotest.(check int) "size = compositions"
+    (Combinat.compositions_int ~total:n ~parts:m)
+    (Load_dist.size dist)
+
 let test_state_limit_guard () =
   let g = random_kp (Prng.Rng.create 7) ~n:4 ~m:3 in
   let p = random_profile (Prng.Rng.create 8) ~kind:0 g in
@@ -236,6 +265,8 @@ let () =
             test_dp_differential;
           Alcotest.test_case "exchangeable users beyond the seed limit" `Quick
             test_beyond_seed_limit;
+          Alcotest.test_case "shared combinatorics regression" `Quick
+            test_shared_combinatorics_regression;
           Alcotest.test_case "state limit guard" `Quick test_state_limit_guard;
         ] );
       ( "eval",
