@@ -1059,34 +1059,104 @@ let bench_walk_json () =
   let sv, sp = Option.get !seed_opt and iv, ip = Option.get !inc_opt in
   let opt_identical = Rational.equal sv iv && Pure.equal sp ip in
   let profiles = int_of_float (float_of_int m_opt ** float_of_int n_opt) in
+  (* Workload 3: Nash verification throughput — the seed's
+     recompute-per-latency check against the live packed-lane
+     [Pure.is_nash], same games, same profiles, verdicts compared. *)
+  let n_nash = 16 and m_nash = 3 in
+  let reps = if quick then 40 else 200 in
+  let nash_batch =
+    List.init 25 (fun _ ->
+        let g =
+          Generators.game rng ~n:n_nash ~m:m_nash
+            ~weights:(Generators.Integer_weights 6)
+            ~beliefs:(Generators.Private_point { cap_bound = 8 })
+        in
+        (g, Array.init n_nash (fun _ -> Prng.Rng.int rng m_nash)))
+  in
+  let seed_verdicts = List.map (fun (g, sigma) -> Seed_eval.defectors g sigma = []) nash_batch in
+  let live_verdicts = List.map (fun (g, sigma) -> Pure.is_nash g sigma) nash_batch in
+  let nash_identical = seed_verdicts = live_verdicts in
+  let nash_seed_ms =
+    ms_of (fun () ->
+        for _ = 1 to reps do
+          List.iter
+            (fun (g, sigma) -> ignore (Sys.opaque_identity (Seed_eval.defectors g sigma = [])))
+            nash_batch
+        done)
+  in
+  let nash_live_ms =
+    ms_of (fun () ->
+        for _ = 1 to reps do
+          List.iter
+            (fun (g, sigma) -> ignore (Sys.opaque_identity (Pure.is_nash g sigma)))
+            nash_batch
+        done)
+  in
+  let nash_checks = reps * List.length nash_batch in
+  (* Workload 4: the same OPT1 sweep sharded across domains — the
+     multi-core row.  "seed" is the serial View-based scan, so the
+     speedup isolates domain parallelism; value and argmin must be
+     bit-identical. *)
+  let n_par = if quick then 8 else 10 and m_par = 3 in
+  let g_par =
+    Generators.game rng ~n:n_par ~m:m_par
+      ~weights:(Generators.Integer_weights 5)
+      ~beliefs:(Generators.Private_point { cap_bound = 6 })
+  in
+  let domains = max 2 (min 8 (Parallel.available_domains ())) in
+  (* Wall clock, not CPU time: parallel work accumulates CPU time on
+     every domain, so [Sys.time] would hide the very speedup this row
+     measures.  One warmed timed run — the workloads are >= 10 ms. *)
+  let wall_ms_of f =
+    f ();
+    let start = Unix.gettimeofday () in
+    f ();
+    (Unix.gettimeofday () -. start) *. 1000.0
+  in
+  let serial_par = ref None in
+  let par_serial_ms = wall_ms_of (fun () -> serial_par := Some (Social.opt1 g_par)) in
+  let multi_par = ref None in
+  let par_multi_ms = wall_ms_of (fun () -> multi_par := Some (Social.opt1 ~domains g_par)) in
+  let psv, psp = Option.get !serial_par and pmv, pmp = Option.get !multi_par in
+  let par_identical = Rational.equal psv pmv && Pure.equal psp pmp in
+  let par_profiles = int_of_float (float_of_int m_par ** float_of_int n_par) in
   let rows =
     [
-      ("br_walk", n_walk, m_walk, !seed_steps, walk_seed_ms, walk_inc_ms, walk_identical);
-      ("opt1_sweep", n_opt, m_opt, profiles, opt_seed_ms, opt_inc_ms, opt_identical);
+      ("br_walk", n_walk, m_walk, !seed_steps, 1, walk_seed_ms, walk_inc_ms, walk_identical);
+      ("opt1_sweep", n_opt, m_opt, profiles, 1, opt_seed_ms, opt_inc_ms, opt_identical);
+      ("is_nash_check", n_nash, m_nash, nash_checks, 1, nash_seed_ms, nash_live_ms, nash_identical);
+      ("opt1_multicore", n_par, m_par, par_profiles, domains, par_serial_ms, par_multi_ms,
+       par_identical);
     ]
   in
-  let t = Stats.Table.create [ "workload"; "n"; "m"; "work"; "seed ms"; "incremental ms"; "speedup"; "identical" ] in
+  let t =
+    Stats.Table.create
+      [ "workload"; "n"; "m"; "work"; "domains"; "seed ms"; "incremental ms"; "speedup"; "identical" ]
+  in
   List.iter
-    (fun (name, n, m, work, s, i, ident) ->
+    (fun (name, n, m, work, d, s, i, ident) ->
       Stats.Table.add_row t
         [
-          name; string_of_int n; string_of_int m; string_of_int work; Report.flt s;
-          Report.flt i; Printf.sprintf "%.2fx" (s /. i); string_of_bool ident;
+          name; string_of_int n; string_of_int m; string_of_int work; string_of_int d;
+          Report.flt s; Report.flt i; Printf.sprintf "%.2fx" (s /. i); string_of_bool ident;
         ])
     rows;
   Stats.Table.print t;
+  Printf.printf "is_nash (n=%d, m=%d): %.0f checks/s live vs %.0f checks/s seed\n" n_nash m_nash
+    (1000.0 *. float_of_int nash_checks /. nash_live_ms)
+    (1000.0 *. float_of_int nash_checks /. nash_seed_ms);
   let out = Buffer.create 1024 in
   Buffer.add_string out "{\n";
-  Buffer.add_string out "  \"schema\": \"bench-walk/1\",\n";
+  Buffer.add_string out "  \"schema\": \"bench-walk/2\",\n";
   Printf.bprintf out "  \"quick\": %b,\n" quick;
   Buffer.add_string out "  \"results\": [\n";
   let last = List.length rows - 1 in
   List.iteri
-    (fun idx (name, n, m, work, s, i, ident) ->
+    (fun idx (name, n, m, work, d, s, i, ident) ->
       Printf.bprintf out
-        "    {\"workload\": \"%s\", \"n\": %d, \"m\": %d, \"work\": %d, \"seed_ms\": %.3f, \
-         \"incremental_ms\": %.3f, \"speedup\": %.3f, \"identical\": %b}%s\n"
-        name n m work s i (s /. i) ident
+        "    {\"workload\": \"%s\", \"n\": %d, \"m\": %d, \"work\": %d, \"domains\": %d, \
+         \"seed_ms\": %.3f, \"incremental_ms\": %.3f, \"speedup\": %.3f, \"identical\": %b}%s\n"
+        name n m work d s i (s /. i) ident
         (if idx = last then "" else ","))
     rows;
   Buffer.add_string out "  ]\n";
@@ -1143,6 +1213,15 @@ let bench_mixed_json () =
       ~weights:(Array.init n (fun i -> if i < n / 2 then Rational.one else Rational.two))
       ~capacities:caps3
   in
+  (* Three classes of distinct power-of-two weights: enough distinct
+     load vectors that the DP frontier crosses the parallel-expansion
+     threshold and the multi-core columns measure real sharding. *)
+  let three_class_kp n =
+    Game.kp
+      ~weights:(Array.init n (fun i -> Rational.of_int (1 lsl (3 * i / n))))
+      ~capacities:caps3
+  in
+  let domains = max 2 (min 8 (Parallel.available_domains ())) in
   (* (instance label, game, profile, m^n within the seed's cap?) *)
   let instances =
     [
@@ -1150,6 +1229,7 @@ let bench_mixed_json () =
       ("two_classes_n12", two_class_kp 12, `Uniform, true);
       ("uniform_n20", uniform_kp 20, `Uniform, false);
       ("uniform_n40", uniform_kp 40, `Uniform, false);
+      ("three_classes_n24", three_class_kp 24, `Uniform, false);
     ]
   in
   let rows =
@@ -1159,6 +1239,19 @@ let bench_mixed_json () =
         let dist = Load_dist.of_mixed g p in
         let dp_value = ref Rational.zero in
         let dp_ms = ms_of (fun () -> dp_value := Congestion.expected_max_congestion g p) in
+        (* Wall clock for the sharded DP: CPU time would sum over
+           domains and hide the parallel speedup. *)
+        let dp_par_value = ref Rational.zero in
+        let wall_ms_of f =
+          f ();
+          let start = Unix.gettimeofday () in
+          f ();
+          (Unix.gettimeofday () -. start) *. 1000.0
+        in
+        let dp_par_ms =
+          wall_ms_of (fun () -> dp_par_value := Congestion.expected_max_congestion ~domains g p)
+        in
+        let par_identical = Rational.equal !dp_value !dp_par_value in
         let seed =
           if not seed_feasible then None
           else begin
@@ -1173,16 +1266,18 @@ let bench_mixed_json () =
           Load_dist.classes dist,
           Load_dist.size dist,
           dp_ms,
+          (dp_par_ms, par_identical),
           seed,
           Rational.to_string !dp_value ))
       instances
   in
   let t =
     Stats.Table.create
-      [ "instance"; "n"; "m"; "classes"; "states"; "seed ms"; "DP ms"; "speedup"; "identical" ]
+      [ "instance"; "n"; "m"; "classes"; "states"; "seed ms"; "DP ms";
+        Printf.sprintf "DP ms (%dd)" domains; "speedup"; "identical"; "par identical" ]
   in
   List.iter
-    (fun (name, n, m, classes, states, dp_ms, seed, _) ->
+    (fun (name, n, m, classes, states, dp_ms, (dp_par_ms, par_ident), seed, _) ->
       let seed_ms, speedup, identical =
         match seed with
         | Some (s, ident) -> (Report.flt s, Printf.sprintf "%.1fx" (s /. dp_ms), string_of_bool ident)
@@ -1191,18 +1286,20 @@ let bench_mixed_json () =
       Stats.Table.add_row t
         [
           name; string_of_int n; string_of_int m; string_of_int classes;
-          string_of_int states; seed_ms; Report.flt dp_ms; speedup; identical;
+          string_of_int states; seed_ms; Report.flt dp_ms; Report.flt dp_par_ms; speedup;
+          identical; string_of_bool par_ident;
         ])
     rows;
   Stats.Table.print t;
   let out = Buffer.create 1024 in
   Buffer.add_string out "{\n";
-  Buffer.add_string out "  \"schema\": \"bench-mixed/1\",\n";
+  Buffer.add_string out "  \"schema\": \"bench-mixed/2\",\n";
   Printf.bprintf out "  \"quick\": %b,\n" quick;
+  Printf.bprintf out "  \"domains\": %d,\n" domains;
   Buffer.add_string out "  \"results\": [\n";
   let last = List.length rows - 1 in
   List.iteri
-    (fun idx (name, n, m, classes, states, dp_ms, seed, value) ->
+    (fun idx (name, n, m, classes, states, dp_ms, (dp_par_ms, par_ident), seed, value) ->
       let seed_ms, speedup, identical =
         match seed with
         | Some (s, ident) ->
@@ -1213,9 +1310,10 @@ let bench_mixed_json () =
       in
       Printf.bprintf out
         "    {\"instance\": \"%s\", \"n\": %d, \"m\": %d, \"classes\": %d, \"states\": %d, \
-         \"seed_ms\": %s, \"dp_ms\": %.3f, \"speedup\": %s, \"identical\": %s, \
-         \"exceeds_seed_limit\": %b, \"value\": \"%s\"}%s\n"
-        name n m classes states seed_ms dp_ms speedup identical (seed = None) value
+         \"seed_ms\": %s, \"dp_ms\": %.3f, \"dp_par_ms\": %.3f, \"par_identical\": %b, \
+         \"speedup\": %s, \"identical\": %s, \"exceeds_seed_limit\": %b, \"value\": \"%s\"}%s\n"
+        name n m classes states seed_ms dp_ms dp_par_ms par_ident speedup identical (seed = None)
+        value
         (if idx = last then "" else ","))
     rows;
   Buffer.add_string out "  ]\n";

@@ -7,6 +7,7 @@ type t = {
   capacities : Rational.t array array; (* capacities.(c).(l) = c^l of class c *)
   users : int; (* Σ counts, overflow-checked at construction *)
   total : Rational.t; (* Σ counts·w *)
+  packed : Packing.t option; (* native-int tables for the Cview fast lane *)
 }
 
 type profile = int array array
@@ -37,13 +38,15 @@ let make ~counts ~weights ~beliefs =
   Array.iteri
     (fun c n -> total := Rational.add !total (Rational.mul (Rational.of_int n) weights.(c)))
     counts;
+  let capacities = Array.map Belief.effective_capacities beliefs in
   {
     counts = Array.copy counts;
     weights = Array.copy weights;
     beliefs = Array.copy beliefs;
-    capacities = Array.map Belief.effective_capacities beliefs;
+    capacities;
     users;
     total = !total;
+    packed = Packing.build ~mults:counts weights capacities;
   }
 
 let of_capacities ~counts ~weights caps =
@@ -86,6 +89,7 @@ let capacity_row g c =
   Array.copy g.capacities.(c)
 
 let total_traffic g = g.total
+let packed_tables g = g.packed
 
 let is_kp g =
   let first = g.capacities.(0) in

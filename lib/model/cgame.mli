@@ -66,6 +66,11 @@ val capacity_row : t -> int -> Numeric.Rational.t array
 (** [total_traffic g] is [Σ_c count_c · w_c], exactly. *)
 val total_traffic : t -> Numeric.Rational.t
 
+(** [packed_tables g] is the game's native-int packing ({!Packing},
+    one row per class with count multiplicities), computed once at
+    construction; [None] when any component exceeds the native range. *)
+val packed_tables : t -> Packing.t option
+
 (** [is_kp g] holds when all classes share one effective capacity
     vector. *)
 val is_kp : t -> bool

@@ -3,59 +3,125 @@ open Numeric
 (* The cursor: current assignment counts, current loads (initial
    traffic included), and a packed move history for [undo].  A history
    entry is two ints — [(cls * m + src) * m + dst] and [count] — so
-   the stack is a flat int array that doubles on demand. *)
+   the stack is a flat int array that doubles on demand.
+
+   Like [View], loads live in one of two lanes: a packed native-int
+   lane backed by the game's [Packing] tables (loads scaled by a common
+   denominator, capacities as reduced int pairs, every predicate a
+   three-factor native product) and an exact big-rational lane taken
+   whenever packing would spill.  Both lanes produce identical
+   canonical rationals. *)
+
+type packed_lane = {
+  pscale : int;
+  ppw : int array; (* scaled weight per class *)
+  piload : int array; (* scaled load per link *)
+  pcn : int array; (* capacity numerators, row-major c*m + l *)
+  pcd : int array;
+}
+
+type lane = Exact of Rational.t array | Packed of packed_lane
+
 type t = {
   game : Cgame.t;
   assign : int array array;
-  loads : Rational.t array;
+  lane : lane;
   mutable hist : int array;
   mutable depth : int;
 }
 
 let game v = v.game
 let classes v = Array.length v.assign
-let links v = Array.length v.loads
+
+let links v =
+  match v.lane with
+  | Exact loads -> Array.length loads
+  | Packed pk -> Array.length pk.piload
+
+let packed v = match v.lane with Packed _ -> true | Exact _ -> false
 
 let of_profile g ?initial x =
   Cgame.validate g x;
   let m = Cgame.links g in
-  let loads =
-    match initial with
-    | None -> Array.make m Rational.zero
-    | Some t ->
-      if Array.length t <> m then
-        invalid_arg "Cview.of_profile: initial traffic length differs from link count";
-      Array.iter
-        (fun q ->
-          if Rational.sign q < 0 then invalid_arg "Cview.of_profile: negative initial traffic")
-        t;
-      Array.copy t
+  (match initial with
+   | None -> ()
+   | Some t ->
+     if Array.length t <> m then
+       invalid_arg "Cview.of_profile: initial traffic length differs from link count";
+     Array.iter
+       (fun q ->
+         if Rational.sign q < 0 then invalid_arg "Cview.of_profile: negative initial traffic")
+       t);
+  let lane =
+    match Cgame.packed_tables g with
+    | Some pk when (match initial with None -> pk.Packing.base_ok | Some _ -> true) -> begin
+      let attempt =
+        match initial with
+        | None -> Some (pk.Packing.scale, pk.Packing.pw, Array.make m 0)
+        | Some t ->
+          (match Packing.rescale pk t with
+           | Some (scale, pw, iload0, _total) -> Some (scale, pw, iload0)
+           | None -> None)
+      in
+      match attempt with
+      | None -> None
+      | Some (scale, pw, iload) ->
+        Array.iteri
+          (fun c row -> Array.iteri (fun l e -> iload.(l) <- iload.(l) + (e * pw.(c))) row)
+          x;
+        Some (Packed { pscale = scale; ppw = pw; piload = iload; pcn = pk.Packing.cn; pcd = pk.Packing.cd })
+    end
+    | _ -> None
   in
-  Array.iteri
-    (fun c row ->
-      let w = Cgame.weight g c in
+  let lane =
+    match lane with
+    | Some lane -> lane
+    | None ->
+      let loads =
+        match initial with
+        | None -> Array.make m Rational.zero
+        | Some t -> Array.copy t
+      in
       Array.iteri
-        (fun l e ->
-          if e > 0 then loads.(l) <- Rational.add loads.(l) (Rational.mul (Rational.of_int e) w))
-        row)
-    x;
-  { game = g; assign = Array.map Array.copy x; loads; hist = Array.make 32 0; depth = 0 }
+        (fun c row ->
+          let w = Cgame.weight g c in
+          Array.iteri
+            (fun l e ->
+              if e > 0 then loads.(l) <- Rational.add loads.(l) (Rational.mul (Rational.of_int e) w))
+            row)
+        x;
+      Exact loads
+  in
+  { game = g; assign = Array.map Array.copy x; lane; hist = Array.make 32 0; depth = 0 }
 
 let assigned v c l = v.assign.(c).(l)
 let profile v = Array.map Array.copy v.assign
-let load v l = v.loads.(l)
-let loads v = Array.copy v.loads
+
+let load v l =
+  match v.lane with
+  | Exact loads -> loads.(l)
+  | Packed pk -> Rational.make (Bigint.of_int pk.piload.(l)) (Bigint.of_int pk.pscale)
+
+let loads v = Array.init (links v) (load v)
 let depth v = v.depth
 
 (* Unrecorded block reassignment shared by [move] and [undo]: one
-   exact multiplication and two load updates, whatever [count] is. *)
+   exact multiplication and two load updates, whatever [count] is.
+   On the packed lane [count·pw] cannot wrap: it is at most the total
+   scaled traffic, which fits by construction. *)
 let shift v cls src dst count =
   if count > 0 && src <> dst then begin
-    let delta = Rational.mul (Rational.of_int count) (Cgame.weight v.game cls) in
+    (match v.lane with
+     | Exact loads ->
+       let delta = Rational.mul (Rational.of_int count) (Cgame.weight v.game cls) in
+       loads.(src) <- Rational.sub loads.(src) delta;
+       loads.(dst) <- Rational.add loads.(dst) delta
+     | Packed pk ->
+       let delta = count * pk.ppw.(cls) in
+       pk.piload.(src) <- pk.piload.(src) - delta;
+       pk.piload.(dst) <- pk.piload.(dst) + delta);
     v.assign.(cls).(src) <- v.assign.(cls).(src) - count;
-    v.assign.(cls).(dst) <- v.assign.(cls).(dst) + count;
-    v.loads.(src) <- Rational.sub v.loads.(src) delta;
-    v.loads.(dst) <- Rational.add v.loads.(dst) delta
+    v.assign.(cls).(dst) <- v.assign.(cls).(dst) + count
   end
 
 let push v meta count =
@@ -88,48 +154,126 @@ let undo v =
   let cls = meta / (m * m) in
   shift v cls dst src count
 
-let latency v c l = Rational.div v.loads.(l) (Cgame.capacity v.game c l)
+let q_latency pk total idx =
+  Rational.make
+    (Bigint.of_int (total * pk.pcd.(idx)))
+    (Bigint.mul (Bigint.of_int pk.pscale) (Bigint.of_int pk.pcn.(idx)))
+
+let latency v c l =
+  match v.lane with
+  | Exact loads -> Rational.div loads.(l) (Cgame.capacity v.game c l)
+  | Packed pk ->
+    let m = Array.length pk.piload in
+    q_latency pk pk.piload.(l) ((c * m) + l)
 
 let latency_after_move v ~cls ~src dst =
-  let base = v.loads.(dst) in
-  let total = if dst = src then base else Rational.add base (Cgame.weight v.game cls) in
-  Rational.div total (Cgame.capacity v.game cls dst)
+  match v.lane with
+  | Exact loads ->
+    let base = loads.(dst) in
+    let total = if dst = src then base else Rational.add base (Cgame.weight v.game cls) in
+    Rational.div total (Cgame.capacity v.game cls dst)
+  | Packed pk ->
+    let m = Array.length pk.piload in
+    let total = pk.piload.(dst) + (if dst = src then 0 else pk.ppw.(cls)) in
+    q_latency pk total ((cls * m) + dst)
 
-let best_response_for v ~cls ~src =
-  let best_link = ref 0 and best = ref (latency_after_move v ~cls ~src 0) in
-  for l = 1 to links v - 1 do
-    let lat = latency_after_move v ~cls ~src l in
-    if Rational.compare lat !best < 0 then begin
+(* Packed best response as the int pair (load'·cd, cn); candidate l
+   beats the incumbent iff a·cn_best < best·cn_l, all within the
+   packed product bound. *)
+let packed_best pk ~cls ~src =
+  let m = Array.length pk.piload in
+  let base = cls * m and w = pk.ppw.(cls) in
+  let best_link = ref 0 in
+  let t0 = pk.piload.(0) + (if src = 0 then 0 else w) in
+  let bnum = ref (t0 * pk.pcd.(base)) and bcn = ref pk.pcn.(base) in
+  for l = 1 to m - 1 do
+    let t = pk.piload.(l) + (if src = l then 0 else w) in
+    let a = t * pk.pcd.(base + l) in
+    if a * !bcn < !bnum * pk.pcn.(base + l) then begin
       best_link := l;
-      best := lat
+      bnum := a;
+      bcn := pk.pcn.(base + l)
     end
   done;
-  (!best_link, !best)
+  (!best_link, !bnum, !bcn)
 
+let best_response_for v ~cls ~src =
+  match v.lane with
+  | Exact _ ->
+    let best_link = ref 0 and best = ref (latency_after_move v ~cls ~src 0) in
+    for l = 1 to links v - 1 do
+      let lat = latency_after_move v ~cls ~src l in
+      if Rational.compare lat !best < 0 then begin
+        best_link := l;
+        best := lat
+      end
+    done;
+    (!best_link, !best)
+  | Packed pk ->
+    let best_link, bnum, bcn = packed_best pk ~cls ~src in
+    ( best_link,
+      Rational.make (Bigint.of_int bnum)
+        (Bigint.mul (Bigint.of_int pk.pscale) (Bigint.of_int bcn)) )
+
+(* The Nash inequality rides [Rational.compare_sum] on the exact lane
+   ((load_l + w)/cap_l < current ⟺ load_l + w < current·cap_l) and a
+   three-factor native product on the packed lane. *)
 let is_defector v ~cls ~src =
-  let current = latency v cls src in
-  let m = links v in
-  let rec scan l =
-    if l >= m then false
-    else if l <> src && Rational.compare (latency_after_move v ~cls ~src l) current < 0 then true
-    else scan (l + 1)
-  in
-  scan 0
+  match v.lane with
+  | Exact loads ->
+    let current = latency v cls src in
+    let w = Cgame.weight v.game cls in
+    let m = links v in
+    let rec scan l =
+      if l >= m then false
+      else if
+        l <> src
+        && Rational.compare_sum loads.(l) w (Rational.mul current (Cgame.capacity v.game cls l)) < 0
+      then true
+      else scan (l + 1)
+    in
+    scan 0
+  | Packed pk ->
+    let m = Array.length pk.piload in
+    let base = cls * m and w = pk.ppw.(cls) in
+    let cnum = pk.piload.(src) * pk.pcd.(base + src) and ccn = pk.pcn.(base + src) in
+    let rec scan l =
+      if l >= m then false
+      else if l <> src && (pk.piload.(l) + w) * pk.pcd.(base + l) * ccn < cnum * pk.pcn.(base + l)
+      then true
+      else scan (l + 1)
+    in
+    scan 0
 
 (* Class ascending, source link ascending: the exact order in which
    [Cgame.expand_profile] lays out the users, so this is the per-user
    first-defector choice computed without any per-user work. *)
 let first_defector v =
   let k = classes v and m = links v in
-  let rec over_links c l =
-    if l >= m then over_classes (c + 1)
-    else if v.assign.(c).(l) > 0 then begin
-      let target, best = best_response_for v ~cls:c ~src:l in
-      if Rational.compare best (latency v c l) < 0 then Some (c, l, target) else over_links c (l + 1)
-    end
-    else over_links c (l + 1)
-  and over_classes c = if c >= k then None else over_links c 0 in
-  over_classes 0
+  match v.lane with
+  | Exact _ ->
+    let rec over_links c l =
+      if l >= m then over_classes (c + 1)
+      else if v.assign.(c).(l) > 0 then begin
+        let target, best = best_response_for v ~cls:c ~src:l in
+        if Rational.compare best (latency v c l) < 0 then Some (c, l, target)
+        else over_links c (l + 1)
+      end
+      else over_links c (l + 1)
+    and over_classes c = if c >= k then None else over_links c 0 in
+    over_classes 0
+  | Packed pk ->
+    let rec over_links c l =
+      if l >= m then over_classes (c + 1)
+      else if v.assign.(c).(l) > 0 then begin
+        let target, bnum, bcn = packed_best pk ~cls:c ~src:l in
+        let base = c * m in
+        let cnum = pk.piload.(l) * pk.pcd.(base + l) and ccn = pk.pcn.(base + l) in
+        if bnum * ccn < cnum * bcn then Some (c, l, target) else over_links c (l + 1)
+      end
+      else over_links c (l + 1)
+    and over_classes c = if c >= k then None else over_links c 0 in
+    over_classes 0
 
 let is_nash v =
   let k = classes v and m = links v in
@@ -154,9 +298,7 @@ let max_improving_block v ~cls ~src ~dst =
   if src = dst then invalid_arg "Cview.max_improving_block: source and destination coincide";
   let w = Cgame.weight v.game cls in
   let cap_s = Cgame.capacity v.game cls src and cap_d = Cgame.capacity v.game cls dst in
-  let delta =
-    Rational.sub (Rational.div v.loads.(src) cap_s) (Rational.div v.loads.(dst) cap_d)
-  in
+  let delta = Rational.sub (Rational.div (load v src) cap_s) (Rational.div (load v dst) cap_d) in
   let q =
     Rational.div
       (Rational.add delta (Rational.div w cap_s))
@@ -174,8 +316,7 @@ let social_cost1 v =
   for c = 0 to classes v - 1 do
     for l = 0 to links v - 1 do
       let e = v.assign.(c).(l) in
-      if e > 0 then
-        acc := Rational.add !acc (Rational.mul (Rational.of_int e) (latency v c l))
+      if e > 0 then acc := Rational.add !acc (Rational.mul (Rational.of_int e) (latency v c l))
     done
   done;
   !acc

@@ -21,6 +21,11 @@
 
 type t
 
+(** [packed v] holds when the view runs on the native-int fast lane
+    (see {!Packing}).  Exposed for benchmarks and tests; results never
+    depend on it. *)
+val packed : t -> bool
+
 (** [of_profile g ?initial x] positions a fresh view at [x], validating
     it and computing all link loads once in O(k·m).  [x] is deep-copied.
     @raise Invalid_argument when [x] or [initial] is malformed. *)

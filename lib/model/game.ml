@@ -4,6 +4,7 @@ type t = {
   weights : Rational.t array;
   beliefs : Belief.t array;
   capacities : Rational.t array array; (* capacities.(i).(l) = c^l_i *)
+  packed : Packing.t option; (* native-int tables for the View fast lane *)
 }
 
 let validate_weights weights =
@@ -21,10 +22,12 @@ let make ~weights ~beliefs =
     (fun b -> if Belief.links b <> m then invalid_arg "Game.make: beliefs disagree on link count")
     beliefs;
   if m < 2 then invalid_arg "Game.make: at least two links required";
+  let capacities = Array.map Belief.effective_capacities beliefs in
   {
     weights = Array.copy weights;
     beliefs = Array.copy beliefs;
-    capacities = Array.map Belief.effective_capacities beliefs;
+    capacities;
+    packed = Packing.build ~mults:(Array.make (Array.length weights) 1) weights capacities;
   }
 
 let of_capacities ~weights caps =
@@ -66,6 +69,7 @@ let capacity_row g i =
   Array.copy g.capacities.(i)
 
 let capacity_matrix g = Array.map Array.copy g.capacities
+let packed_tables g = g.packed
 
 let is_kp g =
   let first = g.capacities.(0) in
@@ -81,7 +85,13 @@ let restrict g ~drop =
   if users g <= 1 then invalid_arg "Game.restrict: cannot drop the last user";
   let keep = List.filter (fun i -> i <> drop) (List.init (users g) Fun.id) in
   let pick arr = Array.of_list (List.map (Array.get arr) keep) in
-  { weights = pick g.weights; beliefs = pick g.beliefs; capacities = pick g.capacities }
+  let weights = pick g.weights and capacities = pick g.capacities in
+  {
+    weights;
+    beliefs = pick g.beliefs;
+    capacities;
+    packed = Packing.build ~mults:(Array.make (Array.length weights) 1) weights capacities;
+  }
 
 let pp fmt g =
   Format.fprintf fmt "game n=%d m=%d w=%a" (users g) (links g)

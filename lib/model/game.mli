@@ -52,6 +52,11 @@ val capacity_row : t -> int -> Numeric.Rational.t array
 (** [capacity_matrix g] is the full [n × m] matrix (fresh copy). *)
 val capacity_matrix : t -> Numeric.Rational.t array array
 
+(** [packed_tables g] is the game's native-int packing ({!Packing}),
+    computed once at construction; [None] when any component exceeds
+    the native range, in which case views stay on the exact lane. *)
+val packed_tables : t -> Packing.t option
+
 (** [is_kp g] holds when all users share the same effective capacity
     vector — the game is (observationally) a KP-model instance. *)
 val is_kp : t -> bool

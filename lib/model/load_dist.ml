@@ -68,27 +68,72 @@ let class_splits ~links:m ~count ~weight ~(row : Qvec.t) =
       end);
   !splits
 
-(* One DP layer: fold a class's splits into every accumulated state,
-   merging states that land on the same load vector. *)
-let apply ~limit table splits =
-  let next = Tbl.create (2 * Tbl.length table) in
-  Tbl.iter
-    (fun loads prob ->
-      List.iter
-        (fun (delta, mass) ->
-          let loads' = Qvec.add loads delta in
-          let contribution = Rational.mul prob mass in
-          match Tbl.find_opt next loads' with
-          | Some q -> Tbl.replace next loads' (Rational.add q contribution)
-          | None ->
-            if Tbl.length next >= limit then
-              invalid_arg "Load_dist.of_mixed: distinct load states exceed the limit";
-            Tbl.add next loads' contribution)
-        splits)
-    table;
-  next
+let limit_message = "Load_dist.of_mixed: distinct load states exceed the limit"
 
-let of_mixed ?(limit = 1_000_000) g p =
+(* Fold one state's outgoing splits into an accumulator table.  A
+   negative limit disables the per-insert check (used by the parallel
+   shards, which bound the merged table instead). *)
+let expand_into ~limit next splits loads prob =
+  List.iter
+    (fun (delta, mass) ->
+      let loads' = Qvec.add loads delta in
+      let contribution = Rational.mul prob mass in
+      match Tbl.find_opt next loads' with
+      | Some q -> Tbl.replace next loads' (Rational.add q contribution)
+      | None ->
+        if limit >= 0 && Tbl.length next >= limit then invalid_arg limit_message;
+        Tbl.add next loads' contribution)
+    splits
+
+(* One DP layer: fold a class's splits into every accumulated state,
+   merging states that land on the same load vector.
+
+   With [~domains > 1] and a frontier large enough to amortise domain
+   spawns, the current states are snapshotted and block-sharded; each
+   worker expands its block into a private table and the local tables
+   are merged sequentially.  Rational addition is exact, so the merged
+   probabilities are bit-identical to the serial layer whatever the
+   accumulation order — sharding is observable only through speed.
+   The state limit then applies to the merged layer size (the same
+   "distinct states > limit" condition the serial path enforces). *)
+let apply ?(domains = 1) ~limit table splits =
+  let k = Tbl.length table in
+  if domains <= 1 || k < 256 then begin
+    let next = Tbl.create (2 * k) in
+    Tbl.iter (expand_into ~limit next splits) table;
+    next
+  end
+  else begin
+    let states = Array.of_seq (Tbl.to_seq table) in
+    let workers = min domains k in
+    let per = k / workers and extra = k mod workers in
+    let shard w =
+      let lo = (w * per) + Stdlib.min w extra in
+      let size = per + if w < extra then 1 else 0 in
+      let local = Tbl.create (2 * size) in
+      for j = lo to lo + size - 1 do
+        let loads, prob = states.(j) in
+        expand_into ~limit:(-1) local splits loads prob
+      done;
+      local
+    in
+    match Parallel.map ~domains:workers shard (List.init workers Fun.id) with
+    | [] -> assert false
+    | first :: rest ->
+      List.iter
+        (fun local ->
+          Tbl.iter
+            (fun loads' contribution ->
+              match Tbl.find_opt first loads' with
+              | Some q -> Tbl.replace first loads' (Rational.add q contribution)
+              | None -> Tbl.add first loads' contribution)
+            local)
+        rest;
+      if Tbl.length first > limit then invalid_arg limit_message;
+      first
+  end
+
+let of_mixed ?(limit = 1_000_000) ?domains g p =
   Mixed.validate g p;
   if limit <= 0 then invalid_arg "Load_dist.of_mixed: limit must be positive";
   let m = Game.links g in
@@ -97,7 +142,7 @@ let of_mixed ?(limit = 1_000_000) g p =
   Tbl.add !table (Qvec.make m Rational.zero) Rational.one;
   List.iter
     (fun (weight, row, count) ->
-      table := apply ~limit !table (class_splits ~links:m ~count ~weight ~row))
+      table := apply ?domains ~limit !table (class_splits ~links:m ~count ~weight ~row))
     cls;
   { table = !table; links = m; classes = List.length cls }
 

@@ -1,0 +1,39 @@
+(** Native-int packing of a game's numeric data.
+
+    The packed tables are the backing store of the [View]/[Cview] fast
+    lanes: link loads as integers scaled by the lcm of the weight
+    denominators, capacities as reduced [(num, den)] int pairs.  Under
+    the product bound checked by {!admits}, every latency comparison in
+    the packed representation is a three-factor native multiply whose
+    intermediates provably fit a native int — an exact computation with
+    zero allocation and zero per-operation checks.  Construction
+    returns [None] whenever any component would spill the native range;
+    callers then fall back to the big-rational lane, so packing never
+    changes results, only speed. *)
+
+type t = {
+  scale : int;  (** lcm of the weight denominators *)
+  pw : int array;  (** [pw.(r)] = weight of row [r] · [scale] *)
+  cn : int array;  (** [cn.(r*m + l)] = capacity numerator, > 0 *)
+  cd : int array;  (** [cd.(r*m + l)] = capacity denominator, > 0 *)
+  wsum : int;  (** Σ mult_r · pw.(r): total scaled traffic *)
+  maxcn : int;
+  maxcd : int;
+  base_ok : bool;  (** {!admits} holds at [total = wsum] (no initial traffic) *)
+}
+
+(** [build ~mults weights capacities] packs one row per weight, where
+    [mults.(r)] is the row's population multiplicity (all ones for
+    per-user games, class counts for compressed games).  [None] when
+    any scaled component exceeds the native range. *)
+val build : mults:int array -> Numeric.Rational.t array -> Numeric.Rational.t array array -> t option
+
+(** [admits ~total ~maxcn ~maxcd] holds when
+    [2·total·maxcd·maxcn <= max_int] — the single bound under which
+    every packed predicate product is exact. *)
+val admits : total:int -> maxcn:int -> maxcd:int -> bool
+
+(** [rescale pk initial] extends the scale to cover initial link
+    traffic: [(scale, pw, iload0, total)] with the initial loads
+    pre-scaled, or [None] on spill or bound failure. *)
+val rescale : t -> Numeric.Rational.t array -> (int * int array * int array * int) option

@@ -3,57 +3,131 @@ open Numeric
 (* The cursor: current profile, current loads (initial traffic
    included), and a packed move history for [undo].  A history entry
    stores [i * m + old_link] in one native int, so the stack is a flat
-   int array that doubles on demand — no per-move allocation beyond the
-   two rational load updates. *)
+   int array that doubles on demand.
+
+   Loads live in one of two lanes.  The packed lane stores them as
+   native ints scaled by a common denominator, with capacities as
+   reduced (num, den) int pairs from the game's [Packing] tables; under
+   the bound checked at construction every latency comparison is a
+   three-factor native product — exact, allocation-free, no per-op
+   checks.  The exact lane keeps big-rational loads and is taken
+   whenever any packed component would spill the native range, so both
+   lanes compute identical answers and callers cannot observe which
+   one is active (except through [packed], exposed for benchmarks). *)
+
+type packed_lane = {
+  pscale : int; (* common denominator of all loads/weights *)
+  ppw : int array; (* scaled weight per user (read-only, often shared) *)
+  piload : int array; (* scaled load per link (mutated by shift) *)
+  pcn : int array; (* capacity numerators, row-major i*m + l *)
+  pcd : int array; (* capacity denominators *)
+}
+
+type lane = Exact of Rational.t array | Packed of packed_lane
+
 type t = {
   game : Game.t;
   prof : int array;
-  loads : Rational.t array;
+  lane : lane;
   mutable hist : int array;
   mutable depth : int;
 }
 
 let game v = v.game
 let users v = Array.length v.prof
-let links v = Array.length v.loads
+
+let links v =
+  match v.lane with
+  | Exact loads -> Array.length loads
+  | Packed pk -> Array.length pk.piload
+
+let packed v = match v.lane with Packed _ -> true | Exact _ -> false
 
 let of_profile g ?initial p =
   if Array.length p <> Game.users g then
     invalid_arg "View.of_profile: profile length differs from user count";
   let m = Game.links g in
-  let loads =
-    match initial with
-    | None -> Array.make m Rational.zero
-    | Some t ->
-      if Array.length t <> m then
-        invalid_arg "View.of_profile: initial traffic length differs from link count";
-      Array.iter
-        (fun q -> if Rational.sign q < 0 then invalid_arg "View.of_profile: negative initial traffic")
-        t;
-      Array.copy t
-  in
-  Array.iteri
-    (fun i l ->
-      if l < 0 || l >= m then invalid_arg "View.of_profile: link out of range";
-      loads.(l) <- Rational.add loads.(l) (Game.weight g i))
+  (match initial with
+   | None -> ()
+   | Some t ->
+     if Array.length t <> m then
+       invalid_arg "View.of_profile: initial traffic length differs from link count";
+     Array.iter
+       (fun q -> if Rational.sign q < 0 then invalid_arg "View.of_profile: negative initial traffic")
+       t);
+  Array.iter
+    (fun l -> if l < 0 || l >= m then invalid_arg "View.of_profile: link out of range")
     p;
-  { game = g; prof = Array.copy p; loads; hist = Array.make 16 0; depth = 0 }
+  let lane =
+    match Game.packed_tables g with
+    | Some pk when (match initial with None -> pk.Packing.base_ok | Some _ -> true) -> begin
+      let attempt =
+        match initial with
+        | None -> Some (pk.Packing.scale, pk.Packing.pw, Array.make m 0)
+        | Some t ->
+          (match Packing.rescale pk t with
+           | Some (scale, pw, iload0, _total) -> Some (scale, pw, iload0)
+           | None -> None)
+      in
+      match attempt with
+      | None -> None
+      | Some (scale, pw, iload) ->
+        Array.iteri (fun i l -> iload.(l) <- iload.(l) + pw.(i)) p;
+        Some (Packed { pscale = scale; ppw = pw; piload = iload; pcn = pk.Packing.cn; pcd = pk.Packing.cd })
+    end
+    | _ -> None
+  in
+  let lane =
+    match lane with
+    | Some lane -> lane
+    | None ->
+      let loads =
+        match initial with
+        | None -> Array.make m Rational.zero
+        | Some t -> Array.copy t
+      in
+      Array.iteri (fun i l -> loads.(l) <- Rational.add loads.(l) (Game.weight g i)) p;
+      Exact loads
+  in
+  { game = g; prof = Array.copy p; lane; hist = Array.make 16 0; depth = 0 }
 
 let link v i = v.prof.(i)
 let profile v = Array.copy v.prof
-let load v l = v.loads.(l)
-let loads v = Array.copy v.loads
+
+(* Packed-lane rationals are rebuilt on demand through [Rational.make],
+   whose canonical lowest-terms form makes them structurally identical
+   to what the exact lane would have computed — lane choice is
+   unobservable in results. *)
+let q_of_scaled num scale = Rational.make (Bigint.of_int num) (Bigint.of_int scale)
+
+let q_latency pk total idx =
+  Rational.make
+    (Bigint.of_int (total * pk.pcd.(idx)))
+    (Bigint.mul (Bigint.of_int pk.pscale) (Bigint.of_int pk.pcn.(idx)))
+
+let load v l =
+  match v.lane with
+  | Exact loads -> loads.(l)
+  | Packed pk -> q_of_scaled pk.piload.(l) pk.pscale
+
+let loads v = Array.init (links v) (load v)
 let depth v = v.depth
 
 (* Unrecorded reassignment: the O(1) delta shared by [move], [undo] and
    the sweep odometer.  Touches exactly the two affected load entries;
-   exact rational add/sub round-trips, so repeated shifts never drift. *)
+   both lanes are exact, so repeated shifts never drift. *)
 let shift v i l =
   let old = v.prof.(i) in
   if l <> old then begin
-    let w = Game.weight v.game i in
-    v.loads.(old) <- Rational.sub v.loads.(old) w;
-    v.loads.(l) <- Rational.add v.loads.(l) w;
+    (match v.lane with
+     | Exact loads ->
+       let w = Game.weight v.game i in
+       loads.(old) <- Rational.sub loads.(old) w;
+       loads.(l) <- Rational.add loads.(l) w
+     | Packed pk ->
+       let w = pk.ppw.(i) in
+       pk.piload.(old) <- pk.piload.(old) - w;
+       pk.piload.(l) <- pk.piload.(l) + w);
     v.prof.(i) <- l
   end
 
@@ -81,42 +155,110 @@ let undo v =
 
 let latency v i =
   let l = v.prof.(i) in
-  Rational.div v.loads.(l) (Game.capacity v.game i l)
+  match v.lane with
+  | Exact loads -> Rational.div loads.(l) (Game.capacity v.game i l)
+  | Packed pk ->
+    let m = Array.length pk.piload in
+    q_latency pk pk.piload.(l) ((i * m) + l)
 
 let latency_on_link v i l =
-  let base = v.loads.(l) in
-  let total = if v.prof.(i) = l then base else Rational.add base (Game.weight v.game i) in
-  Rational.div total (Game.capacity v.game i l)
+  match v.lane with
+  | Exact loads ->
+    let base = loads.(l) in
+    let total = if v.prof.(i) = l then base else Rational.add base (Game.weight v.game i) in
+    Rational.div total (Game.capacity v.game i l)
+  | Packed pk ->
+    let m = Array.length pk.piload in
+    let total = pk.piload.(l) + (if v.prof.(i) = l then 0 else pk.ppw.(i)) in
+    q_latency pk total ((i * m) + l)
 
 let best_response_for v i =
-  let best_link = ref 0 and best = ref (latency_on_link v i 0) in
-  for l = 1 to links v - 1 do
-    let lat = latency_on_link v i l in
-    if Rational.compare lat !best < 0 then begin
-      best_link := l;
-      best := lat
-    end
-  done;
-  (!best_link, !best)
+  match v.lane with
+  | Exact _ ->
+    let best_link = ref 0 and best = ref (latency_on_link v i 0) in
+    for l = 1 to links v - 1 do
+      let lat = latency_on_link v i l in
+      if Rational.compare lat !best < 0 then begin
+        best_link := l;
+        best := lat
+      end
+    done;
+    (!best_link, !best)
+  | Packed pk ->
+    (* Candidate latencies are (load'·cd)/(scale·cn): track the best as
+       the int pair (load'·cd, cn) and compare by cross products, all
+       within the packed bound. *)
+    let m = Array.length pk.piload in
+    let base = i * m and cur = v.prof.(i) and w = pk.ppw.(i) in
+    let best_link = ref 0 in
+    let t0 = pk.piload.(0) + (if cur = 0 then 0 else w) in
+    let bnum = ref (t0 * pk.pcd.(base)) and bcn = ref pk.pcn.(base) in
+    for l = 1 to m - 1 do
+      let t = pk.piload.(l) + (if cur = l then 0 else w) in
+      let a = t * pk.pcd.(base + l) in
+      if a * !bcn < !bnum * pk.pcn.(base + l) then begin
+        best_link := l;
+        bnum := a;
+        bcn := pk.pcn.(base + l)
+      end
+    done;
+    ( !best_link,
+      Rational.make (Bigint.of_int !bnum)
+        (Bigint.mul (Bigint.of_int pk.pscale) (Bigint.of_int !bcn)) )
 
+(* The Nash inequality on the exact lane rides the fused kernel:
+   (load_l + w)/cap_l < current  ⟺  load_l + w < current·cap_l, i.e.
+   [Rational.compare_sum load_l w (current·cap_l) < 0] — no sum is
+   materialised and no division happens per candidate link.  On the
+   packed lane it is a pure three-factor native product comparison. *)
 let improving_moves v i =
-  let current = latency v i in
   let moves = ref [] in
-  for l = links v - 1 downto 0 do
-    if l <> v.prof.(i) && Rational.compare (latency_on_link v i l) current < 0 then
-      moves := l :: !moves
-  done;
+  (match v.lane with
+   | Exact loads ->
+     let current = latency v i in
+     let w = Game.weight v.game i in
+     for l = links v - 1 downto 0 do
+       if
+         l <> v.prof.(i)
+         && Rational.compare_sum loads.(l) w (Rational.mul current (Game.capacity v.game i l)) < 0
+       then moves := l :: !moves
+     done
+   | Packed pk ->
+     let m = Array.length pk.piload in
+     let base = i * m and cur = v.prof.(i) and w = pk.ppw.(i) in
+     let cnum = pk.piload.(cur) * pk.pcd.(base + cur) and ccn = pk.pcn.(base + cur) in
+     for l = m - 1 downto 0 do
+       if l <> cur && (pk.piload.(l) + w) * pk.pcd.(base + l) * ccn < cnum * pk.pcn.(base + l)
+       then moves := l :: !moves
+     done);
   !moves
 
 let is_defector v i =
-  let current = latency v i in
-  let m = links v in
-  let rec scan l =
-    if l >= m then false
-    else if l <> v.prof.(i) && Rational.compare (latency_on_link v i l) current < 0 then true
-    else scan (l + 1)
-  in
-  scan 0
+  match v.lane with
+  | Exact loads ->
+    let current = latency v i in
+    let w = Game.weight v.game i in
+    let m = links v in
+    let rec scan l =
+      if l >= m then false
+      else if
+        l <> v.prof.(i)
+        && Rational.compare_sum loads.(l) w (Rational.mul current (Game.capacity v.game i l)) < 0
+      then true
+      else scan (l + 1)
+    in
+    scan 0
+  | Packed pk ->
+    let m = Array.length pk.piload in
+    let base = i * m and cur = v.prof.(i) and w = pk.ppw.(i) in
+    let cnum = pk.piload.(cur) * pk.pcd.(base + cur) and ccn = pk.pcn.(base + cur) in
+    let rec scan l =
+      if l >= m then false
+      else if l <> cur && (pk.piload.(l) + w) * pk.pcd.(base + l) * ccn < cnum * pk.pcn.(base + l)
+      then true
+      else scan (l + 1)
+    in
+    scan 0
 
 let is_nash v =
   let n = users v in
@@ -149,12 +291,12 @@ let social_cost2 v =
   done;
   !acc
 
-let sweep g ?initial f =
-  let v = of_profile g ?initial (Array.make (Game.users g) 0) in
-  let n = users v and m = links v in
-  (* The odometer of [Social.iter_profiles], expressed as moves: a
-     non-carrying tick is one shift, a carry resets a suffix — 1 + 1/m
-     + 1/m² + … ≤ m/(m-1) shifts amortised per profile. *)
+(* The odometer of [Social.iter_profiles], expressed as moves: a
+   non-carrying tick is one shift, a carry resets a suffix — 1 + 1/m
+   + 1/m² + … ≤ m/(m-1) shifts amortised per profile.  Returns false
+   when the odometer wraps past the last profile. *)
+let tick v =
+  let m = links v in
   let rec next i =
     if i < 0 then false
     else begin
@@ -169,8 +311,61 @@ let sweep g ?initial f =
       end
     end
   in
+  next (users v - 1)
+
+let sweep g ?initial f =
+  let v = of_profile g ?initial (Array.make (Game.users g) 0) in
   let continue = ref true in
   while !continue do
     f v;
-    continue := next (n - 1)
+    continue := tick v
   done
+
+(* [m^n] as a native int, or None on overflow (in which case a sweep
+   of that size would never finish anyway and sharding is moot). *)
+let profile_space g =
+  let n = Game.users g and m = Game.links g in
+  let rec go acc k =
+    if k = 0 then Some acc
+    else begin
+      let next = acc * m in
+      if next / m <> acc then None else go next (k - 1)
+    end
+  in
+  go 1 n
+
+let fold ?(domains = 1) ?initial g ~init ~f ~combine =
+  let serial () =
+    let acc = ref init in
+    sweep g ?initial (fun v -> acc := f !acc v);
+    !acc
+  in
+  match profile_space g with
+  | Some total when domains > 1 && total > 1 ->
+    let n = Game.users g and m = Game.links g in
+    let workers = min domains total in
+    let per = total / workers and extra = total mod workers in
+    (* Shard w covers the contiguous odometer index block
+       [w·per + min w extra, …) of size per (+1 for the first [extra]
+       shards); each worker decodes its start index into a profile,
+       builds a private view there and ticks through its block. *)
+    let run_shard w =
+      let lo = (w * per) + Stdlib.min w extra in
+      let size = per + if w < extra then 1 else 0 in
+      let p = Array.make n 0 in
+      let idx = ref lo in
+      for i = n - 1 downto 0 do
+        p.(i) <- !idx mod m;
+        idx := !idx / m
+      done;
+      let v = of_profile g ?initial p in
+      let acc = ref (f init v) in
+      for _ = 2 to size do
+        ignore (tick v);
+        acc := f !acc v
+      done;
+      !acc
+    in
+    let parts = Parallel.map ~domains:workers run_shard (List.init workers Fun.id) in
+    List.fold_left combine init parts
+  | _ -> serial ()

@@ -14,9 +14,21 @@
 
     The view is a mutable cursor, not a value: share it only within one
     traversal, and treat the arrays returned by {!profile} and {!loads}
-    as snapshots (they are copies). *)
+    as snapshots (they are copies).
+
+    Loads are stored in one of two lanes chosen at construction.  When
+    every scaled component of the game fits the native range (the
+    {!Packing} bound), loads are flat native-int arrays and every
+    equilibrium predicate is a three-factor native product — exact,
+    allocation-free and check-free.  Otherwise the loads are
+    big-rational values.  Both lanes compute identical canonical
+    rationals; lane choice is observable only through {!packed}. *)
 
 type t
+
+(** [packed v] holds when the view runs on the native-int fast lane.
+    Exposed for benchmarks and tests; results never depend on it. *)
+val packed : t -> bool
 
 (** [of_profile g ?initial p] positions a fresh view at [p], computing
     all link loads once in O(n + m).  [p] is copied; later mutation of
@@ -105,3 +117,26 @@ val social_cost2 : t -> Numeric.Rational.t
     profile.  [f] may {!move}/{!undo} on the view as long as every
     move is undone before it returns; do not retain the view. *)
 val sweep : Game.t -> ?initial:Numeric.Rational.t array -> (t -> unit) -> unit
+
+(** [fold ?domains ?initial g ~init ~f ~combine] folds [f] over every
+    pure profile in {!sweep} order and reduces with [combine].  With
+    [domains <= 1] this is exactly the serial
+    [f (… (f init v₀) …) v_last].  With [domains > 1] the odometer
+    index space [0, m^n) is cut into [domains] contiguous blocks, each
+    folded from [init] by a private view on its own domain, and the
+    block results are combined left to right — so the result is
+    bit-identical to the serial fold whenever [(init, f, combine)]
+    satisfies [combine (f… init xs) (f… init ys) = f… init (xs @ ys)]
+    (any associative reduction with unit [init]; first-wins argmin
+    folds qualify because earlier blocks combine from the left).  [f]
+    must not touch shared mutable state: it runs concurrently on
+    distinct views.  Falls back to the serial path when [m^n]
+    overflows a native int. *)
+val fold :
+  ?domains:int ->
+  ?initial:Numeric.Rational.t array ->
+  Game.t ->
+  init:'a ->
+  f:('a -> t -> 'a) ->
+  combine:('a -> 'a -> 'a) ->
+  'a

@@ -129,6 +129,19 @@ let size = function
     if a < 0x4000_0000 then 1 else if a < 0x1000_0000_0000_0000 then 2 else 3
   | Big (_, m) -> Bignat.num_limbs m
 
+(* 29-bit mantissa bracket of the magnitude: for n <> 0, [approx n] is
+   [(mant, e)] with [2^28 <= mant < 2^29] and
+   [mant·2^e <= |n| < (mant+1)·2^e] (exponents below 29-bit values are
+   negative and only ever used as differences).  O(1); the bracket is
+   what lets rational comparisons decide without a full multiply. *)
+let approx = function
+  | Small 0 -> invalid_arg "Bigint.approx: zero"
+  | Small i ->
+    let v = Stdlib.abs i in
+    let bv = Bignat.bits_native v in
+    if bv >= 29 then (v lsr (bv - 29), bv - 29) else (v lsl (29 - bv), bv - 29)
+  | Big (_, m) -> Bignat.approx m
+
 let neg = function
   | Small i -> Small (-i)
   | Big (neg, m) -> Big (not neg, m)

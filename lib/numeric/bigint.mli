@@ -60,6 +60,13 @@ val num_bits : t -> int
     [2^(30(w-1)) <= |n| < 2^(30w)] for [w = size n > 0]; [size zero = 0]. *)
 val size : t -> int
 
+(** [approx n] is a 29-bit mantissa bracket [(mant, e)] of the
+    magnitude of a non-zero [n]: [2^28 <= mant < 2^29] and
+    [mant·2^e <= |n| < (mant+1)·2^e], with the exponent interpreted
+    symbolically (negative below [2^28]).  O(1).
+    @raise Invalid_argument on {!zero}. *)
+val approx : t -> int * int
+
 (** [is_native n] holds when [n] is stored in the small-value (native
     int) representation — exposed for benchmarks and fast-path gating;
     equivalent to [n] lying in [[-max_int, max_int]]. *)

@@ -204,6 +204,35 @@ let num_bits (n : t) =
     ((len - 1) * base_bits) + bits 0 top
   end
 
+(* 29-bit mantissa bracket: for n > 0, [approx n] is [(mant, e)] with
+   [2^28 <= mant < 2^29] and [mant·2^e <= n < (mant+1)·2^e] (the
+   exponent may be negative for small values; callers only ever use
+   exponent differences).  O(1): only the top two limbs contribute, and
+   the truncated low limbs are absorbed by the half-open bracket. *)
+(* Branch-tree bit length for a positive native value: six halving
+   steps instead of one iteration per bit, because [approx] sits on the
+   comparison hot path. *)
+let bits_native v =
+  let n = ref 0 and v = ref v in
+  if !v >= 1 lsl 32 then begin v := !v lsr 32; n := !n + 32 end;
+  if !v >= 1 lsl 16 then begin v := !v lsr 16; n := !n + 16 end;
+  if !v >= 1 lsl 8 then begin v := !v lsr 8; n := !n + 8 end;
+  if !v >= 1 lsl 4 then begin v := !v lsr 4; n := !n + 4 end;
+  if !v >= 1 lsl 2 then begin v := !v lsr 2; n := !n + 2 end;
+  if !v >= 2 then begin v := !v lsr 1; n := !n + 1 end;
+  !n + !v
+
+let approx (n : t) =
+  let len = Array.length n in
+  if len = 0 then invalid_arg "Bignat.approx: zero";
+  let v, base =
+    if len = 1 then (n.(0), 0)
+    else ((n.(len - 1) lsl base_bits) lor n.(len - 2), (len - 2) * base_bits)
+  in
+  let bv = bits_native v in
+  let e = base + bv - 29 in
+  if bv >= 29 then (v lsr (bv - 29), e) else (v lsl (29 - bv), e)
+
 let shift_left (n : t) k =
   if k < 0 then invalid_arg "Bignat.shift_left: negative shift";
   if is_zero n || k = 0 then n

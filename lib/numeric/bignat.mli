@@ -32,6 +32,17 @@ val is_one : t -> bool
 val equal : t -> t -> bool
 val compare : t -> t -> int
 
+(** [bits_native v] is the bit length of a non-negative native value
+    ([bits_native 0 = 0]) via a constant six-step branch tree. *)
+val bits_native : int -> int
+
+(** [approx n] is a 29-bit mantissa bracket [(mant, e)] of a non-zero
+    [n]: [2^28 <= mant < 2^29] and [mant·2^e <= n < (mant+1)·2^e],
+    where the exponent is interpreted symbolically (it is negative for
+    values below [2^28]).  O(1) — reads only the top two limbs.
+    @raise Invalid_argument on {!zero}. *)
+val approx : t -> int * int
+
 (** [hash n] folds explicitly over the canonical limb sequence, so
     [equal a b] implies [hash a = hash b] and the hash never depends on
     [Hashtbl.hash]'s representation traversal (or its size limits). *)

@@ -57,32 +57,100 @@ let equal a b =
   guard "Rational.equal" b;
   Bigint.equal a.num b.num && Bigint.equal a.den b.den
 
-let compare a b =
-  guard "Rational.compare" a;
-  guard "Rational.compare" b;
-  (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den  (dens > 0),
-     but first take the exits that avoid the cross products: differing
-     signs, a shared denominator, and (for multi-limb operands) bit
-     lengths far enough apart that the product comparison is decided. *)
-  let sa = sign a and sb = sign b in
+(* Interval filter for the cross products |na·db| vs |nb·da|: each
+   factor's 29-bit mantissa bracket (Bigint.approx) bounds the product
+   inside [m·m', (m+1)(m'+1)) · 2^E with mantissa products below 2^58,
+   so after aligning exponents (a difference of three or more decides
+   outright; smaller shifts keep everything under 2^61) the comparison
+   is a few native shifts — no Bigint.mul, no allocation.  Returns the
+   comparison of the magnitudes, or 0 when the intervals overlap (which
+   for reduced operands essentially means the products are equal). *)
+let cross_magnitude_filter na da nb db =
+  let man, ean = Bigint.approx na and mad, ead = Bigint.approx da in
+  let mbn, ebn = Bigint.approx nb and mbd, ebd = Bigint.approx db in
+  let lo_a = man * mbd and hi_a = (man + 1) * (mbd + 1) in
+  let lo_b = mbn * mad and hi_b = (mbn + 1) * (mad + 1) in
+  let ea = ean + ebd and eb = ebn + ead in
+  if ea >= eb then begin
+    let s = ea - eb in
+    if s >= 3 then 1
+    else if lo_a lsl s >= hi_b then 1
+    else if hi_a lsl s <= lo_b then -1
+    else 0
+  end
+  else begin
+    let s = eb - ea in
+    if s >= 3 then -1
+    else if lo_b lsl s >= hi_a then -1
+    else if hi_b lsl s <= lo_a then 1
+    else 0
+  end
+
+(* [cross_compare na da nb db] is the sign of na/da - nb/db for
+   positive denominators, with no lowest-terms assumption (the fused
+   sum comparison feeds unreduced fractions through here).  Exits in
+   order of cost: signs, shared denominator, shared numerator, native
+   cross products, the O(1) limb-size filter, the mantissa interval
+   filter, and only then the exact cross multiply — with the
+   denominators' common factor cancelled first so the products are as
+   small as the inputs allow. *)
+let cross_compare na da nb db =
+  let sa = Bigint.sign na and sb = Bigint.sign nb in
   if sa <> sb then Int.compare sa sb
   else if sa = 0 then 0
-  else if Bigint.equal a.den b.den then Bigint.compare a.num b.num
+  else if Bigint.equal da db then Bigint.compare na nb
+  else if Bigint.equal na nb then
+    (* Same (nonzero) numerator: the smaller denominator wins the
+       magnitude, and the sign flips the answer. *)
+    if sa > 0 then Bigint.compare db da else Bigint.compare da db
   else if
-    Bigint.is_native a.num && Bigint.is_native a.den && Bigint.is_native b.num
-    && Bigint.is_native b.den
-  then Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+    Bigint.is_native na && Bigint.is_native da && Bigint.is_native nb && Bigint.is_native db
+  then Bigint.compare (Bigint.mul na db) (Bigint.mul nb da)
   else begin
     (* For |x| of limb size w, 2^(30(w-1)) <= |x| < 2^(30w): when one
        cross product's limb size is at least two below the other's, the
        smaller product cannot reach the larger's lower bound.  Limb
        sizes are O(1), so the filter costs nothing when it fails. *)
-    let wa = Bigint.size a.num + Bigint.size b.den in
-    let wb = Bigint.size b.num + Bigint.size a.den in
+    let wa = Bigint.size na + Bigint.size db in
+    let wb = Bigint.size nb + Bigint.size da in
     if wa + 1 < wb then -sa
     else if wb + 1 < wa then sa
-    else Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+    else begin
+      let f = cross_magnitude_filter na da nb db in
+      if f <> 0 then sa * f
+      else begin
+        let g = Bigint.gcd da db in
+        if Bigint.equal g Bigint.one then
+          Bigint.compare (Bigint.mul na db) (Bigint.mul nb da)
+        else Bigint.compare (Bigint.mul na (Bigint.div db g)) (Bigint.mul nb (Bigint.div da g))
+      end
+    end
   end
+
+let compare_unguarded a b = cross_compare a.num a.den b.num b.den
+
+let compare a b =
+  guard "Rational.compare" a;
+  guard "Rational.compare" b;
+  compare_unguarded a b
+
+(* [compare_sum a b c] decides a + b ⋚ c without materialising the sum:
+   the unreduced numerator/denominator of a + b feed the same staged
+   cross comparison [compare] uses, skipping the gcd normalisation and
+   rational allocation of [add].  This is the Nash-inequality kernel —
+   "load + weight ⋚ latency·capacity" is exactly this shape. *)
+let compare_sum a b c =
+  guard "Rational.compare_sum" a;
+  guard "Rational.compare_sum" b;
+  guard "Rational.compare_sum" c;
+  if Bigint.is_zero a.num then cross_compare b.num b.den c.num c.den
+  else if Bigint.is_zero b.num then cross_compare a.num a.den c.num c.den
+  else if Bigint.equal a.den b.den then
+    cross_compare (Bigint.add a.num b.num) a.den c.num c.den
+  else
+    cross_compare
+      (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
+      (Bigint.mul a.den b.den) c.num c.den
 
 (* Composed from [Bigint.hash] on the canonical (num, den) pair, so the
    law [equal a b => hash a = hash b] holds across the small/big
@@ -160,8 +228,18 @@ let div a b = mul a (inv b)
 let sub_mul a b c =
   if Bigint.is_zero b.num || Bigint.is_zero c.num then a else sub a (mul b c)
 
-let min a b = if compare a b <= 0 then a else b
-let max a b = if compare a b >= 0 then a else b
+(* Each operand is validated exactly once at the entry point; the
+   underlying comparison runs unguarded so chained min/max folds do not
+   pay the sanitizer twice per element. *)
+let min a b =
+  guard "Rational.min" a;
+  guard "Rational.min" b;
+  if compare_unguarded a b <= 0 then a else b
+
+let max a b =
+  guard "Rational.max" a;
+  guard "Rational.max" b;
+  if compare_unguarded a b >= 0 then a else b
 
 let sum qs = List.fold_left add zero qs
 let sum_array qs = Array.fold_left add zero qs
@@ -232,7 +310,26 @@ let ( - ) = sub
 let ( * ) = mul
 let ( / ) = div
 let ( = ) = equal
-let ( < ) a b = compare a b < 0
-let ( <= ) a b = compare a b <= 0
-let ( > ) a b = compare a b > 0
-let ( >= ) a b = compare a b >= 0
+
+(* The comparison operators guard each operand once and then run the
+   unguarded comparison — same entry-point validation as [compare],
+   without stacking a second guard pass per chained use. *)
+let ( < ) a b =
+  guard "Rational.(<)" a;
+  guard "Rational.(<)" b;
+  compare_unguarded a b < 0
+
+let ( <= ) a b =
+  guard "Rational.(<=)" a;
+  guard "Rational.(<=)" b;
+  compare_unguarded a b <= 0
+
+let ( > ) a b =
+  guard "Rational.(>)" a;
+  guard "Rational.(>)" b;
+  compare_unguarded a b > 0
+
+let ( >= ) a b =
+  guard "Rational.(>=)" a;
+  guard "Rational.(>=)" b;
+  compare_unguarded a b >= 0

@@ -42,6 +42,15 @@ val sign : t -> int
 val equal : t -> t -> bool
 val compare : t -> t -> int
 
+(** [compare_sum a b c] is [compare (add a b) c] computed without
+    materialising the sum: the unreduced numerator and denominator of
+    [a + b] are compared against [c] through the same staged filters as
+    {!compare} (sign, shared denominator, native cross products,
+    limb-size and mantissa-interval prefilters), so the hot Nash
+    inequality [load + weight ⋚ latency·capacity] costs no gcd
+    normalisation and no rational allocation. *)
+val compare_sum : t -> t -> t -> int
+
 (** [hash q] is derived from {!Bigint.hash} on the canonical
     [(num, den)] pair, so [equal a b] implies [hash a = hash b]
     regardless of how either value was computed. *)

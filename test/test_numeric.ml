@@ -520,6 +520,158 @@ let hash_law_properties =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Fused sum comparison: compare_sum must agree with the materialised
+   [compare (add a b) c] on every magnitude mix — both operands native,
+   both multi-limb, and the Small/Big straddles where the unreduced
+   cross products promote mid-computation. *)
+
+let pow10_25 = Bigint.of_string "10000000000000000000000000"
+
+(* Signed integers across four magnitude regimes: small natives, the
+   62/63-bit promotion boundary, and 25+-digit multi-limb values. *)
+let mixed_bigint_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map Bigint.of_int int_gen;
+        map (fun k -> Bigint.of_int (max_int - k)) (int_bound 1000);
+        map (fun k -> Bigint.of_int (-max_int + k)) (int_bound 1000);
+        map2
+          (fun a b -> Bigint.add (Bigint.mul (Bigint.of_int a) pow10_25) (Bigint.of_int b))
+          int_gen (int_bound 1_000_000);
+      ])
+
+let mixed_q_gen =
+  QCheck2.Gen.(
+    map2
+      (fun n d ->
+        let d = if Bigint.is_zero d then Bigint.one else d in
+        Rational.make n d)
+      mixed_bigint_gen mixed_bigint_gen)
+
+let compare_sum_properties =
+  [
+    prop "compare_sum agrees with materialised sum" ~count:600
+      QCheck2.Gen.(triple mixed_q_gen mixed_q_gen mixed_q_gen)
+      (fun (a, b, c) ->
+        compare (Rational.compare_sum a b c) 0
+        = compare (Rational.compare (Rational.add a b) c) 0);
+    prop "compare_sum detects exact equality" ~count:300
+      QCheck2.Gen.(pair mixed_q_gen mixed_q_gen)
+      (fun (a, b) -> Rational.compare_sum a b (Rational.add a b) = 0);
+    prop "compare_sum with shared denominators" ~count:300
+      QCheck2.Gen.(triple mixed_bigint_gen mixed_bigint_gen mixed_bigint_gen)
+      (fun (na, nb, nc) ->
+        (* All three over the same (multi-limb) denominator: hits the
+           same-den Bigint.add shortcut inside compare_sum. *)
+        let d = Bigint.add pow10_25 Bigint.one in
+        let a = Rational.make na d and b = Rational.make nb d and c = Rational.make nc d in
+        compare (Rational.compare_sum a b c) 0
+        = compare (Rational.compare (Rational.add a b) c) 0);
+    prop "compare_sum zero shortcuts" ~count:300
+      QCheck2.Gen.(pair mixed_q_gen mixed_q_gen)
+      (fun (b, c) ->
+        Rational.compare_sum Rational.zero b c = Rational.compare b c
+        && Rational.compare_sum b Rational.zero c = Rational.compare b c);
+  ]
+
+let test_compare_sum_units () =
+  Alcotest.(check int) "1/3 + 1/6 = 1/2" 0 (Rational.compare_sum (q 1 3) (q 1 6) (q 1 2));
+  Alcotest.(check bool) "1/3 + 1/7 < 1/2" true (Rational.compare_sum (q 1 3) (q 1 7) (q 1 2) < 0);
+  Alcotest.(check bool) "1/3 + 1/5 > 1/2" true (Rational.compare_sum (q 1 3) (q 1 5) (q 1 2) > 0);
+  Alcotest.(check bool) "negative operands" true
+    (Rational.compare_sum (q (-1) 2) (q 1 3) Rational.zero < 0);
+  (* Multi-limb: the unreduced cross products are far beyond native. *)
+  let big = Rational.of_bigint (Bigint.add pow10_25 Bigint.one) in
+  Alcotest.(check int) "big + 1 = big + 1" 0
+    (Rational.compare_sum big Rational.one (Rational.add big Rational.one));
+  Alcotest.(check bool) "big + 1 > big" true (Rational.compare_sum big Rational.one big > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Large-magnitude compare: differential pin against the seed tower.
+   The staged filters (limb count, leading-limb mantissa interval,
+   gcd-shrunk cross multiply) must return the same sign as the seed's
+   plain cross multiplication on the bench's "large" regime (25-digit
+   numerators and denominators) and on adversarial near-equal pairs
+   that defeat the mantissa filter. *)
+
+let random_digits rng k =
+  String.init k (fun i ->
+      let d = if i = 0 then 1 + Prng.Rng.int rng 9 else Prng.Rng.int rng 10 in
+      Char.chr (Char.code '0' + d))
+
+let check_compare_pair sa sb =
+  let live = compare (Rational.compare (Rational.of_string sa) (Rational.of_string sb)) 0 in
+  let seed = compare (Reference.Q.compare (Reference.Q.of_string sa) (Reference.Q.of_string sb)) 0 in
+  if live <> seed then
+    Alcotest.failf "compare diverged from reference on %s vs %s: live=%d seed=%d" sa sb live seed
+
+let test_rational_compare_large_vs_reference () =
+  let rng = Prng.Rng.create 0xC0417A4E in
+  let operand () =
+    let sign = if Prng.Rng.bool rng then "" else "-" in
+    let ndig = Prng.Rng.int_in rng 20 30 and ddig = Prng.Rng.int_in rng 20 30 in
+    sign ^ random_digits rng ndig ^ "/" ^ random_digits rng ddig
+  in
+  for _ = 1 to 2_000 do
+    check_compare_pair (operand ()) (operand ())
+  done;
+  (* Adversarial near-equal pairs: b = a scaled by (t ± 1)/t for a huge
+     t, so the 29-bit mantissa interval filter cannot decide and the
+     exact gcd-shrunk cross multiply must give the verdict. *)
+  for _ = 1 to 500 do
+    let n = random_digits rng 25 and d = random_digits rng 25 in
+    let t = random_digits rng 20 in
+    let num = Bigint.of_string n and den = Bigint.of_string d and tb = Bigint.of_string t in
+    let bump = if Prng.Rng.bool rng then Bigint.one else Bigint.of_int (-1) in
+    let a_str = n ^ "/" ^ d in
+    let b_num = Bigint.mul num (Bigint.add tb bump) in
+    let b_den = Bigint.mul den tb in
+    let b_str = Bigint.to_string b_num ^ "/" ^ Bigint.to_string b_den in
+    check_compare_pair a_str b_str;
+    check_compare_pair a_str a_str
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Small/Big promotion boundary, per-op against the seed tower.  Every
+   operand sits within ~1500 of a representation cliff (±max_int, ±2^62,
+   2^61, 2^30) so add/sub/mul/compare exercise promotion, demotion and
+   the mixed Small×Big paths; each individual result must render to the
+   seed tower's decimal string. *)
+
+let test_bigint_boundary_ops_vs_reference () =
+  let rng = Prng.Rng.create 0xB04DD4 in
+  let two_62 = Bigint.add (Bigint.of_int max_int) Bigint.one in
+  let center () =
+    match Prng.Rng.int rng 7 with
+    | 0 -> Bigint.of_int max_int
+    | 1 -> Bigint.of_int min_int
+    | 2 -> two_62
+    | 3 -> Bigint.neg two_62
+    | 4 -> Bigint.of_int (1 lsl 61)
+    | 5 -> Bigint.of_int (1 lsl 30)
+    | _ -> Bigint.zero
+  in
+  let operand () =
+    Bigint.to_string (Bigint.add (center ()) (Bigint.of_int (Prng.Rng.int_in rng (-1500) 1500)))
+  in
+  let check_op op sa sb fast slow =
+    let f = Bigint.to_string fast and s = Reference.Int.to_string slow in
+    if not (String.equal f s) then
+      Alcotest.failf "bigint %s diverged at the boundary on %s, %s: fast=%s seed=%s" op sa sb f s
+  in
+  for _ = 1 to 5_000 do
+    let sa = operand () and sb = operand () in
+    let a = Bigint.of_string sa and b = Bigint.of_string sb in
+    let ra = Reference.Int.of_string sa and rb = Reference.Int.of_string sb in
+    check_op "add" sa sb (Bigint.add a b) (Reference.Int.add ra rb);
+    check_op "sub" sa sb (Bigint.sub a b) (Reference.Int.sub ra rb);
+    check_op "mul" sa sb (Bigint.mul a b) (Reference.Int.mul ra rb);
+    if compare (Bigint.compare a b) 0 <> compare (Reference.Int.compare ra rb) 0 then
+      Alcotest.failf "bigint compare diverged at the boundary on %s vs %s" sa sb
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Normal-form sanitizer (SELFISH_SANITIZE).  Forge malformed values
    through the unsafe_* test hooks and check the guarded entry points
    reject them when the sanitizer is enabled. *)
@@ -564,6 +716,32 @@ let test_sanitize_rational () =
   with_sanitizer (fun () ->
       Alcotest.check check_q "clean value unaffected" (q 5 6) (Rational.add (q 1 2) (q 1 3)))
 
+let test_sanitize_hoisted_entry_points () =
+  (* min/max, the comparison operators and compare_sum hoist their
+     guards to the entry point and run unguarded comparisons inside;
+     forged operands must still be caught on the way in, whichever
+     argument position they take. *)
+  let non_reduced = Rational.unsafe_of_parts (bi 2) (bi 4) in
+  let neg_den = Rational.unsafe_of_parts (bi 1) (bi (-3)) in
+  rejects "min left" (fun () -> Rational.min non_reduced (q 1 3));
+  rejects "min right" (fun () -> Rational.min (q 1 3) neg_den);
+  rejects "max left" (fun () -> Rational.max neg_den (q 1 3));
+  rejects "max right" (fun () -> Rational.max (q 1 3) non_reduced);
+  rejects "(<) left" (fun () -> Rational.( < ) non_reduced (q 1 3));
+  rejects "(<=) right" (fun () -> Rational.( <= ) (q 1 3) non_reduced);
+  rejects "(>) left" (fun () -> Rational.( > ) neg_den (q 1 3));
+  rejects "(>=) right" (fun () -> Rational.( >= ) (q 1 3) neg_den);
+  rejects "compare_sum first" (fun () -> Rational.compare_sum non_reduced (q 1 3) (q 1 2));
+  rejects "compare_sum second" (fun () -> Rational.compare_sum (q 1 3) neg_den (q 1 2));
+  rejects "compare_sum third" (fun () -> Rational.compare_sum (q 1 3) (q 1 2) non_reduced);
+  (* compare_sum's zero shortcut must not bypass the guards. *)
+  rejects "compare_sum zero shortcut" (fun () ->
+      Rational.compare_sum Rational.zero (q 1 3) neg_den);
+  with_sanitizer (fun () ->
+      Alcotest.(check int) "clean compare_sum unaffected" 0
+        (Rational.compare_sum (q 1 3) (q 1 6) (q 1 2));
+      Alcotest.check check_q "clean min unaffected" (q 1 3) (Rational.min (q 1 3) (q 1 2)))
+
 let test_sanitize_disabled_by_default () =
   (* With the sanitizer off (the default), the unsafe hooks do not
      trip assertions: operations run on the forged value as-is. *)
@@ -596,12 +774,16 @@ let suite =
     ("rational decimal rendering", `Quick, test_rational_decimal);
     ("qvec operations", `Quick, test_qvec);
     ("bignat 62/63-bit boundary", `Quick, test_bignat_int_boundary);
+    ("compare_sum units", `Quick, test_compare_sum_units);
+    ("rational compare large vs reference", `Quick, test_rational_compare_large_vs_reference);
+    ("bigint boundary ops vs reference", `Quick, test_bigint_boundary_ops_vs_reference);
     ("rational string round-trip fuzz", `Quick, test_rational_string_roundtrip_fuzz);
     ("of_float_dyadic specials", `Quick, test_of_float_dyadic_special);
     ("of_float_dyadic fuzz", `Quick, test_of_float_dyadic_fuzz);
     ("sanitizer rejects malformed bignat", `Quick, test_sanitize_bignat);
     ("sanitizer rejects malformed bigint", `Quick, test_sanitize_bigint);
     ("sanitizer rejects malformed rational", `Quick, test_sanitize_rational);
+    ("sanitizer guards hoisted entry points", `Quick, test_sanitize_hoisted_entry_points);
     ("sanitizer off by default", `Quick, test_sanitize_disabled_by_default);
   ]
 
@@ -609,5 +791,6 @@ let () =
   Alcotest.run "numeric"
     [
       ("unit", suite);
-      ("properties", numeric_properties @ boundary_properties @ hash_law_properties);
+      ("properties",
+       numeric_properties @ boundary_properties @ hash_law_properties @ compare_sum_properties);
     ]

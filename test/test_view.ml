@@ -224,6 +224,141 @@ let test_sweep_matches_iter_profiles () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Two-lane agreement: the packed native-int lane and the exact
+   big-rational lane must produce identical predicates and
+   proportionally identical quantities.  Scaling every weight by 2^100
+   leaves all equilibrium predicates invariant (latencies scale
+   uniformly) but blows the packing bound, so the same instance can be
+   evaluated on both lanes and compared. *)
+
+let test_packed_lane_agreement () =
+  let rng = Rng.create 0x9ACED in
+  let k = Rational.of_bigint (Bigint.pow (Bigint.of_int 2) 100) in
+  let packed_games = ref 0 in
+  for _ = 1 to 150 do
+    let g = random_game rng in
+    match Game.packed_tables g with
+    | None -> ()
+    | Some _ ->
+      incr packed_games;
+      let n = Game.users g and m = Game.links g in
+      let weights = Array.map (Rational.mul k) (Game.weights g) in
+      let gx = Game.of_capacities ~weights (Game.capacity_matrix g) in
+      for _ = 1 to 12 do
+        let p = Array.init n (fun _ -> Rng.int rng m) in
+        let v = View.of_profile g p and vx = View.of_profile gx p in
+        if not (View.packed v) then Alcotest.fail "packable game built an exact view";
+        if View.packed vx then Alcotest.fail "2^100-scaled game packed anyway";
+        if View.is_nash v <> View.is_nash vx then Alcotest.fail "is_nash diverged across lanes";
+        if View.defectors v <> View.defectors vx then
+          Alcotest.fail "defectors diverged across lanes";
+        for l = 0 to m - 1 do
+          if not (Rational.equal (Rational.mul k (View.load v l)) (View.load vx l)) then
+            Alcotest.failf "load(%d) not k-scaled across lanes" l
+        done;
+        for i = 0 to n - 1 do
+          if View.improving_moves v i <> View.improving_moves vx i then
+            Alcotest.failf "improving_moves(%d) diverged across lanes" i;
+          let bl, blat = View.best_response_for v i in
+          let xl, xlat = View.best_response_for vx i in
+          if bl <> xl then Alcotest.failf "best_response_for(%d) link diverged across lanes" i;
+          if not (Rational.equal (Rational.mul k blat) xlat) then
+            Alcotest.failf "best_response_for(%d) latency not k-scaled" i;
+          if not (Rational.equal (Rational.mul k (View.latency v i)) (View.latency vx i)) then
+            Alcotest.failf "latency(%d) not k-scaled across lanes" i
+        done
+      done
+  done;
+  if !packed_games < 50 then
+    Alcotest.failf "only %d of 150 random games packed (wanted >= 50)" !packed_games
+
+let test_initial_spill_falls_back_exactly () =
+  (* A packable game whose initial traffic cannot be rescaled into the
+     native bound must spill to the exact lane and still agree with the
+     seed recompute. *)
+  let g =
+    Game.kp
+      ~weights:[| Rational.one; Rational.of_int 2; Rational.of_ints 1 2 |]
+      ~capacities:[| Rational.one; Rational.of_ints 3 2 |]
+  in
+  let tiny = Rational.make Bigint.one (Bigint.pow (Bigint.of_int 2) 100) in
+  let initial = [| tiny; Rational.zero |] in
+  let p = [| 0; 1; 0 |] in
+  let v = View.of_profile g ~initial p in
+  if View.packed v then Alcotest.fail "2^-100 initial traffic packed anyway";
+  check_state g ~initial v p;
+  check_predicates g ~initial v p;
+  (* The same profile without initial traffic packs. *)
+  if not (View.packed (View.of_profile g p)) then Alcotest.fail "plain KP instance did not pack"
+
+(* ------------------------------------------------------------------ *)
+(* Parallel fold: sharded odometer folds must be bit-identical to the
+   serial sweep for first-wins argmin reductions, at every domain
+   count (1 = serial path, 2 and 5 = sharded; 5 typically exceeds the
+   profile count of the smallest instances, exercising empty shards). *)
+
+let test_fold_domains_bit_identity () =
+  let rng = Rng.create 0xF01D in
+  let argmin_fold ?initial ~domains g =
+    View.fold ~domains ?initial g ~init:None
+      ~f:(fun acc v ->
+        let c = View.social_cost1 v in
+        match acc with
+        | Some (b, _) when Rational.compare b c <= 0 -> acc
+        | _ -> Some (c, View.profile v))
+      ~combine:(fun a b ->
+        match a, b with
+        | None, x | x, None -> x
+        | Some (va, _), Some (vb, _) -> if Rational.compare va vb <= 0 then a else b)
+  in
+  for _ = 1 to 30 do
+    let g = random_game rng in
+    let initial = random_initial rng (Game.links g) in
+    let count_serial =
+      View.fold ?initial g ~init:0 ~f:(fun acc _ -> acc + 1) ~combine:( + )
+    in
+    (match Social.profile_count g with
+     | Some c -> Alcotest.(check int) "fold visits every profile" c count_serial
+     | None -> ());
+    match argmin_fold ?initial ~domains:1 g with
+    | None -> Alcotest.fail "serial fold on a non-empty game returned no argmin"
+    | Some (vs, ps) ->
+      List.iter
+        (fun domains ->
+          let count =
+            View.fold ~domains ?initial g ~init:0 ~f:(fun acc _ -> acc + 1) ~combine:( + )
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "profile count at %d domains" domains)
+            count_serial count;
+          match argmin_fold ?initial ~domains g with
+          | None -> Alcotest.failf "fold at %d domains returned no argmin" domains
+          | Some (vp, pp) ->
+            if not (Rational.equal vs vp) then
+              Alcotest.failf "argmin value diverged at %d domains" domains;
+            if not (Pure.equal ps pp) then
+              Alcotest.failf "argmin profile diverged at %d domains (first-wins broken)" domains)
+        [ 2; 5 ]
+  done
+
+let test_social_opt_domains_bit_identity () =
+  let rng = Rng.create 0x50C1A1 in
+  for _ = 1 to 15 do
+    let g = random_game rng in
+    let c1, p1 = Social.opt1 g in
+    let c2, p2 = Social.opt2 g in
+    List.iter
+      (fun domains ->
+        let c1', p1' = Social.opt1 ~domains g in
+        let c2', p2' = Social.opt2 ~domains g in
+        if not (Rational.equal c1 c1' && Pure.equal p1 p1') then
+          Alcotest.failf "opt1 diverged at %d domains" domains;
+        if not (Rational.equal c2 c2' && Pure.equal p2 p2') then
+          Alcotest.failf "opt2 diverged at %d domains" domains)
+      [ 2; 5 ]
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Guard rails                                                         *)
 
 let test_validation () =
@@ -256,6 +391,10 @@ let () =
         [
           ("move/undo vs seed recompute", `Quick, test_move_undo_differential);
           ("sweep matches iter_profiles", `Quick, test_sweep_matches_iter_profiles);
+          ("packed and exact lanes agree", `Quick, test_packed_lane_agreement);
+          ("initial-traffic spill stays exact", `Quick, test_initial_spill_falls_back_exactly);
+          ("fold is domain-count invariant", `Quick, test_fold_domains_bit_identity);
+          ("opt1/opt2 are domain-count invariant", `Quick, test_social_opt_domains_bit_identity);
           ("validation and empty-history errors", `Quick, test_validation);
         ] );
     ]
