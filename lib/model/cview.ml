@@ -28,6 +28,7 @@ type t = {
   lane : lane;
   mutable hist : int array;
   mutable depth : int;
+  mutable owner : int; (* creating domain id, for SELFISH_OWNERSHIP *)
 }
 
 let game v = v.game
@@ -92,10 +93,19 @@ let of_profile g ?initial x =
         x;
       Exact loads
   in
-  { game = g; assign = Array.map Array.copy x; lane; hist = Array.make 32 0; depth = 0 }
+  {
+    game = g;
+    assign = Array.map Array.copy x;
+    lane;
+    hist = Array.make 32 0;
+    depth = 0;
+    owner = Parallel.Ownership.record ();
+  }
 
 let assigned v c l = v.assign.(c).(l)
 let profile v = Array.map Array.copy v.assign
+let owner v = v.owner
+let unsafe_set_owner v id = v.owner <- id
 
 let load v l =
   match v.lane with
@@ -141,11 +151,13 @@ let move v ~cls ~src ~dst ~count =
   if count < 0 then invalid_arg "Cview.move: negative count";
   if count > v.assign.(cls).(src) && src <> dst then
     invalid_arg "Cview.move: not enough users of the class on the source link";
+  Parallel.Ownership.guard "Cview cursor" v.owner;
   push v (((cls * m) + src) * m + dst) count;
   shift v cls src dst count
 
 let undo v =
   if v.depth = 0 then invalid_arg "Cview.undo: empty history";
+  Parallel.Ownership.guard "Cview cursor" v.owner;
   v.depth <- v.depth - 1;
   let meta = v.hist.(2 * v.depth) and count = v.hist.((2 * v.depth) + 1) in
   let m = links v in

@@ -41,6 +41,16 @@ val assigned : t -> int -> int -> int
 (** [profile v] is a snapshot copy of the current class profile. *)
 val profile : t -> Cgame.profile
 
+(** [owner v] is the creating domain's id as recorded for the
+    [SELFISH_OWNERSHIP] sanitizer ({!Parallel.Ownership}); {!move} and
+    {!undo} raise {!Parallel.Ownership.Violation} under the sanitizer
+    when called from another domain. *)
+val owner : t -> int
+
+(** [unsafe_set_owner v id] rewrites the recorded owner.  Test-only
+    forgery hook; never call it in library code. *)
+val unsafe_set_owner : t -> int -> unit
+
 (** [load v l] is the current total traffic on link [l]. O(1). *)
 val load : t -> int -> Numeric.Rational.t
 

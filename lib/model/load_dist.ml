@@ -70,20 +70,40 @@ let class_splits ~links:m ~count ~weight ~(row : Qvec.t) =
 
 let limit_message = "Load_dist.of_mixed: distinct load states exceed the limit"
 
-(* Fold one state's outgoing splits into an accumulator table.  A
+(* DP accumulator: the layer table plus the id of the domain that owns
+   it, so the SELFISH_OWNERSHIP sanitizer can assert every mutation
+   happens on the creating domain (worker shards build private steps;
+   the merge below writes only into a fresh caller-owned step). *)
+type step = { tbl : Rational.t Tbl.t; owner : int }
+
+let fresh_step size = { tbl = Tbl.create size; owner = Parallel.Ownership.record () }
+
+(* Fold one state's outgoing splits into an accumulator step.  A
    negative limit disables the per-insert check (used by the parallel
    shards, which bound the merged table instead). *)
 let expand_into ~limit next splits loads prob =
+  Parallel.Ownership.guard "Load_dist table" next.owner;
   List.iter
     (fun (delta, mass) ->
       let loads' = Qvec.add loads delta in
       let contribution = Rational.mul prob mass in
-      match Tbl.find_opt next loads' with
-      | Some q -> Tbl.replace next loads' (Rational.add q contribution)
+      match Tbl.find_opt next.tbl loads' with
+      | Some q -> Tbl.replace next.tbl loads' (Rational.add q contribution)
       | None ->
-        if limit >= 0 && Tbl.length next >= limit then invalid_arg limit_message;
-        Tbl.add next loads' contribution)
+        if limit >= 0 && Tbl.length next.tbl >= limit then invalid_arg limit_message;
+        Tbl.add next.tbl loads' contribution)
     splits
+
+(* Add every (state, probability) of [local] into [merged]; exact
+   rational addition makes the result independent of merge order. *)
+let merge_into merged local =
+  Parallel.Ownership.guard "Load_dist table" merged.owner;
+  Tbl.iter
+    (fun loads' contribution ->
+      match Tbl.find_opt merged.tbl loads' with
+      | Some q -> Tbl.replace merged.tbl loads' (Rational.add q contribution)
+      | None -> Tbl.add merged.tbl loads' contribution)
+    local.tbl
 
 (* One DP layer: fold a class's splits into every accumulated state,
    merging states that land on the same load vector.
@@ -96,41 +116,38 @@ let expand_into ~limit next splits loads prob =
    accumulation order — sharding is observable only through speed.
    The state limit then applies to the merged layer size (the same
    "distinct states > limit" condition the serial path enforces). *)
-let apply ?(domains = 1) ~limit table splits =
-  let k = Tbl.length table in
+let apply ?(domains = 1) ~limit step splits =
+  let k = Tbl.length step.tbl in
   if domains <= 1 || k < 256 then begin
-    let next = Tbl.create (2 * k) in
-    Tbl.iter (expand_into ~limit next splits) table;
+    let next = fresh_step (2 * k) in
+    Tbl.iter (expand_into ~limit next splits) step.tbl;
     next
   end
   else begin
-    let states = Array.of_seq (Tbl.to_seq table) in
+    let states = Array.of_seq (Tbl.to_seq step.tbl) in
     let workers = min domains k in
     let per = k / workers and extra = k mod workers in
     let shard w =
       let lo = (w * per) + Stdlib.min w extra in
       let size = per + if w < extra then 1 else 0 in
-      let local = Tbl.create (2 * size) in
+      let local = fresh_step (2 * size) in
       for j = lo to lo + size - 1 do
         let loads, prob = states.(j) in
         expand_into ~limit:(-1) local splits loads prob
       done;
       local
     in
-    match Parallel.map ~domains:workers shard (List.init workers Fun.id) with
-    | [] -> assert false
-    | first :: rest ->
-      List.iter
-        (fun local ->
-          Tbl.iter
-            (fun loads' contribution ->
-              match Tbl.find_opt first loads' with
-              | Some q -> Tbl.replace first loads' (Rational.add q contribution)
-              | None -> Tbl.add first loads' contribution)
-            local)
-        rest;
-      if Tbl.length first > limit then invalid_arg limit_message;
-      first
+    let locals = Parallel.map ~domains:workers shard (List.init workers Fun.id) in
+    (* Worker-local tables are owned by the domains that built them, so
+       the merge never touches them: everything is re-added, in worker
+       order, to a fresh step owned by the calling domain.  Per-state
+       probabilities accumulate in the same order as before (shard 0
+       first), and rational addition is exact, so the merged layer is
+       bit-identical to the serial one. *)
+    let merged = fresh_step (2 * k) in
+    List.iter (merge_into merged) locals;
+    if Tbl.length merged.tbl > limit then invalid_arg limit_message;
+    merged
   end
 
 let of_mixed ?(limit = 1_000_000) ?domains g p =
@@ -138,13 +155,14 @@ let of_mixed ?(limit = 1_000_000) ?domains g p =
   if limit <= 0 then invalid_arg "Load_dist.of_mixed: limit must be positive";
   let m = Game.links g in
   let cls = classes_of g p in
-  let table = ref (Tbl.create 16) in
-  Tbl.add !table (Qvec.make m Rational.zero) Rational.one;
+  let step0 = fresh_step 16 in
+  Tbl.add step0.tbl (Qvec.make m Rational.zero) Rational.one;
+  let step = ref step0 in
   List.iter
     (fun (weight, row, count) ->
-      table := apply ?domains ~limit !table (class_splits ~links:m ~count ~weight ~row))
+      step := apply ?domains ~limit !step (class_splits ~links:m ~count ~weight ~row))
     cls;
-  { table = !table; links = m; classes = List.length cls }
+  { table = (!step).tbl; links = m; classes = List.length cls }
 
 let total_probability d =
   let acc = ref Rational.zero in

@@ -1,3 +1,5 @@
+module Ownership = Ownership
+
 let available_domains () = Domain.recommended_domain_count ()
 
 let check_domains domains =
@@ -6,7 +8,8 @@ let check_domains domains =
 (* Run [work w] for w in [0, workers) on separate domains and collect
    the results in worker order, re-raising the first failure. *)
 let fork_join ~workers work =
-  if workers <= 1 then [| work 0 |]
+  if workers <= 0 then invalid_arg "Parallel.fork_join: workers must be positive";
+  if workers = 1 then [| work 0 |]
   else begin
     let spawned = Array.init (workers - 1) (fun w -> Domain.spawn (fun () -> work (w + 1))) in
     (* Join every domain before re-raising, so no worker leaks when one

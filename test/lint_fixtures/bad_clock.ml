@@ -1,0 +1,5 @@
+(* Fixture: D4 violations — wall-clock reads outside bench/.  Parsed,
+   never compiled. *)
+let now () = Unix.gettimeofday ()
+let stamp () = Unix.time ()
+let cpu () = Sys.time ()

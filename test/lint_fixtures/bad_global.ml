@@ -1,0 +1,16 @@
+(* Fixture: D3 violations — top-level mutable state.  The local ref
+   inside a function and the never-written array are fine.  Parsed,
+   never compiled. *)
+let counter = ref 0
+let cache = Hashtbl.create 16
+let buf = Buffer.create 64
+let scratch = Array.make 8 0
+
+let bump () = scratch.(0) <- !counter
+
+let local_ok xs =
+  let acc = ref 0 in
+  List.iter (fun x -> acc := !acc + x) xs;
+  !acc
+
+let constant = Array.make 4 1

@@ -2,3 +2,6 @@
 let a () = Random.int 10
 let b () = Sys.time ()
 let c () = Unix.gettimeofday ()
+let d () = Unix.time ()
+let e () = Random.self_init ()
+let f () = Domain.self ()

@@ -1,0 +1,33 @@
+(* Fixture: clean parallel closures the D1 rule must NOT flag —
+   worker-local mutable state, read-only captures, shadowed names.
+   Parsed, never compiled. *)
+let local_table xs =
+  Parallel.map
+    (fun x ->
+      let tbl = Hashtbl.create 4 in
+      Hashtbl.replace tbl x x;
+      Hashtbl.length tbl)
+    xs
+
+let read_only_array xs =
+  let weights = Array.make 8 1 in
+  Parallel.map_array (fun x -> weights.(x)) xs
+
+let fresh_view g xs =
+  Parallel.map
+    (fun p ->
+      let v = View.of_profile g p in
+      View.is_nash v)
+    xs
+
+let shadowed xs =
+  let acc = ref 0 in
+  ignore !acc;
+  Parallel.map
+    (fun x ->
+      let acc = ref x in
+      incr acc;
+      !acc)
+    xs
+
+let reduce_local xs = Parallel.reduce ~neutral:0 ~combine:(fun a b -> a + b) (fun x -> x) xs

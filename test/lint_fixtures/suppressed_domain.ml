@@ -1,0 +1,7 @@
+(* Fixture: per-site suppression of D rules.  Parsed, never compiled. *)
+let gate = ref false (* lint: allow D3 *)
+
+(* lint: allow domain *)
+let flag = Atomic.make 0 (* lint: allow D3 *)
+
+let still_bad = ref 0

@@ -389,6 +389,40 @@ let test_csymmetric () =
     if not (Cview.is_nash v) then Alcotest.failf "trial %d: Csymmetric output is not Nash" trial
   done
 
+let test_ownership_guard () =
+  (* Cview mutators carry the same SELFISH_OWNERSHIP guard as View;
+     forge the owner to pin the Cview-specific failure message. *)
+  let module O = Parallel.Ownership in
+  let saved = !O.enabled in
+  O.enabled := true;
+  Fun.protect
+    ~finally:(fun () -> O.enabled := saved)
+    (fun () ->
+      let g =
+        Game.kp
+          ~weights:[| Rational.one; Rational.one; Rational.of_int 2 |]
+          ~capacities:[| Rational.one; Rational.of_int 2 |]
+      in
+      let cg, _ = Cgame.compress g in
+      let v = Cview.of_profile cg (Algo.Cbr.proportional_start cg) in
+      Alcotest.(check int) "owner is the creating domain" (O.self_id ()) (Cview.owner v);
+      (* Same-domain recorded no-op move passes. *)
+      Cview.move v ~cls:0 ~src:0 ~dst:0 ~count:0;
+      let expected =
+        O.Violation
+          (Printf.sprintf
+             "SELFISH_OWNERSHIP: Cview cursor created on domain 777 mutated from domain %d"
+             (O.self_id ()))
+      in
+      Cview.unsafe_set_owner v 777;
+      Alcotest.check_raises "foreign-domain move trips the guard" expected (fun () ->
+          Cview.move v ~cls:0 ~src:0 ~dst:0 ~count:0);
+      Alcotest.check_raises "foreign-domain undo trips the guard" expected (fun () ->
+          Cview.undo v);
+      Cview.unsafe_set_owner v (O.self_id ());
+      Cview.undo v;
+      Alcotest.(check int) "history balanced after guarded attempts" 0 (Cview.depth v))
+
 let () =
   Alcotest.run "cgame"
     [
@@ -410,4 +444,6 @@ let () =
           Alcotest.test_case "block best-response convergence" `Slow test_cbr_convergence;
           Alcotest.test_case "Csymmetric end to end" `Quick test_csymmetric;
         ] );
+      ( "ownership",
+        [ Alcotest.test_case "sanitizer guards Cview mutators" `Quick test_ownership_guard ] );
     ]

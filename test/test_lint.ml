@@ -1,15 +1,21 @@
-(* Tests for the exactness lint (tools/lint/lint_core).
+(* Tests for the exactness lint (tools/lint/lint_core) and the
+   domain-safety lint (tools/lint/domain_core).
 
    The fixtures under [lint_fixtures/] are tiny known-good/known-bad
    snippets that are parsed by the linter but never compiled (the
-   directory has no dune file).  We lint them with [all_rules] since
-   their paths do not match the repo scoping policy. *)
+   directory has no dune file).  Their paths do not match the repo
+   scoping policy, so each test passes the rules it wants explicitly:
+   R-fixture tests use [Lint_core.lint_file] with every rule (the R
+   pass ignores D rules), D-fixture tests use [Domain_core.lint_file]
+   with just the D rule under test, so R and D findings never mix. *)
 
 open Lint_core
 
 let fixture name = Filename.concat "lint_fixtures" name
 
 let lint name = lint_file ~rules:all_rules (fixture name)
+
+let dlint rules name = Domain_core.lint_file ~rules (fixture name)
 
 let unsuppressed fs = List.filter (fun f -> not f.suppressed) fs
 
@@ -33,9 +39,29 @@ let test_bad_float () =
     (lint "bad_float.ml")
 
 let test_bad_nondet () =
-  check_shapes "bad_nondet.ml: three R3 findings"
-    [ (2, "R3", false); (3, "R3", false); (4, "R3", false) ]
-    (lint "bad_nondet.ml")
+  check_shapes "bad_nondet.ml: six R3 findings"
+    [
+      (2, "R3", false);
+      (3, "R3", false);
+      (4, "R3", false);
+      (5, "R3", false);
+      (6, "R3", false);
+      (7, "R3", false);
+    ]
+    (lint "bad_nondet.ml");
+  (* The satellite identifiers added to R3 carry dedicated messages. *)
+  let messages = List.map (fun f -> f.message) (lint "bad_nondet.ml") in
+  Alcotest.(check bool) "Unix.time message" true
+    (List.exists
+       (fun m -> m = "Unix.time is nondeterministic; confine timing to bench/")
+       messages);
+  Alcotest.(check bool) "Domain.self message" true
+    (List.exists
+       (fun m ->
+         m
+         = "Domain.self depends on runtime scheduling; only lib/parallel may observe domain \
+            identity")
+       messages)
 
 let test_bad_io () =
   check_shapes "bad_io.ml: one R4 finding at the open_in"
@@ -56,6 +82,86 @@ let test_suppression () =
     Alcotest.(check int) "live finding line" 8 f.line;
     Alcotest.(check string) "live finding rule" "R2" (rule_id f.rule)
   | fs -> Alcotest.failf "expected exactly one live finding, got %d" (List.length fs)
+
+(* ---------------------------------------------------------------- *)
+(* Domain-safety rules (D1-D4, tools/lint/domain_core)               *)
+
+let find_message line findings =
+  match List.find_opt (fun f -> f.line = line) findings with
+  | Some f -> f.message
+  | None -> Alcotest.failf "no finding on line %d" line
+
+let test_bad_capture () =
+  let fs = dlint [ Capture ] "bad_capture.ml" in
+  check_shapes "bad_capture.ml: four D1 findings"
+    [ (5, "D1", false); (9, "D1", false); (13, "D1", false); (18, "D1", false) ]
+    fs;
+  Alcotest.(check string) "View-capture message"
+    "closure passed to Parallel.map captures 'v', bound outside the closure to a View cursor \
+     (mutable load state); shared mutable state races across domains — build it inside the \
+     worker instead"
+    (find_message 5 fs);
+  Alcotest.(check string) "captured-mutation message"
+    "closure passed to Parallel.map_array mutates captured 'tbl' (Hashtbl.replace); \
+     cross-domain writes race — accumulate into worker-local state and merge the results"
+    (find_message 9 fs);
+  (* Closures passed by name are resolved to their definition. *)
+  Alcotest.(check string) "named-closure message"
+    "closure passed to Parallel.map mutates captured 'acc' (ref assignment); cross-domain \
+     writes race — accumulate into worker-local state and merge the results"
+    (find_message 13 fs);
+  Alcotest.(check string) "Engine.sweep ~task message"
+    "closure passed to Engine.sweep mutates captured 'out' (array write); cross-domain writes \
+     race — accumulate into worker-local state and merge the results"
+    (find_message 18 fs)
+
+let test_bad_domain () =
+  let fs = dlint [ Domain_prim ] "bad_domain.ml" in
+  check_shapes "bad_domain.ml: four D2 findings"
+    [ (3, "D2", false); (4, "D2", false); (5, "D2", false); (6, "D2", false) ]
+    fs;
+  Alcotest.(check string) "D2 message names the primitive"
+    "raw Atomic primitive outside lib/parallel; route concurrency through the Parallel \
+     fork-join layer so determinism stays auditable"
+    (find_message 4 fs)
+
+let test_bad_global () =
+  let fs = dlint [ Top_mutable ] "bad_global.ml" in
+  (* The local ref inside [local_ok] and the never-written array
+     [constant] must not be flagged. *)
+  check_shapes "bad_global.ml: four D3 findings"
+    [ (4, "D3", false); (5, "D3", false); (6, "D3", false); (7, "D3", false) ]
+    fs;
+  Alcotest.(check string) "top-level-ref message"
+    "top-level mutable state (a ref cell) is shared by every domain; thread it through \
+     arguments, or allowlist this module if the sharing is the design"
+    (find_message 4 fs);
+  Alcotest.(check string) "mutated-array message"
+    "top-level binding of a fresh array that this module mutates is shared state across \
+     domains; thread it through arguments or allowlist this module"
+    (find_message 7 fs)
+
+let test_bad_clock () =
+  let fs = dlint [ Wall_clock ] "bad_clock.ml" in
+  check_shapes "bad_clock.ml: three D4 findings"
+    [ (3, "D4", false); (4, "D4", false); (5, "D4", false) ]
+    fs;
+  Alcotest.(check string) "D4 message"
+    "wall-clock read Unix.gettimeofday outside bench/; timing belongs to the benchmark harness"
+    (find_message 3 fs)
+
+let test_good_parallel () =
+  (* Worker-local tables, read-only captured arrays, fresh views built
+     inside the closure and shadowed names are all clean. *)
+  check_shapes "good_parallel.ml: no D1 findings" [] (dlint [ Capture ] "good_parallel.ml")
+
+let test_suppressed_domain () =
+  (* Same-line [D3] id, line-above [domain] mnemonic; the Atomic
+     binding draws both a D2 and a D3, each silenced by its own
+     comment; one live D3 at the end. *)
+  check_shapes "suppressed_domain.ml: three suppressed, one live"
+    [ (2, "D3", true); (5, "D3", true); (5, "D2", true); (7, "D3", false) ]
+    (dlint [ Domain_prim; Top_mutable ] "suppressed_domain.ml")
 
 let has r rules = List.mem r rules
 
@@ -98,7 +204,25 @@ let test_default_rules_scoping () =
   Alcotest.(check bool) "cview.ml: R1 on" true (has Poly cview);
   let combinat = default_rules "lib/numeric/combinat.ml" in
   Alcotest.(check bool) "combinat.ml: R1 on" true (has Poly combinat);
-  Alcotest.(check bool) "combinat.ml: R2 on" true (has Float_op combinat)
+  Alcotest.(check bool) "combinat.ml: R2 on" true (has Float_op combinat);
+  (* Domain-safety scoping: D2 is off only inside lib/parallel, D3
+     only applies under lib/, D4 is off only under bench/. *)
+  let parallel = default_rules "lib/parallel/parallel.ml" in
+  Alcotest.(check bool) "parallel: D1 on" true (has Capture parallel);
+  Alcotest.(check bool) "parallel: D2 off (the sanctioned module)" false
+    (has Domain_prim parallel);
+  Alcotest.(check bool) "parallel: D3 on" true (has Top_mutable parallel);
+  Alcotest.(check bool) "view.ml: D1 on" true (has Capture view);
+  Alcotest.(check bool) "view.ml: D2 on" true (has Domain_prim view);
+  Alcotest.(check bool) "view.ml: D3 on" true (has Top_mutable view);
+  Alcotest.(check bool) "view.ml: D4 on" true (has Wall_clock view);
+  let cli = default_rules "bin/selfish_routing.ml" in
+  Alcotest.(check bool) "bin: D1 on" true (has Capture cli);
+  Alcotest.(check bool) "bin: D2 on" true (has Domain_prim cli);
+  Alcotest.(check bool) "bin: D3 off (not a lib module)" false (has Top_mutable cli);
+  Alcotest.(check bool) "bin: D4 on" true (has Wall_clock cli);
+  Alcotest.(check bool) "bench: D4 off (timing lives here)" false (has Wall_clock bench);
+  Alcotest.(check bool) "bench: D2 on" true (has Domain_prim bench)
 
 let test_rule_of_string () =
   let rule_t : rule option Alcotest.testable =
@@ -113,6 +237,14 @@ let test_rule_of_string () =
   Alcotest.check rule_t "FLOAT" (Some Float_op) (rule_of_string "FLOAT");
   Alcotest.check rule_t "r3" (Some Nondet) (rule_of_string "r3");
   Alcotest.check rule_t "io" (Some Unprotected_io) (rule_of_string "io");
+  Alcotest.check rule_t "D1" (Some Capture) (rule_of_string "D1");
+  Alcotest.check rule_t "capture" (Some Capture) (rule_of_string "capture");
+  Alcotest.check rule_t "d2" (Some Domain_prim) (rule_of_string "d2");
+  Alcotest.check rule_t "domain" (Some Domain_prim) (rule_of_string "domain");
+  Alcotest.check rule_t "GLOBAL" (Some Top_mutable) (rule_of_string "GLOBAL");
+  Alcotest.check rule_t "d3" (Some Top_mutable) (rule_of_string "d3");
+  Alcotest.check rule_t "clock" (Some Wall_clock) (rule_of_string "clock");
+  Alcotest.check rule_t "d4" (Some Wall_clock) (rule_of_string "d4");
   Alcotest.check rule_t "bogus" None (rule_of_string "bogus")
 
 let test_allowlist_exact_path () =
@@ -121,7 +253,11 @@ let test_allowlist_exact_path () =
   Alcotest.(check int) "all R2 findings suppressed" 0 (List.length (unsuppressed fs));
   (* The same entry must not touch a different file. *)
   let other = apply_allowlist entries (lint "bad_nondet.ml") in
-  Alcotest.(check int) "bad_nondet untouched" 3 (List.length (unsuppressed other))
+  Alcotest.(check int) "bad_nondet untouched" 6 (List.length (unsuppressed other));
+  (* D findings go through the same allowlist machinery. *)
+  let d_entries = parse_allowlist "D3 lint_fixtures/bad_global.ml\n" in
+  let d_fs = apply_allowlist d_entries (dlint [ Top_mutable ] "bad_global.ml") in
+  Alcotest.(check int) "D3 entry suppresses bad_global" 0 (List.length (unsuppressed d_fs))
 
 let test_allowlist_wildcard_subtree () =
   let entries = parse_allowlist "# everything under the fixtures\n* lint_fixtures/\n" in
@@ -150,6 +286,15 @@ let () =
           Alcotest.test_case "bad_io" `Quick test_bad_io;
           Alcotest.test_case "good_clean" `Quick test_good_clean;
           Alcotest.test_case "suppression" `Quick test_suppression;
+        ] );
+      ( "domain-safety",
+        [
+          Alcotest.test_case "bad_capture" `Quick test_bad_capture;
+          Alcotest.test_case "bad_domain" `Quick test_bad_domain;
+          Alcotest.test_case "bad_global" `Quick test_bad_global;
+          Alcotest.test_case "bad_clock" `Quick test_bad_clock;
+          Alcotest.test_case "good_parallel" `Quick test_good_parallel;
+          Alcotest.test_case "suppressed_domain" `Quick test_suppressed_domain;
         ] );
       ( "policy",
         [

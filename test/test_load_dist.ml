@@ -321,6 +321,37 @@ let test_eval_is_nash_on_equilibria () =
   done;
   if !seen_nash = 0 then Alcotest.fail "no equilibrium profile was ever exercised"
 
+let test_ownership_guard () =
+  (* The DP accumulator records its owning domain; forging the owner
+     through Parallel.Ownership.unsafe_forge makes the very first
+     expansion step look like a cross-domain write, pinning the
+     Load_dist-specific violation message. *)
+  let module O = Parallel.Ownership in
+  let saved_enabled = !O.enabled and saved_forge = !O.unsafe_forge in
+  O.enabled := true;
+  Fun.protect
+    ~finally:(fun () ->
+      O.enabled := saved_enabled;
+      O.unsafe_forge := saved_forge)
+    (fun () ->
+      let g =
+        Game.kp
+          ~weights:[| Rational.one; Rational.of_int 2 |]
+          ~capacities:[| Rational.one; Rational.one |]
+      in
+      let half = Rational.of_ints 1 2 in
+      let p = Array.init 2 (fun _ -> Array.make 2 half) in
+      (* Same-domain construction passes under the sanitizer. *)
+      Alcotest.(check int) "distribution built under the sanitizer" 4
+        (Load_dist.size (Load_dist.of_mixed g p));
+      O.unsafe_forge := Some 999;
+      Alcotest.check_raises "forged table owner trips the DP guard"
+        (O.Violation
+           (Printf.sprintf
+              "SELFISH_OWNERSHIP: Load_dist table created on domain 999 mutated from domain %d"
+              (O.self_id ())))
+        (fun () -> ignore (Load_dist.of_mixed g p)))
+
 let () =
   Alcotest.run "load_dist"
     [
@@ -343,4 +374,6 @@ let () =
           Alcotest.test_case "is_nash on real equilibria" `Quick
             test_eval_is_nash_on_equilibria;
         ] );
+      ( "ownership",
+        [ Alcotest.test_case "sanitizer guards the DP accumulator" `Quick test_ownership_guard ] );
     ]

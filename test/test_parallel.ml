@@ -91,6 +91,124 @@ let test_first_failure_in_worker_order_wins () =
       Alcotest.(check bool) (Printf.sprintf "clean worker finished index %d" i) true processed.(i)
   done
 
+let test_oversubscribed_machine () =
+  (* More domains than the machine has: results must not depend on how
+     the runtime schedules the excess. *)
+  let domains = 4 * Parallel.available_domains () in
+  let xs = List.init ((2 * domains) + 3) Fun.id in
+  Alcotest.(check (list int))
+    (Printf.sprintf "domains=%d > available" domains)
+    (List.map (fun x -> x * 7) xs)
+    (Parallel.map ~domains (fun x -> x * 7) xs);
+  Alcotest.(check int) "reduce oversubscribed"
+    (List.fold_left ( + ) 0 xs)
+    (Parallel.reduce ~domains ~neutral:0 ~combine:( + ) Fun.id xs)
+
+let test_fork_join_direct () =
+  Alcotest.(check (array int)) "worker order" [| 0; 10; 20; 30 |]
+    (Parallel.fork_join ~workers:4 (fun w -> 10 * w));
+  Alcotest.(check (array int)) "single worker" [| 7 |] (Parallel.fork_join ~workers:1 (fun _ -> 7));
+  Alcotest.check_raises "zero workers"
+    (Invalid_argument "Parallel.fork_join: workers must be positive") (fun () ->
+      ignore (Parallel.fork_join ~workers:0 (fun w -> w)))
+
+(* Kept out-of-line so the worker's stack has a recognisable frame to
+   carry through the nested re-raises. *)
+let[@inline never] rec deep_boom n =
+  if n = 0 then failwith "nested worker exploded" else 1 + deep_boom (n - 1)
+
+let test_nested_fork_join_exception_backtrace () =
+  (* A worker exception thrown inside an inner fork_join must cross
+     BOTH joins — re-raised by the inner call on its worker domain,
+     then again by the outer call — with the worker's backtrace, not
+     the join loop's. *)
+  let outer_saw = Array.make 2 false in
+  let was_recording = Printexc.backtrace_status () in
+  Printexc.record_backtrace true;
+  Fun.protect
+    ~finally:(fun () -> Printexc.record_backtrace was_recording)
+    (fun () ->
+      match
+        Parallel.fork_join ~workers:2 (fun w ->
+            outer_saw.(w) <- true;
+            if w = 1 then
+              Array.fold_left ( + ) 0 (Parallel.fork_join ~workers:2 (fun u ->
+                  if u = 1 then deep_boom 3 else 0))
+            else 0)
+      with
+      | _ -> Alcotest.fail "expected the nested worker exception"
+      | exception Failure msg ->
+        let bt = Printexc.get_backtrace () in
+        Alcotest.(check string) "inner worker failure surfaces" "nested worker exploded" msg;
+        Alcotest.(check bool) "both outer workers ran" true (outer_saw.(0) && outer_saw.(1));
+        Alcotest.(check bool) "backtrace survives double re-raise"
+          true
+          (String.length bt > 0
+          && String.split_on_char '\n' bt
+             |> List.exists (fun line ->
+                    let has_frag frag =
+                      let fl = String.length frag and ll = String.length line in
+                      let rec scan i = i + fl <= ll && (String.sub line i fl = frag || scan (i + 1)) in
+                      fl <= ll && scan 0
+                    in
+                    has_frag "deep_boom" || has_frag "test_parallel")))
+
+(* ---------------------------------------------------------------- *)
+(* Ownership sanitizer (SELFISH_OWNERSHIP)                           *)
+
+module Ownership = Parallel.Ownership
+
+(* Run [f] with the sanitizer forced to [enabled], restoring both the
+   enable flag and the forgery hook afterwards. *)
+let with_sanitizer enabled f =
+  let saved_enabled = !Ownership.enabled and saved_forge = !Ownership.unsafe_forge in
+  Ownership.enabled := enabled;
+  Fun.protect
+    ~finally:(fun () ->
+      Ownership.enabled := saved_enabled;
+      Ownership.unsafe_forge := saved_forge)
+    f
+
+let test_ownership_same_domain_passes () =
+  with_sanitizer true (fun () ->
+      let owner = Ownership.record () in
+      Alcotest.(check int) "record is self" (Ownership.self_id ()) owner;
+      Ownership.guard "test widget" owner (* must not raise *))
+
+let test_ownership_violation_message () =
+  with_sanitizer true (fun () ->
+      Ownership.unsafe_forge := Some 4242;
+      let owner = Ownership.record () in
+      Alcotest.(check int) "forged owner recorded" 4242 owner;
+      Alcotest.check_raises "cross-domain mutation pinned"
+        (Ownership.Violation
+           (Printf.sprintf "SELFISH_OWNERSHIP: test widget created on domain 4242 mutated from \
+                            domain %d" (Ownership.self_id ())))
+        (fun () -> Ownership.guard "test widget" owner))
+
+let test_ownership_disabled_is_noop () =
+  with_sanitizer false (fun () ->
+      (* A blatantly foreign owner: no check runs when disabled. *)
+      Ownership.guard "test widget" (-1))
+
+let test_ownership_real_cross_domain () =
+  (* Worker 0 of a fork-join runs in the calling domain and may touch
+     the structure; worker 1 runs on a fresh domain and must trip the
+     guard.  This exercises the sanitizer against real domains rather
+     than the forgery hook. *)
+  with_sanitizer true (fun () ->
+      let owner = Ownership.record () in
+      let verdicts =
+        Parallel.map ~domains:2
+          (fun w ->
+            ignore w;
+            match Ownership.guard "test widget" owner with
+            | () -> false
+            | exception Ownership.Violation _ -> true)
+          [ 0; 1 ]
+      in
+      Alcotest.(check (list bool)) "only the spawned domain trips" [ false; true ] verdicts)
+
 let test_reduce_non_commutative () =
   (* String concatenation is associative but not commutative: the fold
      order must match the serial one for every worker count. *)
@@ -142,10 +260,23 @@ let suite =
     ("map_array with more domains than elements", `Quick, test_map_array_more_domains_than_elements);
     ("exception with more domains than elements", `Quick, test_exception_more_domains_than_elements);
     ("first failure in worker order wins", `Quick, test_first_failure_in_worker_order_wins);
+    ("oversubscribed beyond available_domains", `Quick, test_oversubscribed_machine);
+    ("fork_join direct", `Quick, test_fork_join_direct);
+    ("nested fork_join exception backtrace", `Quick, test_nested_fork_join_exception_backtrace);
     ("reduce non-commutative monoid", `Quick, test_reduce_non_commutative);
     ("reduce empty", `Quick, test_reduce_empty);
     ("available domains", `Quick, test_available_domains);
     ("existence sweep deterministic under parallelism", `Slow, test_existence_sweep_parallel_deterministic);
   ]
 
-let () = Alcotest.run "parallel" [ ("unit", suite); ("properties", parallel_properties) ]
+let ownership_suite =
+  [
+    ("same-domain mutation passes", `Quick, test_ownership_same_domain_passes);
+    ("violation message via forgery hook", `Quick, test_ownership_violation_message);
+    ("disabled sanitizer is a no-op", `Quick, test_ownership_disabled_is_noop);
+    ("real cross-domain violation", `Quick, test_ownership_real_cross_domain);
+  ]
+
+let () =
+  Alcotest.run "parallel"
+    [ ("unit", suite); ("ownership", ownership_suite); ("properties", parallel_properties) ]

@@ -384,6 +384,40 @@ let test_validation () =
   Alcotest.check_raises "move link out of range" (Invalid_argument "View.move: link out of range")
     (fun () -> View.move v 0 m)
 
+let test_ownership_guard () =
+  (* Under SELFISH_OWNERSHIP, move/undo assert the calling domain is
+     the creator.  The owner is forged through the test-only hook so a
+     single-domain test can pin the exact failure message. *)
+  let module O = Parallel.Ownership in
+  let saved = !O.enabled in
+  O.enabled := true;
+  Fun.protect
+    ~finally:(fun () -> O.enabled := saved)
+    (fun () ->
+      let rng = Rng.create 0x0FFE in
+      let g = random_game rng in
+      let p = Array.make (Game.users g) 0 in
+      let v = View.of_profile g p in
+      Alcotest.(check int) "owner is the creating domain" (O.self_id ()) (View.owner v);
+      (* Same-domain mutation passes. *)
+      View.move v 0 0;
+      let expected =
+        O.Violation
+          (Printf.sprintf
+             "SELFISH_OWNERSHIP: View cursor created on domain 12345 mutated from domain %d"
+             (O.self_id ()))
+      in
+      View.unsafe_set_owner v 12345;
+      Alcotest.check_raises "foreign-domain move trips the guard" expected (fun () ->
+          View.move v 0 0);
+      Alcotest.check_raises "foreign-domain undo trips the guard" expected (fun () ->
+          View.undo v);
+      (* Restoring the owner re-enables mutation; the guarded attempts
+         above must not have corrupted the history. *)
+      View.unsafe_set_owner v (O.self_id ());
+      View.undo v;
+      Alcotest.(check int) "history balanced after guarded attempts" 0 (View.depth v))
+
 let () =
   Alcotest.run "view"
     [
@@ -396,5 +430,6 @@ let () =
           ("fold is domain-count invariant", `Quick, test_fold_domains_bit_identity);
           ("opt1/opt2 are domain-count invariant", `Quick, test_social_opt_domains_bit_identity);
           ("validation and empty-history errors", `Quick, test_validation);
+          ("ownership sanitizer guards move/undo", `Quick, test_ownership_guard);
         ] );
     ]

@@ -1,0 +1,31 @@
+(** Domain-safety lint: rules D1–D4 over untyped parse trees (see
+    DESIGN.md §15 "Domain-safety contract").
+
+    - [Capture] (D1): closures passed to the parallel entry points
+      ([Parallel.map]/[map_array]/[reduce]/[fork_join], [View.fold],
+      [Load_dist.apply], [Engine.sweep]/[map_tasks]/[fold_tasks]) must
+      not capture mutable state bound outside the closure, nor mutate
+      anything they captured.
+    - [Domain_prim] (D2): raw [Domain]/[Atomic]/[Mutex]/[Condition]/
+      [Semaphore] primitives outside lib/parallel.
+    - [Top_mutable] (D3): top-level mutable state in lib/ modules.
+    - [Wall_clock] (D4): wall-clock timing outside bench/.
+
+    Best-effort and syntactic, like {!Lint_core}: unknown constructs
+    are trusted, so the pass may miss races but does not cry wolf. *)
+
+(** [lint_structure ~rules ~path structure] is the raw D1–D4 pass:
+    findings in discovery order, suppressions NOT yet marked.  Rules
+    outside D1–D4 in [rules] are ignored. *)
+val lint_structure :
+  rules:Lint_core.rule list -> path:string -> Parsetree.structure -> Lint_core.finding list
+
+(** [lint_source ~rules ~path content] parses [content] once and runs
+    BOTH passes — {!Lint_core.lint_structure} (R1–R4) and D1–D4 —
+    returning merged findings sorted by position with per-site
+    [(* lint: allow ... *)] suppressions marked.
+    @raise Syntaxerr.Error when the source does not parse. *)
+val lint_source : rules:Lint_core.rule list -> path:string -> string -> Lint_core.finding list
+
+(** [lint_file ~rules path] is {!lint_source} on the file's contents. *)
+val lint_file : rules:Lint_core.rule list -> string -> Lint_core.finding list

@@ -1,4 +1,4 @@
-(* CLI driver for the exactness lint.
+(* CLI driver for the exactness + domain-safety lint (R1-R4, D1-D4).
 
      lint [--allowlist FILE] [--json FILE] [--show-suppressed] PATH...
 
@@ -44,17 +44,20 @@ let write_json path ~files_scanned findings =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
       let count pred = List.length (List.filter pred findings) in
-      Printf.fprintf oc "{\n  \"schema\": \"exactness-lint/1\",\n";
+      let per_rule suppressed =
+        String.concat ", "
+          (List.map
+             (fun r ->
+               Printf.sprintf "\"%s\": %d" (Lint_core.rule_id r)
+                 (count (fun f -> f.Lint_core.rule = r && f.Lint_core.suppressed = suppressed)))
+             Lint_core.all_rules)
+      in
+      Printf.fprintf oc "{\n  \"schema\": \"exactness-lint/2\",\n";
       Printf.fprintf oc "  \"files_scanned\": %d,\n" files_scanned;
       Printf.fprintf oc "  \"unsuppressed\": %d,\n" (count (fun f -> not f.Lint_core.suppressed));
       Printf.fprintf oc "  \"suppressed\": %d,\n" (count (fun f -> f.Lint_core.suppressed));
-      Printf.fprintf oc "  \"counts\": {%s},\n"
-        (String.concat ", "
-           (List.map
-              (fun r ->
-                Printf.sprintf "\"%s\": %d" (Lint_core.rule_id r)
-                  (count (fun f -> f.Lint_core.rule = r && not f.Lint_core.suppressed)))
-              Lint_core.all_rules));
+      Printf.fprintf oc "  \"counts\": {%s},\n" (per_rule false);
+      Printf.fprintf oc "  \"suppressed_counts\": {%s},\n" (per_rule true);
       Printf.fprintf oc "  \"findings\": [\n";
       List.iteri
         (fun i f ->
@@ -102,7 +105,7 @@ let () =
         let rules = Lint_core.default_rules file in
         if rules = [] then []
         else
-          try Lint_core.apply_allowlist !allowlist (Lint_core.lint_file ~rules file) with
+          try Lint_core.apply_allowlist !allowlist (Domain_core.lint_file ~rules file) with
           | Syntaxerr.Error _ ->
             incr errors;
             Printf.eprintf "%s: syntax error, cannot lint\n" file;

@@ -16,31 +16,60 @@
      R2 (float)  float literals, the [+.]/[-.]/[*.]/[/.]/[**]
                  operators, and [Float.*] values.
      R3 (nondet) ambient nondeterminism: [Random.*], [Sys.time],
-                 [Unix.gettimeofday].
+                 [Unix.time], [Unix.gettimeofday], and [Domain.self]
+                 outside [lib/parallel].
      R4 (io)     [open_in*]/[open_out*] (and [In_channel.open_*] /
                  [Out_channel.open_*]) in a top-level binding that
                  never mentions [Fun.protect].
+
+   The domain-safety rules D1-D4 share this module's finding type,
+   scoping policy and suppression machinery; their analysis lives in
+   [Domain_core]:
+
+     D1 (capture) closures shipped to worker domains must not capture
+                  (or mutate) shared mutable state.
+     D2 (domain)  raw Domain/Atomic/Mutex/Condition primitives outside
+                  lib/parallel.
+     D3 (global)  top-level mutable state in lib/ modules.
+     D4 (clock)   wall-clock timing outside bench/.
 
    Suppression: a [(* lint: allow *)] comment (optionally naming rules,
    e.g. [(* lint: allow R2 nondet *)]) on the flagged line or the line
    directly above silences matching findings at that site; an allowlist
    file silences whole files per rule for incremental adoption. *)
 
-type rule = Poly | Float_op | Nondet | Unprotected_io
+type rule =
+  | Poly
+  | Float_op
+  | Nondet
+  | Unprotected_io
+  | Capture
+  | Domain_prim
+  | Top_mutable
+  | Wall_clock
 
-let all_rules = [ Poly; Float_op; Nondet; Unprotected_io ]
+let all_rules =
+  [ Poly; Float_op; Nondet; Unprotected_io; Capture; Domain_prim; Top_mutable; Wall_clock ]
 
 let rule_id = function
   | Poly -> "R1"
   | Float_op -> "R2"
   | Nondet -> "R3"
   | Unprotected_io -> "R4"
+  | Capture -> "D1"
+  | Domain_prim -> "D2"
+  | Top_mutable -> "D3"
+  | Wall_clock -> "D4"
 
 let rule_mnemonic = function
   | Poly -> "poly"
   | Float_op -> "float"
   | Nondet -> "nondet"
   | Unprotected_io -> "io"
+  | Capture -> "capture"
+  | Domain_prim -> "domain"
+  | Top_mutable -> "global"
+  | Wall_clock -> "clock"
 
 let rule_of_string s =
   match String.lowercase_ascii s with
@@ -48,6 +77,10 @@ let rule_of_string s =
   | "r2" | "float" -> Some Float_op
   | "r3" | "nondet" -> Some Nondet
   | "r4" | "io" -> Some Unprotected_io
+  | "d1" | "capture" -> Some Capture
+  | "d2" | "domain" -> Some Domain_prim
+  | "d3" | "global" -> Some Top_mutable
+  | "d4" | "clock" -> Some Wall_clock
   | _ -> None
 
 type finding = {
@@ -82,6 +115,20 @@ let float_allowed_files = [ "lib/experiments/report.ml" ]
    everywhere except the benchmarks. *)
 let nondet_allowed_dirs = [ "bench/" ]
 
+(* Raw OCaml 5 concurrency primitives are sanctioned only inside the
+   fork-join layer; everywhere else they bypass the determinism
+   contract Parallel enforces. *)
+let domain_prim_allowed_dirs = [ "lib/parallel/" ]
+
+(* Wall-clock reads are measurement, and measurement lives in bench/;
+   lib/experiments/scaling.ml is the documented allowlist exception. *)
+let wall_clock_allowed_dirs = [ "bench/" ]
+
+(* Top-level mutable state is the canonical cross-domain race; only
+   library modules are scoped (bin/ drivers parse CLI flags into refs,
+   which never cross a domain). *)
+let top_mutable_scoped_dirs = [ "lib/" ]
+
 let default_rules path =
   let path = normalize_path path in
   let in_any dirs = List.exists (fun d -> has_prefix ~prefix:d path) dirs in
@@ -92,6 +139,10 @@ let default_rules path =
        else [ Float_op ]);
       (if in_any nondet_allowed_dirs then [] else [ Nondet ]);
       [ Unprotected_io ];
+      [ Capture ];
+      (if in_any domain_prim_allowed_dirs then [] else [ Domain_prim ]);
+      (if in_any top_mutable_scoped_dirs then [ Top_mutable ] else []);
+      (if in_any wall_clock_allowed_dirs then [] else [ Wall_clock ]);
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -168,9 +219,10 @@ let channel_openers =
 
 let float_operators = [ "+."; "-."; "*."; "/."; "**" ]
 
-let lint_structure ~rules ~path structure content_lines =
+let lint_structure ~rules ~path structure =
   let findings = ref [] in
   let has r = List.mem r rules in
+  let in_parallel = has_prefix ~prefix:"lib/parallel/" (normalize_path path) in
   let report rule loc msg =
     let p = loc.Location.loc_start in
     findings :=
@@ -250,6 +302,12 @@ let lint_structure ~rules ~path structure content_lines =
        report Nondet loc "Sys.time is nondeterministic; confine timing to bench/"
      | [ "Unix"; "gettimeofday" ] when has Nondet ->
        report Nondet loc "Unix.gettimeofday is nondeterministic; confine timing to bench/"
+     | [ "Unix"; "time" ] when has Nondet ->
+       report Nondet loc "Unix.time is nondeterministic; confine timing to bench/"
+     | [ "Domain"; "self" ] when has Nondet && not in_parallel ->
+       report Nondet loc
+         "Domain.self depends on runtime scheduling; only lib/parallel may observe domain \
+          identity"
      | _ -> ());
     (* R4: channel opens, resolved per top-level item afterwards *)
     (match parts with
@@ -306,8 +364,12 @@ let lint_structure ~rules ~path structure content_lines =
     (fun (item, loc, msg) ->
       if not (Hashtbl.mem protected_items item) then report Unprotected_io loc msg)
     !r4_pending;
-  (* Per-site suppression: an allow comment on the finding's line or
-     the line directly above. *)
+  !findings
+
+(* Per-site suppression: an allow comment on the finding's line or the
+   line directly above.  Shared by this pass and [Domain_core]'s, so
+   every rule family obeys the same comment forms. *)
+let mark_suppressions content_lines findings =
   let line_text l =
     if l >= 1 && l <= Array.length content_lines then Some content_lines.(l - 1) else None
   in
@@ -323,17 +385,21 @@ let lint_structure ~rules ~path structure content_lines =
     let covers = function None -> false | Some [] -> true | Some rs -> List.mem f.rule rs in
     covers (allow_at f.line) || covers (allow_above (f.line - 1))
   in
-  !findings
+  findings
   |> List.map (fun f -> { f with suppressed = is_suppressed f })
   |> List.sort (fun a b ->
          match Int.compare a.line b.line with 0 -> Int.compare a.col b.col | c -> c)
 
-let lint_source ~rules ~path content =
+let parse_source ~path content =
   let lexbuf = Lexing.from_string content in
   Lexing.set_filename lexbuf path;
-  let structure = Parse.implementation lexbuf in
-  let lines = Array.of_list (String.split_on_char '\n' content) in
-  lint_structure ~rules ~path structure lines
+  Parse.implementation lexbuf
+
+let content_lines content = Array.of_list (String.split_on_char '\n' content)
+
+let lint_source ~rules ~path content =
+  let structure = parse_source ~path content in
+  mark_suppressions (content_lines content) (lint_structure ~rules ~path structure)
 
 let read_file path =
   let ic = open_in_bin path in

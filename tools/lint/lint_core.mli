@@ -1,23 +1,45 @@
 (** Exactness lint: syntactic rules over untyped parse trees.
 
-    Rules (see DESIGN.md §10 "Static guarantees"):
+    Rules (see DESIGN.md §10 "Static guarantees" and §15 "Domain-safety
+    contract"):
     - [Poly] (R1): polymorphic compare/hash/Hashtbl in numeric-scoped
       modules.
     - [Float_op] (R2): float literals/operators/[Float.*] outside the
       float-permitted modules.
-    - [Nondet] (R3): ambient [Random]/[Sys.time]/[Unix.gettimeofday].
+    - [Nondet] (R3): ambient [Random]/[Sys.time]/[Unix.time]/
+      [Unix.gettimeofday], and [Domain.self] outside [lib/parallel].
     - [Unprotected_io] (R4): channel opens with no [Fun.protect] in
-      the same top-level binding. *)
+      the same top-level binding.
+    - [Capture] (D1): closures shipped to worker domains capturing (or
+      mutating) shared mutable state — analysis in {!Domain_core}.
+    - [Domain_prim] (D2): raw [Domain]/[Atomic]/[Mutex]/[Condition]
+      primitives outside [lib/parallel] — analysis in {!Domain_core}.
+    - [Top_mutable] (D3): top-level mutable state in [lib/] modules —
+      analysis in {!Domain_core}.
+    - [Wall_clock] (D4): wall-clock timing outside [bench/] — analysis
+      in {!Domain_core}.
 
-type rule = Poly | Float_op | Nondet | Unprotected_io
+    This module's own pass implements R1–R4 only; use
+    {!Domain_core.lint_file} for the combined R+D pass. *)
+
+type rule =
+  | Poly
+  | Float_op
+  | Nondet
+  | Unprotected_io
+  | Capture
+  | Domain_prim
+  | Top_mutable
+  | Wall_clock
 
 val all_rules : rule list
 
-(** [rule_id r] is the stable identifier ("R1".."R4"). *)
+(** [rule_id r] is the stable identifier ("R1".."R4", "D1".."D4"). *)
 val rule_id : rule -> string
 
 (** [rule_mnemonic r] is the short name accepted in allow comments
-    ("poly", "float", "nondet", "io"). *)
+    ("poly", "float", "nondet", "io", "capture", "domain", "global",
+    "clock"). *)
 val rule_mnemonic : rule -> string
 
 (** [rule_of_string s] accepts ids and mnemonics, case-insensitive. *)
@@ -36,14 +58,36 @@ type finding = {
     to [path] (relative to the repo root). *)
 val default_rules : string -> rule list
 
+(** [lint_structure ~rules ~path structure] is the raw R1–R4 pass over
+    a parsed implementation: findings in discovery order, suppressions
+    NOT yet marked.  Compose with {!mark_suppressions}. *)
+val lint_structure : rules:rule list -> path:string -> Parsetree.structure -> finding list
+
+(** [mark_suppressions lines findings] marks findings silenced by a
+    per-site [(* lint: allow ... *)] comment (same line, or standing
+    alone on the line above) and sorts by position. *)
+val mark_suppressions : string array -> finding list -> finding list
+
+(** [parse_source ~path content] parses [content] as an implementation
+    file, attributing locations to [path].
+    @raise Syntaxerr.Error when the source does not parse. *)
+val parse_source : path:string -> string -> Parsetree.structure
+
+(** [content_lines content] splits a source string for
+    {!mark_suppressions}. *)
+val content_lines : string -> string array
+
 (** [lint_source ~rules ~path content] parses [content] as an
-    implementation file and returns findings sorted by position, with
-    per-site [(* lint: allow ... *)] suppressions already marked.
+    implementation file and returns R1–R4 findings sorted by position,
+    with per-site [(* lint: allow ... *)] suppressions already marked.
     @raise Syntaxerr.Error when the source does not parse. *)
 val lint_source : rules:rule list -> path:string -> string -> finding list
 
 (** [lint_file ~rules path] is [lint_source] on the file's contents. *)
 val lint_file : rules:rule list -> string -> finding list
+
+(** [read_file path] reads a whole file (binary-safe). *)
+val read_file : string -> string
 
 type allowlist_entry = { al_rule : rule option; al_path : string }
 
