@@ -1430,6 +1430,51 @@ let bench_class_json () =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* ------------------------------------------------------------------ *)
+(* Price-of-ignorance benchmark: BENCH_ignorance.json artefact         *)
+
+(* Four populations — informed Bayesian, misinformed Bayesian, robust
+   Strict and Bernoulli Participation — play shared sampled instances;
+   every equilibrium is priced under the true capacities (see
+   Experiments.Ignorance).  All arithmetic is exact, so the rows are
+   bit-identical across runs and domain counts; the JSON records the
+   exact ratios.  Writes schema bench-ignorance/1 to
+   BENCH_ignorance.json or $BENCH_IGNORANCE_JSON.  BENCH_IGNORANCE_ONLY=1
+   runs just this section. *)
+let bench_ignorance_json () =
+  Report.heading "IGNORANCE"
+    "price of ignorance across uncertainty backends (emits BENCH_ignorance.json)";
+  let presences = Rational.[ one; of_ints 3 4; of_ints 1 2; of_ints 1 4 ] in
+  let t = trials 40 in
+  let rows = Ignorance.run ~seed:2006 ~n:4 ~m:2 ~states:3 ~presences ~trials:t () in
+  Stats.Table.print (Ignorance.table rows);
+  let out = Buffer.create 1024 in
+  Buffer.add_string out "{\n";
+  Buffer.add_string out "  \"schema\": \"bench-ignorance/1\",\n";
+  Printf.bprintf out "  \"quick\": %b,\n" quick;
+  Buffer.add_string out "  \"results\": [\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun idx (r : Ignorance.row) ->
+      Printf.bprintf out
+        "    {\"presence\": \"%s\", \"trials\": %d, \"informed_ratio\": %.6f, \
+         \"misinformed_ratio\": %.6f, \"robust_ratio\": %.6f, \"demand_gain\": %.6f, \
+         \"expected_congestion\": %.6f, \"equilibrium_failures\": %d}%s\n"
+        (Rational.to_string r.presence)
+        r.trials r.informed_ratio r.misinformed_ratio r.robust_ratio r.demand_gain
+        r.expected_congestion r.equilibrium_failures
+        (if idx = last then "" else ","))
+    rows;
+  Buffer.add_string out "  ]\n";
+  Buffer.add_string out "}\n";
+  let path =
+    Option.value (Sys.getenv_opt "BENCH_IGNORANCE_JSON") ~default:"BENCH_ignorance.json"
+  in
+  let oc = open_out path in
+  output_string oc (Buffer.contents out);
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 let main () =
   Printf.printf "Network Uncertainty in Selfish Routing — reproduction harness%s\n"
     (if quick then " (QUICK mode)" else "");
@@ -1459,6 +1504,7 @@ let main () =
   bench_walk_json ();
   bench_mixed_json ();
   bench_class_json ();
+  bench_ignorance_json ();
   print_endline "\nAll experiment tables regenerated. See EXPERIMENTS.md for the paper-vs-measured record."
 
 let () =
@@ -1467,4 +1513,5 @@ let () =
   else if Sys.getenv_opt "BENCH_WALK_ONLY" <> None then bench_walk_json ()
   else if Sys.getenv_opt "BENCH_MIXED_ONLY" <> None then bench_mixed_json ()
   else if Sys.getenv_opt "BENCH_CLASS_ONLY" <> None then bench_class_json ()
+  else if Sys.getenv_opt "BENCH_IGNORANCE_ONLY" <> None then bench_ignorance_json ()
   else main ()

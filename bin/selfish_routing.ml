@@ -60,8 +60,44 @@ let classes_arg =
   in
   Arg.(value & flag & info [ "classes" ] ~doc)
 
-let run_solve_classes file =
+let uncertainty_arg =
+  let backends =
+    [
+      ("auto", `U_auto); ("bayesian", `U_bayesian);
+      ("participation", `U_participation); ("strict", `U_strict);
+    ]
+  in
+  let doc =
+    "Expected uncertainty backend of the game file (bayesian, participation \
+     or strict). auto accepts whatever the file's 'uncertainty' stanza \
+     declares; naming a backend fails fast when the file uses another one."
+  in
+  Arg.(value & opt (enum backends) `U_auto & info [ "uncertainty" ] ~docv:"BACKEND" ~doc)
+
+(* Validate the file's backend against --uncertainty and announce it.
+   The line is printed only for non-Bayesian backends or an explicit
+   flag, keeping pre-stanza outputs byte-identical. *)
+let check_backend flag kind =
+  (match flag with
+   | `U_auto -> ()
+   | (`U_bayesian | `U_participation | `U_strict) as f ->
+     let want =
+       match f with
+       | `U_bayesian -> Uncertainty.Bayesian
+       | `U_participation -> Uncertainty.Participation
+       | `U_strict -> Uncertainty.Strict
+     in
+     if not (Uncertainty.equal_kind want kind) then
+       invalid_arg
+         (Printf.sprintf "--uncertainty %s: the game file uses the %s backend"
+            (Uncertainty.kind_name want) (Uncertainty.kind_name kind)));
+  if (match flag with `U_auto -> false | _ -> true)
+     || not (Uncertainty.equal_kind kind Uncertainty.Bayesian)
+  then Printf.printf "uncertainty backend: %s\n" (Uncertainty.kind_name kind)
+
+let run_solve_classes file uflag =
   let g = Game_io.parse_cgame_file file in
+  check_backend uflag (Uncertainty.kind (Cgame.uncertainty g 0));
   Printf.printf "class game: %d classes, %d users, %d links\n" (Cgame.classes g)
     (Cgame.users g) (Cgame.links g);
   Printf.printf "algorithm: block best-response dynamics from the proportional start\n";
@@ -96,13 +132,17 @@ let algo_arg =
   Arg.(value & opt (enum algos) `Auto & info [ "algo" ] ~docv:"ALGO" ~doc)
 
 let pick_auto g initial =
-  if Game.links g = 2 then `Two_links
+  (* Only best-response dynamics understands biased (non-load-linear)
+     latencies; the closed-form solvers all guard on load-linearity. *)
+  if not (Game.is_load_linear g) then `Best_response
+  else if Game.links g = 2 then `Two_links
   else if Game.has_uniform_beliefs g then `Uniform
   else if Game.is_symmetric g && initial = None then `Symmetric
   else `Best_response
 
-let run_solve_users file algo initial_str seed =
+let run_solve_users file uflag algo initial_str seed =
   let g = Game_io.parse_file file in
+  check_backend uflag (Uncertainty.kind (Game.uncertainty g 0));
   let initial = parse_initial g initial_str in
   let algo = if algo = `Auto then pick_auto g initial else algo in
   let sigma =
@@ -129,19 +169,22 @@ let run_solve_users file algo initial_str seed =
   in
   print_profile g ?initial sigma
 
-let run_solve file classes algo initial_str seed =
+let run_solve file classes uflag algo initial_str seed =
   if classes then begin
     if initial_str <> None then invalid_arg "--initial is not supported with --classes";
     (match algo with
      | `Auto -> ()
      | _ -> invalid_arg "--algo is not supported with --classes");
-    run_solve_classes file
+    run_solve_classes file uflag
   end
-  else run_solve_users file algo initial_str seed
+  else run_solve_users file uflag algo initial_str seed
 
 let solve_cmd =
   let info = Cmd.info "solve" ~doc:"Compute a pure Nash equilibrium of a game file." in
-  Cmd.v info Term.(const run_solve $ game_arg $ classes_arg $ algo_arg $ initial_arg $ seed_arg)
+  Cmd.v info
+    Term.(
+      const run_solve $ game_arg $ classes_arg $ uncertainty_arg $ algo_arg $ initial_arg
+      $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fmne                                                                *)

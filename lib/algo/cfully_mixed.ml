@@ -49,6 +49,8 @@ let expected_traffic g l =
 
 let candidate g =
   require_two_users g;
+  if not (Cgame.is_load_linear g) then
+    invalid_arg "Cfully_mixed.candidate: game must be load-linear (no Bernoulli participation)";
   let k = Cgame.classes g and m = Cgame.links g in
   let w_link = Array.init m (expected_traffic g) in
   let lambda = Array.init k (equilibrium_latency g) in

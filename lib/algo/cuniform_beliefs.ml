@@ -73,6 +73,8 @@ let place_class t q w =
 let solve ?initial g =
   if not (Cgame.has_uniform_beliefs g) then
     invalid_arg "Cuniform_beliefs.solve: game must have uniform class beliefs";
+  if not (Cgame.is_load_linear g) then
+    invalid_arg "Cuniform_beliefs.solve: game must be load-linear (no Bernoulli participation)";
   let k = Cgame.classes g and m = Cgame.links g in
   let t =
     match initial with

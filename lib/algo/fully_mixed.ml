@@ -37,6 +37,8 @@ let expected_traffic g l =
 
 let candidate g =
   require_two_users g;
+  if not (Game.is_load_linear g) then
+    invalid_arg "Fully_mixed.candidate: game must be load-linear (no Bernoulli participation)";
   let n = Game.users g and m = Game.links g in
   let w_link = Array.init m (expected_traffic g) in
   let lambda = Array.init n (equilibrium_latency g) in

@@ -7,6 +7,8 @@ open Numeric
 let solve_with_stats g =
   if not (Game.is_symmetric g) then
     invalid_arg "Symmetric.solve: users must have equal weights";
+  if not (Game.is_load_linear g) then
+    invalid_arg "Symmetric.solve: game must be load-linear (no Bernoulli participation)";
   let n = Game.users g and m = Game.links g in
   let counts = Array.make m 0 in
   let sigma = Array.make n (-1) in

@@ -15,6 +15,8 @@ let tolerance g ~initial ~total i j =
 
 let solve ?initial g =
   if Game.links g <> 2 then invalid_arg "Two_links.solve: game must have exactly two links";
+  if not (Game.is_load_linear g) then
+    invalid_arg "Two_links.solve: game must be load-linear (no Bernoulli participation)";
   let n = Game.users g in
   let t =
     match initial with

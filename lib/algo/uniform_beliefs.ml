@@ -4,6 +4,8 @@ open Numeric
 let solve ?initial g =
   if not (Game.has_uniform_beliefs g) then
     invalid_arg "Uniform_beliefs.solve: game must have uniform user beliefs";
+  if not (Game.is_load_linear g) then
+    invalid_arg "Uniform_beliefs.solve: game must be load-linear (no Bernoulli participation)";
   let n = Game.users g and m = Game.links g in
   let t =
     match initial with

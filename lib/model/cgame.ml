@@ -3,8 +3,12 @@ open Numeric
 type t = {
   counts : int array;
   weights : Rational.t array;
-  beliefs : Belief.t array;
+  uncertainty : Uncertainty.t array;
+  beliefs : Belief.t array; (* decision-equivalent beliefs (Uncertainty.belief) *)
   capacities : Rational.t array array; (* capacities.(c).(l) = c^l of class c *)
+  contribs : Rational.t array; (* presence-discounted weight others meet *)
+  biases : Rational.t array; (* w_c - contribs.(c), own-latency surcharge *)
+  load_linear : bool;
   users : int; (* Σ counts, overflow-checked at construction *)
   total : Rational.t; (* Σ counts·w *)
   packed : Packing.t option; (* native-int tables for the Cview fast lane *)
@@ -20,34 +24,53 @@ let checked_total_users counts =
       acc + c)
     0 counts
 
-let make ~counts ~weights ~beliefs =
+let make_uncertain ~counts ~weights ~uncertainty =
   let k = Array.length counts in
   if k = 0 then invalid_arg "Cgame.make: no classes";
-  if Array.length weights <> k || Array.length beliefs <> k then
+  if Array.length weights <> k || Array.length uncertainty <> k then
     invalid_arg "Cgame.make: one count, weight and belief per class required";
   Array.iter
     (fun w -> if Rational.sign w <= 0 then invalid_arg "Cgame.make: traffics must be positive")
     weights;
-  let m = Belief.links beliefs.(0) in
+  let m = Uncertainty.links uncertainty.(0) in
   Array.iter
-    (fun b -> if Belief.links b <> m then invalid_arg "Cgame.make: beliefs disagree on link count")
-    beliefs;
+    (fun u ->
+      if Uncertainty.links u <> m then invalid_arg "Cgame.make: beliefs disagree on link count")
+    uncertainty;
   if m < 2 then invalid_arg "Cgame.make: at least two links required";
   let users = checked_total_users counts in
   let total = ref Rational.zero in
   Array.iteri
     (fun c n -> total := Rational.add !total (Rational.mul (Rational.of_int n) weights.(c)))
     counts;
-  let capacities = Array.map Belief.effective_capacities beliefs in
+  let capacities = Array.map Uncertainty.eval_capacities uncertainty in
+  (* Sharing the weight value for load-linear classes keeps every
+     Bayesian class game bit-identical to the pre-backend layout. *)
+  let contribs =
+    Array.map2
+      (fun u w -> if Uncertainty.is_load_linear u then w else Rational.mul (Uncertainty.load_factor u) w)
+      uncertainty weights
+  in
+  let biases = Array.map2 Rational.sub weights contribs in
+  let load_linear = Array.for_all Uncertainty.is_load_linear uncertainty in
   {
     counts = Array.copy counts;
     weights = Array.copy weights;
-    beliefs = Array.copy beliefs;
+    uncertainty = Array.copy uncertainty;
+    beliefs = Array.map Uncertainty.belief uncertainty;
     capacities;
+    contribs;
+    biases;
+    load_linear;
     users;
     total = !total;
-    packed = Packing.build ~mults:counts weights capacities;
+    (* The packed lane's products assume plain load/ĉ latencies, so
+       only load-linear class games get tables. *)
+    packed = (if load_linear then Packing.build ~mults:counts weights capacities else None);
   }
+
+let make ~counts ~weights ~beliefs =
+  make_uncertain ~counts ~weights ~uncertainty:(Array.map Uncertainty.bayesian beliefs)
 
 let of_capacities ~counts ~weights caps =
   if Array.length caps <> Array.length counts then
@@ -79,6 +102,20 @@ let belief g c =
   check_class "belief" g c;
   g.beliefs.(c)
 
+let uncertainty g c =
+  check_class "uncertainty" g c;
+  g.uncertainty.(c)
+
+let contribution g c =
+  check_class "contribution" g c;
+  g.contribs.(c)
+
+let bias g c =
+  check_class "bias" g c;
+  g.biases.(c)
+
+let is_load_linear g = g.load_linear
+
 let capacity g c l =
   check_class "capacity" g c;
   if l < 0 || l >= links g then invalid_arg "Cgame.capacity: link out of range";
@@ -100,53 +137,58 @@ let has_uniform_beliefs g =
 
 let is_symmetric g = Array.for_all (Rational.equal g.weights.(0)) g.weights
 
-(* Group by (weight, effective capacity row), first-seen order — the
-   observational identity of a user: two users with this pair equal are
-   interchangeable in every latency and every predicate. *)
+(* Group by (weight, effective capacity row, contribution), first-seen
+   order — the observational identity of a user: two users with this
+   triple equal are interchangeable in every latency and every
+   predicate (bias = weight − contribution is determined by the pair).
+   For load-linear games the contribution equals the weight, so the
+   grouping is exactly the seed's (weight, row) key. *)
 let compress g =
   let n = Game.users g in
   let reps = ref [] (* class representatives, reversed *) and k = ref 0 in
   let class_of = Array.make n 0 in
   for i = 0 to n - 1 do
     let w = Game.weight g i in
+    let t = Game.contribution g i in
     let row = Game.capacity_row g i in
     let rec find idx = function
       | [] -> None
-      | (w', row', _) :: rest ->
-        if Rational.equal w w' && Array.for_all2 Rational.equal row row' then Some (idx - 1)
+      | (w', t', row', _) :: rest ->
+        if Rational.equal w w' && Rational.equal t t' && Array.for_all2 Rational.equal row row'
+        then Some (idx - 1)
         else find (idx - 1) rest
     in
     match find !k !reps with
     | Some c -> class_of.(i) <- c
     | None ->
       class_of.(i) <- !k;
-      reps := (w, row, i) :: !reps;
+      reps := (w, t, row, i) :: !reps;
       incr k
   done;
   let members = Array.make !k 0 in
   Array.iter (fun c -> members.(c) <- members.(c) + 1) class_of;
   let rep_users = Array.make !k 0 in
-  List.iteri (fun j (_, _, i) -> rep_users.(!k - 1 - j) <- i) !reps;
+  List.iteri (fun j (_, _, _, i) -> rep_users.(!k - 1 - j) <- i) !reps;
   let cg =
-    make ~counts:members
+    make_uncertain ~counts:members
       ~weights:(Array.map (Game.weight g) rep_users)
-      ~beliefs:(Array.map (Game.belief g) rep_users)
+      ~uncertainty:(Array.map (Game.uncertainty g) rep_users)
   in
   (cg, class_of)
 
 let expand g =
   let weights = Array.make g.users Rational.zero in
-  let beliefs = Array.make g.users g.beliefs.(0) in
+  let uncertainty = Array.make g.users g.uncertainty.(0) in
   let pos = ref 0 in
   Array.iteri
     (fun c n ->
       for _ = 1 to n do
         weights.(!pos) <- g.weights.(c);
-        beliefs.(!pos) <- g.beliefs.(c);
+        uncertainty.(!pos) <- g.uncertainty.(c);
         incr pos
       done)
     g.counts;
-  Game.make ~weights ~beliefs
+  Game.make_uncertain ~weights ~uncertainty
 
 let validate g x =
   if Array.length x <> classes g then

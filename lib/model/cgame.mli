@@ -30,6 +30,13 @@ type profile = int array array
     @raise Invalid_argument on any violation. *)
 val make : counts:int array -> weights:Numeric.Rational.t array -> beliefs:Belief.t array -> t
 
+(** [make_uncertain ~counts ~weights ~uncertainty] builds a class game
+    from per-class uncertainty backends ({!Uncertainty}); {!make} is
+    exactly this over {!Uncertainty.bayesian} wrappers, bit-identically.
+    Per-class contribution and bias mirror {!Game.make_uncertain}. *)
+val make_uncertain :
+  counts:int array -> weights:Numeric.Rational.t array -> uncertainty:Uncertainty.t array -> t
+
 (** [of_capacities ~counts ~weights caps] builds the reduced form from
     the per-class effective capacity matrix [caps.(c).(l)], each row
     realised as a Dirac belief (mirrors {!Game.of_capacities}). *)
@@ -53,8 +60,24 @@ val count : t -> int -> int
 (** [weight g c] is the common weight of class [c]'s users. *)
 val weight : t -> int -> Numeric.Rational.t
 
-(** [belief g c] is class [c]'s belief. *)
+(** [belief g c] is the belief through which class [c] prices
+    capacities ({!Uncertainty.belief}). *)
 val belief : t -> int -> Belief.t
+
+(** [uncertainty g c] is class [c]'s uncertainty backend. *)
+val uncertainty : t -> int -> Uncertainty.t
+
+(** [contribution g c] is the per-user traffic link loads carry for
+    class [c]'s users ({!Game.contribution}). *)
+val contribution : t -> int -> Numeric.Rational.t
+
+(** [bias g c] is the own-latency surcharge of class [c]'s users
+    ({!Game.bias}); zero for load-linear classes. *)
+val bias : t -> int -> Numeric.Rational.t
+
+(** [is_load_linear g] holds when every class's latency has the plain
+    [load/ĉ] form ({!Game.is_load_linear}). *)
+val is_load_linear : t -> bool
 
 (** [capacity g c l] is the effective capacity [c^l] of class [c]. *)
 val capacity : t -> int -> int -> Numeric.Rational.t
@@ -83,8 +106,9 @@ val has_uniform_beliefs : t -> bool
 val is_symmetric : t -> bool
 
 (** [compress g] groups the users of a per-user game into classes of
-    equal weight and equal effective-capacity row, in first-seen order,
-    and returns the class game together with the user → class map.
+    equal weight, equal effective-capacity row and equal contribution,
+    in first-seen order, and returns the class game together with the
+    user → class map.
     The grouping is observational: two users whose distinct beliefs
     induce the same capacity row share a class (the class keeps the
     first user's belief), which is exact for every quantity in the

@@ -3,6 +3,10 @@ open Numeric
 type t = Rational.t array array
 
 let validate g p =
+  (* Mirrors [Mixed.validate]: expected latencies below assume the
+     load-linear load/ĉ form. *)
+  if not (Cgame.is_load_linear g) then
+    invalid_arg "Cmixed.validate: game must be load-linear (no Bernoulli participation)";
   if Array.length p <> Cgame.classes g then
     invalid_arg "Cmixed.validate: one distribution per class required";
   Array.iter

@@ -83,9 +83,11 @@ let of_profile g ?initial x =
         | None -> Array.make m Rational.zero
         | Some t -> Array.copy t
       in
+      (* Loads sum per-user contributions (= weights for load-linear
+         classes, presence-discounted under Bernoulli participation). *)
       Array.iteri
         (fun c row ->
-          let w = Cgame.weight g c in
+          let w = Cgame.contribution g c in
           Array.iteri
             (fun l e ->
               if e > 0 then loads.(l) <- Rational.add loads.(l) (Rational.mul (Rational.of_int e) w))
@@ -123,7 +125,7 @@ let shift v cls src dst count =
   if count > 0 && src <> dst then begin
     (match v.lane with
      | Exact loads ->
-       let delta = Rational.mul (Rational.of_int count) (Cgame.weight v.game cls) in
+       let delta = Rational.mul (Rational.of_int count) (Cgame.contribution v.game cls) in
        loads.(src) <- Rational.sub loads.(src) delta;
        loads.(dst) <- Rational.add loads.(dst) delta
      | Packed pk ->
@@ -171,9 +173,16 @@ let q_latency pk total idx =
     (Bigint.of_int (total * pk.pcd.(idx)))
     (Bigint.mul (Bigint.of_int pk.pscale) (Bigint.of_int pk.pcn.(idx)))
 
+(* A class member's own latency carries the class bias w − t (the user
+   is always present for itself); zero — and skipped — for load-linear
+   classes, keeping the seed's exact code path. *)
+let biased v c q =
+  let b = Cgame.bias v.game c in
+  if Rational.is_zero b then q else Rational.add q b
+
 let latency v c l =
   match v.lane with
-  | Exact loads -> Rational.div loads.(l) (Cgame.capacity v.game c l)
+  | Exact loads -> Rational.div (biased v c loads.(l)) (Cgame.capacity v.game c l)
   | Packed pk ->
     let m = Array.length pk.piload in
     q_latency pk pk.piload.(l) ((c * m) + l)
@@ -182,7 +191,10 @@ let latency_after_move v ~cls ~src dst =
   match v.lane with
   | Exact loads ->
     let base = loads.(dst) in
-    let total = if dst = src then base else Rational.add base (Cgame.weight v.game cls) in
+    (* Deviation numerator: contribution + bias = w, the seed form. *)
+    let total =
+      if dst = src then biased v cls base else Rational.add base (Cgame.weight v.game cls)
+    in
     Rational.div total (Cgame.capacity v.game cls dst)
   | Packed pk ->
     let m = Array.length pk.piload in
@@ -297,24 +309,30 @@ let is_nash v =
   over_classes 0
 
 (* The j-th sequential mover (j ≥ 1) improves iff
-     (load_dst + j·w)/c_dst < (load_src - (j-1)·w)/c_src
-   ⟺ j < q  for  q = (Δ + w/c_src) / (w·(1/c_dst + 1/c_src)),
-   Δ = load_src/c_src − load_dst/c_dst.  The valid j form a prefix
-   (LHS grows, RHS shrinks), so the maximal block is the largest
-   integer strictly below q, clamped to the available users. *)
+     (load_dst + (j-1)·t + w + β)·/c_dst < (load_src - (j-1)·t + β)/c_src
+   with t the class contribution and β = w − t its bias (so t = w,
+   β = 0 on the seed's load-linear path) ⟺ j < q for
+     q = (Δ + t/c_src) / (t·(1/c_dst + 1/c_src)),
+   Δ = (load_src + β)/c_src − (load_dst + β)/c_dst.  The valid j form
+   a prefix (LHS grows, RHS shrinks), so the maximal block is the
+   largest integer strictly below q, clamped to the available users. *)
 let max_improving_block v ~cls ~src ~dst =
   let k = classes v and m = links v in
   if cls < 0 || cls >= k then invalid_arg "Cview.max_improving_block: class out of range";
   if src < 0 || src >= m || dst < 0 || dst >= m then
     invalid_arg "Cview.max_improving_block: link out of range";
   if src = dst then invalid_arg "Cview.max_improving_block: source and destination coincide";
-  let w = Cgame.weight v.game cls in
+  let t = Cgame.contribution v.game cls in
   let cap_s = Cgame.capacity v.game cls src and cap_d = Cgame.capacity v.game cls dst in
-  let delta = Rational.sub (Rational.div (load v src) cap_s) (Rational.div (load v dst) cap_d) in
+  let delta =
+    Rational.sub
+      (Rational.div (biased v cls (load v src)) cap_s)
+      (Rational.div (biased v cls (load v dst)) cap_d)
+  in
   let q =
     Rational.div
-      (Rational.add delta (Rational.div w cap_s))
-      (Rational.mul w (Rational.add (Rational.inv cap_d) (Rational.inv cap_s)))
+      (Rational.add delta (Rational.div t cap_s))
+      (Rational.mul t (Rational.add (Rational.inv cap_d) (Rational.inv cap_s)))
   in
   let avail = v.assign.(cls).(src) in
   if Rational.compare q Rational.one <= 0 then 0

@@ -2,8 +2,12 @@ open Numeric
 
 type t = {
   weights : Rational.t array;
-  beliefs : Belief.t array;
+  uncertainty : Uncertainty.t array;
+  beliefs : Belief.t array; (* decision-equivalent beliefs (Uncertainty.belief) *)
   capacities : Rational.t array array; (* capacities.(i).(l) = c^l_i *)
+  contribs : Rational.t array; (* presence-discounted weight others meet *)
+  biases : Rational.t array; (* w_i - contribs.(i), own-latency surcharge *)
+  load_linear : bool;
   packed : Packing.t option; (* native-int tables for the View fast lane *)
 }
 
@@ -13,22 +17,47 @@ let validate_weights weights =
     (fun w -> if Rational.sign w <= 0 then invalid_arg "Game.make: traffics must be positive")
     weights
 
-let make ~weights ~beliefs =
+let make_uncertain ~weights ~uncertainty =
   validate_weights weights;
-  if Array.length beliefs <> Array.length weights then
-    invalid_arg "Game.make: one belief per user required";
-  let m = Belief.links beliefs.(0) in
+  if Array.length uncertainty <> Array.length weights then
+    invalid_arg "Game.make: one uncertainty backend per user required";
+  let m = Uncertainty.links uncertainty.(0) in
   Array.iter
-    (fun b -> if Belief.links b <> m then invalid_arg "Game.make: beliefs disagree on link count")
-    beliefs;
+    (fun u ->
+      if Uncertainty.links u <> m then invalid_arg "Game.make: beliefs disagree on link count")
+    uncertainty;
   if m < 2 then invalid_arg "Game.make: at least two links required";
-  let capacities = Array.map Belief.effective_capacities beliefs in
+  let capacities = Array.map Uncertainty.eval_capacities uncertainty in
+  (* Load-linear users contribute their full weight; sharing the weight
+     value keeps every Bayesian game bit-identical to the pre-backend
+     construction. *)
+  let contribs =
+    Array.map2
+      (fun u w -> if Uncertainty.is_load_linear u then w else Rational.mul (Uncertainty.load_factor u) w)
+      uncertainty weights
+  in
+  let biases = Array.map2 Rational.sub weights contribs in
+  let load_linear = Array.for_all Uncertainty.is_load_linear uncertainty in
   {
     weights = Array.copy weights;
-    beliefs = Array.copy beliefs;
+    uncertainty = Array.copy uncertainty;
+    beliefs = Array.map Uncertainty.belief uncertainty;
     capacities;
-    packed = Packing.build ~mults:(Array.make (Array.length weights) 1) weights capacities;
+    contribs;
+    biases;
+    load_linear;
+    (* The packed lane's three-factor Nash products assume latencies of
+       the exact form load/ĉ, so only load-linear games get tables. *)
+    packed =
+      (if load_linear then
+         Packing.build ~mults:(Array.make (Array.length weights) 1) weights capacities
+       else None);
   }
+
+let make ~weights ~beliefs =
+  if Array.length beliefs <> Array.length weights then
+    invalid_arg "Game.make: one belief per user required";
+  make_uncertain ~weights ~uncertainty:(Array.map Uncertainty.bayesian beliefs)
 
 let of_capacities ~weights caps =
   validate_weights weights;
@@ -59,6 +88,20 @@ let belief g i =
   if i < 0 || i >= users g then invalid_arg "Game.belief: user out of range";
   g.beliefs.(i)
 
+let uncertainty g i =
+  if i < 0 || i >= users g then invalid_arg "Game.uncertainty: user out of range";
+  g.uncertainty.(i)
+
+let contribution g i =
+  if i < 0 || i >= users g then invalid_arg "Game.contribution: user out of range";
+  g.contribs.(i)
+
+let bias g i =
+  if i < 0 || i >= users g then invalid_arg "Game.bias: user out of range";
+  g.biases.(i)
+
+let is_load_linear g = g.load_linear
+
 let capacity g i l =
   if i < 0 || i >= users g then invalid_arg "Game.capacity: user out of range";
   if l < 0 || l >= links g then invalid_arg "Game.capacity: link out of range";
@@ -86,11 +129,20 @@ let restrict g ~drop =
   let keep = List.filter (fun i -> i <> drop) (List.init (users g) Fun.id) in
   let pick arr = Array.of_list (List.map (Array.get arr) keep) in
   let weights = pick g.weights and capacities = pick g.capacities in
+  let uncertainty = pick g.uncertainty in
+  let load_linear = Array.for_all Uncertainty.is_load_linear uncertainty in
   {
     weights;
+    uncertainty;
     beliefs = pick g.beliefs;
     capacities;
-    packed = Packing.build ~mults:(Array.make (Array.length weights) 1) weights capacities;
+    contribs = pick g.contribs;
+    biases = pick g.biases;
+    load_linear;
+    packed =
+      (if load_linear then
+         Packing.build ~mults:(Array.make (Array.length weights) 1) weights capacities
+       else None);
   }
 
 let pp fmt g =

@@ -6,11 +6,30 @@
     latencies are computed.  The game caches the full [n × m] effective
     capacity matrix at construction.
 
-    Two constructors are provided: {!make} from explicit beliefs (the
-    generative form), and {!of_capacities} from a user-specific capacity
-    matrix directly (the reduced form; each row is realised as a Dirac
-    belief over a private singleton state space, so the two forms agree
-    on all quantities). *)
+    Two belief-facing constructors are provided: {!make} from explicit
+    beliefs (the generative form), and {!of_capacities} from a
+    user-specific capacity matrix directly (the reduced form; each row
+    is realised as a Dirac belief over a private singleton state space,
+    so the two forms agree on all quantities).
+
+    More generally, {!make_uncertain} accepts any {!Uncertainty}
+    backend per user; {!make} is exactly [make_uncertain] over
+    {!Uncertainty.bayesian} wrappers.  Two derived per-user quantities
+    drive every latency downstream:
+
+    {ul
+    {- the {e contribution} [t_i = load_factor(u_i)·w_i] — the traffic
+       other users expect to meet from user [i] (its full weight except
+       under Bernoulli participation);}
+    {- the {e bias} [β_i = w_i − t_i] — the surcharge on user [i]'s own
+       expected latency, since it is always present for itself.}}
+
+    User [i]'s expected latency on its chosen link [ℓ] is
+    [(L_ℓ + β_i)/c^ℓ_i] where [L_ℓ] sums contributions, and the
+    latency after a deviation to [ℓ'] is [(L_{ℓ'} + t_i + β_i)/c^{ℓ'}_i
+    = (L_{ℓ'} + w_i)/c^{ℓ'}_i].  With every bias zero ([β_i = 0], the
+    {e load-linear} case) both collapse to the paper's [load/ĉ] form,
+    bit-identically to the pre-backend construction. *)
 
 type t
 
@@ -19,6 +38,13 @@ type t
     non-positive, beliefs disagree on the number of links, or there are
     fewer than two links. *)
 val make : weights:Numeric.Rational.t array -> beliefs:Belief.t array -> t
+
+(** [make_uncertain ~weights ~uncertainty] builds a game from per-user
+    uncertainty backends ({!Uncertainty}).  Same validation as {!make};
+    with all-Bayesian backends the result is bit-identical to
+    [make ~weights ~beliefs]. *)
+val make_uncertain :
+  weights:Numeric.Rational.t array -> uncertainty:Uncertainty.t array -> t
 
 (** [of_capacities ~weights caps] builds the reduced form directly from
     [caps.(i).(l) = c^l_i]. @raise Invalid_argument on dimension or
@@ -40,8 +66,29 @@ val weights : t -> Numeric.Rational.t array
 (** [total_traffic g] is [Σ_i w_i]. *)
 val total_traffic : t -> Numeric.Rational.t
 
-(** [belief g i] is user [i]'s belief. *)
+(** [belief g i] is the belief through which user [i] prices
+    capacities: its actual belief for the Bayesian and participation
+    backends, and the decision-equivalent worst-case Dirac belief for
+    the strict backend ({!Uncertainty.belief}). *)
 val belief : t -> int -> Belief.t
+
+(** [uncertainty g i] is user [i]'s uncertainty backend. *)
+val uncertainty : t -> int -> Uncertainty.t
+
+(** [contribution g i] is [t_i = load_factor(u_i)·w_i], the traffic
+    link loads carry for user [i]; equal (physically) to [w_i] for
+    load-linear users. *)
+val contribution : t -> int -> Numeric.Rational.t
+
+(** [bias g i] is [β_i = w_i − t_i], added to user [i]'s own expected
+    latency on its chosen link; zero for load-linear users. *)
+val bias : t -> int -> Numeric.Rational.t
+
+(** [is_load_linear g] holds when every user's latency has the plain
+    [load/ĉ] form (all biases zero) — always true for games built with
+    {!make}/{!of_capacities}/{!kp}.  The packed native-int lane and the
+    closed-form/mixed-equilibrium algorithms require it. *)
+val is_load_linear : t -> bool
 
 (** [capacity g i l] is the effective capacity [c^l_i]. *)
 val capacity : t -> int -> int -> Numeric.Rational.t
@@ -54,7 +101,9 @@ val capacity_matrix : t -> Numeric.Rational.t array array
 
 (** [packed_tables g] is the game's native-int packing ({!Packing}),
     computed once at construction; [None] when any component exceeds
-    the native range, in which case views stay on the exact lane. *)
+    the native range or the game is not load-linear (the packed
+    predicates assume [load/ĉ] latencies), in which case views stay on
+    the exact lane. *)
 val packed_tables : t -> Packing.t option
 
 (** [is_kp g] holds when all users share the same effective capacity

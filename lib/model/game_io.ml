@@ -15,10 +15,41 @@ type accum = {
   mutable states : (int * string * State.t) list; (* reversed, with lineno *)
   mutable beliefs : (int * string) list; (* reversed raw belief lines *)
   mutable capacities : (int * Rational.t array) list; (* reversed rows, with lineno *)
+  mutable backend : (int * string) option; (* 'uncertainty' directive *)
+  mutable presence : (int * Rational.t array) option; (* participation probabilities *)
+  mutable intervals : (int * Rational.t array) list; (* reversed strict rows *)
 }
 
+(* Shared by the per-user and class scanners: the backend stanza and
+   its per-form companion lines. *)
+let parse_backend lineno rest =
+  match rest with
+  | [ ("bayesian" | "participation" | "strict") as name ] -> (lineno, name)
+  | [ other ] -> fail_line lineno (Printf.sprintf "unknown uncertainty backend %S" other)
+  | _ -> fail_line lineno "expected: uncertainty <bayesian|participation|strict>"
+
+let backend_name = function Some (_, name) -> name | None -> "bayesian"
+
+let intervals_of lineno row =
+  let n = Array.length row in
+  if n = 0 || n mod 2 <> 0 then
+    fail_line lineno "interval row needs 'lo hi' capacity pairs, one per link";
+  let ivs = Array.init (n / 2) (fun l -> (row.(2 * l), row.((2 * l) + 1))) in
+  try Uncertainty.strict_of_intervals ivs with Invalid_argument m -> fail_line lineno m
+
 let parse text =
-  let acc = { links = None; weights = None; states = []; beliefs = []; capacities = [] } in
+  let acc =
+    {
+      links = None;
+      weights = None;
+      states = [];
+      beliefs = [];
+      capacities = [];
+      backend = None;
+      presence = None;
+      intervals = [];
+    }
+  in
   let lines = String.split_on_char '\n' text in
   List.iteri
     (fun idx raw ->
@@ -52,6 +83,20 @@ let parse text =
         | "capacities" :: rest ->
           if rest = [] then fail_line lineno "capacities row needs entries";
           acc.capacities <- (lineno, Array.of_list (List.map (parse_rational lineno) rest)) :: acc.capacities
+        | "uncertainty" :: rest ->
+          (match acc.backend with
+           | Some _ -> fail_line lineno "duplicate 'uncertainty' directive"
+           | None -> acc.backend <- Some (parse_backend lineno rest))
+        | "presence" :: rest ->
+          if rest = [] then fail_line lineno "expected one presence probability per user";
+          (match acc.presence with
+           | Some _ -> fail_line lineno "duplicate 'presence' line"
+           | None ->
+             acc.presence <-
+               Some (lineno, Array.of_list (List.map (parse_rational lineno) rest)))
+        | "interval" :: rest ->
+          if rest = [] then fail_line lineno "interval row needs 'lo hi' capacity pairs, one per link";
+          acc.intervals <- (lineno, Array.of_list (List.map (parse_rational lineno) rest)) :: acc.intervals
         | "class" :: _ ->
           fail_line lineno
             "'class' rows describe a class game; use parse_cgame (or the --classes CLI flag)"
@@ -83,12 +128,81 @@ let parse text =
   List.iter
     (fun (lineno, row) -> check_width lineno "capacities row" (Array.length row))
     (List.rev acc.capacities);
+  List.iter
+    (fun (lineno, row) ->
+      let n = Array.length row in
+      if n = 0 || n mod 2 <> 0 then
+        fail_line lineno "interval row needs 'lo hi' capacity pairs, one per link";
+      check_width lineno "interval row" (n / 2))
+    (List.rev acc.intervals);
+  (* Backend coherence, order-independent like the width checks: the
+     companion lines are only legal under their backend, and each
+     backend requires its own form. *)
+  let backend = backend_name acc.backend in
+  (match acc.presence with
+   | Some (lineno, _) when backend <> "participation" ->
+     fail_line lineno "'presence' requires 'uncertainty participation'"
+   | _ -> ());
+  (match List.rev acc.intervals with
+   | (lineno, _) :: _ when backend <> "strict" ->
+     fail_line lineno "'interval' rows require 'uncertainty strict'"
+   | _ -> ());
+  if backend = "participation" && Option.is_none acc.presence then
+    invalid_arg "Game_io: participation form requires a 'presence' line";
+  if backend = "strict" then begin
+    (match (acc.capacities, acc.beliefs, acc.states) with
+     | [], [], [] -> ()
+     | _ -> invalid_arg "Game_io: strict form uses 'interval' rows only");
+    match List.rev acc.intervals with
+    | [] -> invalid_arg "Game_io: strict form requires 'interval' rows"
+    | rows ->
+      let uncertainty =
+        Array.of_list (List.map (fun (lineno, row) -> intervals_of lineno row) rows)
+      in
+      (try Game.make_uncertain ~weights ~uncertainty
+       with Invalid_argument m -> invalid_arg ("Game_io: " ^ m))
+  end
+  else begin
+  (* Bayesian and participation share the belief/capacities forms; the
+     participation wrapper is applied uniformly at the end. *)
+  let with_backend beliefs =
+    match backend with
+    | "participation" ->
+      let lineno, probs = Option.get acc.presence in
+      if Array.length probs <> Array.length weights then
+        fail_line lineno
+          (Printf.sprintf "presence line has %d entries, expected %d (one per user)"
+             (Array.length probs) (Array.length weights));
+      if Array.length beliefs <> Array.length weights then
+        invalid_arg "Game_io: Game.make: one belief per user required";
+      let uncertainty =
+        Array.map2
+          (fun p b ->
+            try Uncertainty.participation ~presence:p b
+            with Invalid_argument m -> fail_line lineno m)
+          probs beliefs
+      in
+      (try Game.make_uncertain ~weights ~uncertainty
+       with Invalid_argument m -> invalid_arg ("Game_io: " ^ m))
+    | _ -> (try Game.make ~weights ~beliefs with Invalid_argument m -> invalid_arg ("Game_io: " ^ m))
+  in
   match acc.capacities, acc.beliefs with
   | [], [] -> invalid_arg "Game_io: need either 'capacities' rows or 'belief' lines"
   | _ :: _, _ :: _ -> invalid_arg "Game_io: cannot mix 'capacities' and 'belief' forms"
   | rows, [] ->
     let rows = Array.of_list (List.rev_map snd rows) in
-    (try Game.of_capacities ~weights rows with Invalid_argument m -> invalid_arg ("Game_io: " ^ m))
+    if backend = "bayesian" then
+      (try Game.of_capacities ~weights rows with Invalid_argument m -> invalid_arg ("Game_io: " ^ m))
+    else begin
+      Array.iter
+        (fun w -> if Rational.sign w <= 0 then invalid_arg "Game_io: Game.make: traffics must be positive")
+        weights;
+      let beliefs =
+        try Array.map (fun row -> Belief.certain (State.make row)) rows
+        with Invalid_argument m -> invalid_arg ("Game_io: " ^ m)
+      in
+      with_backend beliefs
+    end
   | [], raw_beliefs ->
     if acc.states = [] then invalid_arg "Game_io: belief form requires 'state' lines";
     let named = List.rev_map (fun (_, name, st) -> (name, st)) acc.states in
@@ -121,7 +235,8 @@ let parse text =
       try Belief.make space probs with Invalid_argument m -> fail_line lineno m
     in
     let beliefs = Array.of_list (List.rev_map parse_belief raw_beliefs) in
-    (try Game.make ~weights ~beliefs with Invalid_argument m -> invalid_arg ("Game_io: " ^ m))
+    with_backend beliefs
+  end
 
 let parse_file path =
   let ic = open_in path in
@@ -138,6 +253,8 @@ let parse_file path =
    directions. *)
 let parse_cgame text =
   let links = ref None in
+  let backend = ref None in
+  let presence = ref None in
   let rows = ref [] (* reversed (lineno, count, weight, caps) *) in
   List.iteri
     (fun idx raw ->
@@ -163,7 +280,17 @@ let parse_cgame text =
           let caps = Array.of_list (List.map (parse_rational lineno) caps) in
           rows := (lineno, count, weight, caps) :: !rows
         | "class" :: _ -> fail_line lineno "expected: class <count> <weight> <c_1> ... <c_m>"
-        | ("weights" | "state" | "belief" | "capacities") :: _ ->
+        | "uncertainty" :: rest ->
+          (match !backend with
+           | Some _ -> fail_line lineno "duplicate 'uncertainty' directive"
+           | None -> backend := Some (parse_backend lineno rest))
+        | "presence" :: rest ->
+          if rest = [] then fail_line lineno "expected one presence probability per class";
+          (match !presence with
+           | Some _ -> fail_line lineno "duplicate 'presence' line"
+           | None ->
+             presence := Some (lineno, Array.of_list (List.map (parse_rational lineno) rest)))
+        | ("weights" | "state" | "belief" | "capacities" | "interval") :: _ ->
           fail_line lineno "per-user directives cannot appear in a class game file"
         | word :: _ -> fail_line lineno (Printf.sprintf "unknown directive %S" word)
         | [] -> ()
@@ -171,10 +298,27 @@ let parse_cgame text =
     (String.split_on_char '\n' text);
   let rows = List.rev !rows in
   (match rows with [] -> invalid_arg "Game_io: need at least one 'class' row" | _ :: _ -> ());
+  let backend = backend_name !backend in
+  (match !presence with
+   | Some (lineno, _) when backend <> "participation" ->
+     fail_line lineno "'presence' requires 'uncertainty participation'"
+   | _ -> ());
+  if backend = "participation" && Option.is_none !presence then
+    invalid_arg "Game_io: participation form requires a 'presence' line";
+  (* Width check in link units: a strict class row carries a 'lo hi'
+     pair per link, the other backends one capacity per link. *)
   let expected_width = ref !links in
   List.iter
     (fun (lineno, _, _, caps) ->
       let n = Array.length caps in
+      let n =
+        if backend <> "strict" then n
+        else begin
+          if n = 0 || n mod 2 <> 0 then
+            fail_line lineno "strict class row needs 'lo hi' capacity pairs, one per link";
+          n / 2
+        end
+      in
       match !expected_width with
       | Some m when n <> m ->
         fail_line lineno
@@ -184,9 +328,38 @@ let parse_cgame text =
     rows;
   let counts = Array.of_list (List.map (fun (_, c, _, _) -> c) rows) in
   let weights = Array.of_list (List.map (fun (_, _, w, _) -> w) rows) in
-  let caps = Array.of_list (List.map (fun (_, _, _, row) -> row) rows) in
-  try Cgame.of_capacities ~counts ~weights caps
-  with Invalid_argument m -> invalid_arg ("Game_io: " ^ m)
+  match backend with
+  | "strict" ->
+    let uncertainty =
+      Array.of_list (List.map (fun (lineno, _, _, row) -> intervals_of lineno row) rows)
+    in
+    (try Cgame.make_uncertain ~counts ~weights ~uncertainty
+     with Invalid_argument m -> invalid_arg ("Game_io: " ^ m))
+  | "participation" ->
+    let lineno, probs = Option.get !presence in
+    if Array.length probs <> Array.length counts then
+      fail_line lineno
+        (Printf.sprintf "presence line has %d entries, expected %d (one per class)"
+           (Array.length probs) (Array.length counts));
+    let beliefs =
+      try
+        Array.of_list
+          (List.map (fun (_, _, _, row) -> Belief.certain (State.make row)) rows)
+      with Invalid_argument m -> invalid_arg ("Game_io: " ^ m)
+    in
+    let uncertainty =
+      Array.map2
+        (fun p b ->
+          try Uncertainty.participation ~presence:p b
+          with Invalid_argument m -> fail_line lineno m)
+        probs beliefs
+    in
+    (try Cgame.make_uncertain ~counts ~weights ~uncertainty
+     with Invalid_argument m -> invalid_arg ("Game_io: " ^ m))
+  | _ ->
+    let caps = Array.of_list (List.map (fun (_, _, _, row) -> row) rows) in
+    (try Cgame.of_capacities ~counts ~weights caps
+     with Invalid_argument m -> invalid_arg ("Game_io: " ^ m))
 
 let parse_cgame_file path =
   let ic = open_in path in
@@ -194,25 +367,94 @@ let parse_cgame_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> parse_cgame (really_input_string ic (in_channel_length ic)))
 
+(* Writers: files carry an 'uncertainty' stanza (plus its companion
+   lines) exactly when some backend is non-Bayesian, so all-Bayesian
+   output is byte-identical to the pre-backend format.  A game mixing
+   backend kinds across users has no file form. *)
+let writer_kind ~what count uncertainty_of =
+  let k0 = Uncertainty.kind (uncertainty_of 0) in
+  for i = 1 to count - 1 do
+    if not (Uncertainty.equal_kind k0 (Uncertainty.kind (uncertainty_of i))) then
+      invalid_arg (what ^ ": cannot serialise mixed uncertainty backends")
+  done;
+  k0
+
+let add_presence_line buf count presence_of =
+  Buffer.add_string buf "presence";
+  for i = 0 to count - 1 do
+    Buffer.add_string buf (" " ^ Rational.to_string (presence_of i))
+  done;
+  Buffer.add_char buf '\n'
+
+let add_interval_entries buf u =
+  match Uncertainty.strict_bounds u with
+  | None -> assert false (* only called on Strict backends *)
+  | Some (lo, hi) ->
+    for l = 0 to State.links lo - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf " %s %s"
+           (Rational.to_string (State.capacity lo l))
+           (Rational.to_string (State.capacity hi l)))
+    done
+
 let to_class_string g =
   let buf = Buffer.create 256 in
+  let kind = writer_kind ~what:"Game_io.to_class_string" (Cgame.classes g) (Cgame.uncertainty g) in
   Buffer.add_string buf (Printf.sprintf "links %d\n" (Cgame.links g));
+  (match kind with
+   | Uncertainty.Bayesian -> ()
+   | k ->
+     Buffer.add_string buf (Printf.sprintf "uncertainty %s\n" (Uncertainty.kind_name k));
+     if Uncertainty.equal_kind k Uncertainty.Participation then
+       add_presence_line buf (Cgame.classes g) (fun c ->
+           Uncertainty.presence (Cgame.uncertainty g c)));
   for c = 0 to Cgame.classes g - 1 do
     Buffer.add_string buf
       (Printf.sprintf "class %d %s" (Cgame.count g c) (Rational.to_string (Cgame.weight g c)));
-    Array.iter
-      (fun q -> Buffer.add_string buf (" " ^ Rational.to_string q))
-      (Cgame.capacity_row g c);
+    (match kind with
+     | Uncertainty.Strict -> add_interval_entries buf (Cgame.uncertainty g c)
+     | _ ->
+       Array.iter
+         (fun q -> Buffer.add_string buf (" " ^ Rational.to_string q))
+         (Cgame.capacity_row g c));
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+(* A strict game's only faithful file form is the interval form: its
+   decision-equivalent beliefs would drop the hi endpoints. *)
+let strict_to_string g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "links %d\n" (Game.links g));
+  Buffer.add_string buf "uncertainty strict\n";
+  Buffer.add_string buf "weights";
+  Array.iter (fun w -> Buffer.add_string buf (" " ^ Rational.to_string w)) (Game.weights g);
+  Buffer.add_char buf '\n';
+  for i = 0 to Game.users g - 1 do
+    Buffer.add_string buf "interval";
+    add_interval_entries buf (Game.uncertainty g i);
     Buffer.add_char buf '\n'
   done;
   Buffer.contents buf
 
 let to_generative_string g =
+  let kind = writer_kind ~what:"Game_io.to_generative_string" (Game.users g) (Game.uncertainty g) in
+  match kind with
+  | Uncertainty.Strict -> strict_to_string g
+  | _ ->
   let buf = Buffer.create 256 in
   Buffer.add_string buf (Printf.sprintf "links %d\n" (Game.links g));
+  (match kind with
+   | Uncertainty.Participation ->
+     Buffer.add_string buf "uncertainty participation\n"
+   | _ -> ());
   Buffer.add_string buf "weights";
   Array.iter (fun w -> Buffer.add_string buf (" " ^ Rational.to_string w)) (Game.weights g);
   Buffer.add_char buf '\n';
+  (match kind with
+   | Uncertainty.Participation ->
+     add_presence_line buf (Game.users g) (fun i -> Uncertainty.presence (Game.uncertainty g i))
+   | _ -> ());
   (* Union of states across the users' (possibly private) spaces,
      deduplicated structurally; remember each (user, local index) →
      global name. *)
@@ -253,13 +495,26 @@ let to_generative_string g =
   Buffer.contents buf
 
 let to_string g =
+  let kind = writer_kind ~what:"Game_io.to_string" (Game.users g) (Game.uncertainty g) in
+  match kind with
+  | Uncertainty.Strict -> strict_to_string g
+  | _ ->
   let buf = Buffer.create 256 in
   Buffer.add_string buf (Printf.sprintf "links %d\n" (Game.links g));
+  (match kind with
+   | Uncertainty.Participation ->
+     Buffer.add_string buf "uncertainty participation\n"
+   | _ -> ());
   Buffer.add_string buf "weights";
   Array.iter (fun w -> Buffer.add_string buf (" " ^ Rational.to_string w)) (Game.weights g);
   Buffer.add_char buf '\n';
+  (match kind with
+   | Uncertainty.Participation ->
+     add_presence_line buf (Game.users g) (fun i -> Uncertainty.presence (Game.uncertainty g i))
+   | _ -> ());
   (* Reduced form keeps the file small and is always faithful to the
-     latencies (everything factors through the effective capacities). *)
+     latencies (everything factors through the effective capacities —
+     plus, under participation, the presence line). *)
   for i = 0 to Game.users g - 1 do
     Buffer.add_string buf "capacities";
     Array.iter (fun c -> Buffer.add_string buf (" " ^ Rational.to_string c)) (Game.capacity_row g i);

@@ -36,6 +36,35 @@
     Class files are parsed by {!parse_cgame}; mixing class rows with
     per-user directives is rejected in both directions.
 
+    An optional [uncertainty <bayesian|participation|strict>] stanza
+    (at most one per file, position-independent like [links]) selects
+    the {!Uncertainty} backend; omitting it means [bayesian], so every
+    pre-stanza file parses unchanged.  [participation] additionally
+    requires a [presence p_1 … p_n] line (one probability in [(0, 1]]
+    per user — per class in class files) on top of either belief or
+    capacities form:
+
+    {v
+    links 2
+    uncertainty participation
+    weights 3 2
+    presence 1/2 3/4
+    capacities 2 1
+    capacities 1 3
+    v}
+
+    [strict] replaces beliefs/capacities with one [interval] row per
+    user carrying a [lo hi] capacity pair per link (class files carry
+    the pairs on the class rows themselves):
+
+    {v
+    links 2
+    uncertainty strict
+    weights 3 2
+    interval 1 2 3 4
+    interval 2 2 1 5
+    v}
+
     Numbers are exact rationals ([3], [1/2], [0.75]).  Lines starting
     with [#] and blank lines are ignored. *)
 
@@ -49,14 +78,23 @@ val parse_file : string -> Game.t
 
 (** [to_string g] renders [g] in the reduced form (which is always
     faithful: every latency in the game factors through the effective
-    capacities); [parse (to_string g)] yields a game with identical
-    dimensions, weights and effective capacities. *)
+    capacities — plus, under participation, the presence line);
+    [parse (to_string g)] yields a game with identical dimensions,
+    weights, effective capacities, contributions and biases.  Strict
+    games are rendered in the interval form (their only faithful one);
+    all-Bayesian games render byte-identically to the pre-stanza
+    format.
+    @raise Invalid_argument when users mix backend kinds (such a game
+    has no file form). *)
 val to_string : Game.t -> string
 
 (** [to_generative_string g] renders [g] in the belief form, collecting
     the (structurally deduplicated) union of the users' state spaces
     under names [s1, s2, …].  [parse] of the result has the same
-    dimensions, weights and effective capacities as [g]. *)
+    dimensions, weights and effective capacities as [g].  Participation
+    games carry their stanza and presence line; strict games fall back
+    to the interval form.
+    @raise Invalid_argument when users mix backend kinds. *)
 val to_generative_string : Game.t -> string
 
 (** [parse_cgame text] builds the class game described by [text]
@@ -69,7 +107,10 @@ val parse_cgame : string -> Cgame.t
 (** [parse_cgame_file path] reads and parses [path] as a class game. *)
 val parse_cgame_file : string -> Cgame.t
 
-(** [to_class_string g] renders [g] in the class form;
+(** [to_class_string g] renders [g] in the class form (with the
+    [uncertainty] stanza and its companion data when non-Bayesian);
     [parse_cgame (to_class_string g)] yields a class game with
-    identical counts, weights and effective capacities. *)
+    identical counts, weights, effective capacities, contributions and
+    biases.
+    @raise Invalid_argument when classes mix backend kinds. *)
 val to_class_string : Cgame.t -> string

@@ -3,6 +3,12 @@ open Numeric
 type profile = Qvec.t array
 
 let validate g p =
+  (* The whole mixed layer computes expected latencies as
+     belief-weighted load/ĉ sums; a biased (non-load-linear) game has
+     no such form, so reject it here — every mixed consumer validates
+     through this function or [Eval.check_dims]. *)
+  if not (Game.is_load_linear g) then
+    invalid_arg "Mixed.validate: game must be load-linear (no Bernoulli participation)";
   if Array.length p <> Game.users g then
     invalid_arg "Mixed.validate: one distribution per user required";
   Array.iter
@@ -53,6 +59,8 @@ module Eval = struct
   let of_rows g rows = { game = g; rows; traffics = expected_traffics g rows }
 
   let check_dims g p =
+    if not (Game.is_load_linear g) then
+      invalid_arg "Mixed.Eval: game must be load-linear (no Bernoulli participation)";
     if Array.length p <> Game.users g then
       invalid_arg "Mixed.Eval: one distribution per user required";
     Array.iter

@@ -19,26 +19,35 @@ let validate g ?initial p =
       (fun q -> if Rational.sign q < 0 then invalid_arg "Pure.validate: negative initial traffic")
       t
 
+(* Loads sum per-user contributions (presence-discounted weights);
+   for load-linear games the contribution is physically the weight, so
+   the seed arithmetic is untouched. *)
 let loads g ?initial p =
   let t = match initial with Some t -> Array.copy t | None -> zero_initial g in
-  Array.iteri (fun i l -> t.(l) <- Rational.add t.(l) (Game.weight g i)) p;
+  Array.iteri (fun i l -> t.(l) <- Rational.add t.(l) (Game.contribution g i)) p;
   t
 
 let load_on g ?initial p l =
   let base = match initial with Some t -> t.(l) | None -> Rational.zero in
   let acc = ref base in
-  Array.iteri (fun k lk -> if lk = l then acc := Rational.add !acc (Game.weight g k)) p;
+  Array.iteri (fun k lk -> if lk = l then acc := Rational.add !acc (Game.contribution g k)) p;
   !acc
+
+(* User [i]'s own latency numerators carry its bias w_i − t_i: the user
+   is always present for itself. *)
+let biased g i q =
+  let b = Game.bias g i in
+  if Rational.is_zero b then q else Rational.add q b
 
 let latency g ?initial p i =
   let l = p.(i) in
-  Rational.div (load_on g ?initial p l) (Game.capacity g i l)
+  Rational.div (biased g i (load_on g ?initial p l)) (Game.capacity g i l)
 
 let latency_in_state g p i k =
   let b = Game.belief g i in
   let st = State.state (Belief.space b) k in
   let l = p.(i) in
-  Rational.div (load_on g p l) (State.capacity st l)
+  Rational.div (biased g i (load_on g p l)) (State.capacity st l)
 
 let expected_latency_via_states g p i =
   let b = Game.belief g i in
@@ -52,7 +61,8 @@ let expected_latency_via_states g p i =
 
 let latency_on_link g ?initial p i l =
   let base = load_on g ?initial p l in
-  let load = if p.(i) = l then base else Rational.add base (Game.weight g i) in
+  (* Deviation numerator: contribution + bias = w_i, the seed form. *)
+  let load = if p.(i) = l then biased g i base else Rational.add base (Game.weight g i) in
   Rational.div load (Game.capacity g i l)
 
 (* Everything below delegates to a transient [View]: materialise the

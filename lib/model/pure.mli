@@ -21,8 +21,10 @@ type profile = int array
     @raise Invalid_argument when [p] or [initial] is malformed. *)
 val validate : Game.t -> ?initial:Numeric.Rational.t array -> profile -> unit
 
-(** [loads g ?initial p] is the per-link total traffic (initial traffic
-    plus the weights of the users assigned there). *)
+(** [loads g ?initial p] is the per-link total traffic as priced by
+    other users: initial traffic plus the {!Game.contribution}s of the
+    users assigned there (the plain weights except under Bernoulli
+    participation). *)
 val loads : Game.t -> ?initial:Numeric.Rational.t array -> profile -> Numeric.Rational.t array
 
 (** [latency g ?initial p i] is user [i]'s expected latency

@@ -87,7 +87,10 @@ let of_profile g ?initial p =
         | None -> Array.make m Rational.zero
         | Some t -> Array.copy t
       in
-      Array.iteri (fun i l -> loads.(l) <- Rational.add loads.(l) (Game.weight g i)) p;
+      (* Loads sum contributions, not weights: other users only meet
+         the presence-discounted traffic of user [i].  For load-linear
+         games [contribution] is physically the weight. *)
+      Array.iteri (fun i l -> loads.(l) <- Rational.add loads.(l) (Game.contribution g i)) p;
       Exact loads
   in
   {
@@ -131,7 +134,7 @@ let shift v i l =
   if l <> old then begin
     (match v.lane with
      | Exact loads ->
-       let w = Game.weight v.game i in
+       let w = Game.contribution v.game i in
        loads.(old) <- Rational.sub loads.(old) w;
        loads.(l) <- Rational.add loads.(l) w
      | Packed pk ->
@@ -165,10 +168,18 @@ let undo v =
   let m = links v in
   shift v (entry / m) (entry mod m)
 
+(* User [i]'s own latency carries its bias (w_i − t_i): it is always
+   present for itself, even when others only expect it with probability
+   p_i.  The guard keeps load-linear games on the seed's exact code
+   path (bias is physically zero there). *)
+let biased v i q =
+  let b = Game.bias v.game i in
+  if Rational.is_zero b then q else Rational.add q b
+
 let latency v i =
   let l = v.prof.(i) in
   match v.lane with
-  | Exact loads -> Rational.div loads.(l) (Game.capacity v.game i l)
+  | Exact loads -> Rational.div (biased v i loads.(l)) (Game.capacity v.game i l)
   | Packed pk ->
     let m = Array.length pk.piload in
     q_latency pk pk.piload.(l) ((i * m) + l)
@@ -177,7 +188,11 @@ let latency_on_link v i l =
   match v.lane with
   | Exact loads ->
     let base = loads.(l) in
-    let total = if v.prof.(i) = l then base else Rational.add base (Game.weight v.game i) in
+    (* After a deviation the user meets its full weight: contribution +
+       bias = w_i, so the moving branch is the seed expression. *)
+    let total =
+      if v.prof.(i) = l then biased v i base else Rational.add base (Game.weight v.game i)
+    in
     Rational.div total (Game.capacity v.game i l)
   | Packed pk ->
     let m = Array.length pk.piload in
@@ -222,7 +237,10 @@ let best_response_for v i =
    (load_l + w)/cap_l < current  ⟺  load_l + w < current·cap_l, i.e.
    [Rational.compare_sum load_l w (current·cap_l) < 0] — no sum is
    materialised and no division happens per candidate link.  On the
-   packed lane it is a pure three-factor native product comparison. *)
+   packed lane it is a pure three-factor native product comparison.
+   The kernel is backend-agnostic as written: a deviation numerator is
+   load + contribution + bias = load + w for every backend, and
+   [current] already carries the bias through [latency]. *)
 let improving_moves v i =
   let moves = ref [] in
   (match v.lane with

@@ -226,3 +226,57 @@ finds one of its pure equilibria:
   > GAME
   $ $SR solve --algo best-response --seed 4 witness.game | tail -1
   SC1 = 191714/9139, SC2 = 7
+
+Uncertainty backends: a participation file (Bernoulli presence) routes
+through best-response dynamics — the closed-form solvers require
+load-linearity — and announces its backend:
+
+  $ cat > part.game <<'GAME'
+  > links 2
+  > uncertainty participation
+  > weights 3 2
+  > presence 1/2 3/4
+  > capacities 2 1
+  > capacities 1 3
+  > GAME
+  $ $SR solve --uncertainty participation part.game
+  uncertainty backend: participation
+  algorithm: best-response dynamics from a random start
+  (converged after 1 moves)
+  profile: [0; 1]
+  is Nash equilibrium: true
+    user 0: link 0, expected latency 3/2
+    user 1: link 1, expected latency 2/3
+  SC1 = 13/6, SC2 = 3/2
+
+A strict file (worst-case capacity intervals) is load-linear, so the
+two-links closed form still applies:
+
+  $ cat > strict.game <<'GAME'
+  > links 2
+  > uncertainty strict
+  > weights 3 2
+  > interval 1 2 3 4
+  > interval 2 2 1 5
+  > GAME
+  $ $SR solve --uncertainty strict strict.game
+  uncertainty backend: strict
+  algorithm: A_twolinks (Theorem 3.3)
+  profile: [1; 0]
+  is Nash equilibrium: true
+    user 0: link 1, expected latency 1
+    user 1: link 0, expected latency 1
+  SC1 = 2, SC2 = 1
+
+Naming the wrong backend fails fast instead of solving the wrong game:
+
+  $ $SR solve --uncertainty bayesian strict.game
+  selfish_routing: internal error, uncaught exception:
+                   Invalid_argument("--uncertainty bayesian: the game file uses the strict backend")
+                   
+  [125]
+
+An explicit --uncertainty bayesian on a plain file is acknowledged:
+
+  $ $SR solve --uncertainty bayesian --algo two-links quickstart.game | head -1
+  uncertainty backend: bayesian

@@ -137,6 +137,143 @@ let roundtrip_properties =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Uncertainty backends                                                *)
+
+let participation_example = {|
+links 2
+uncertainty participation
+weights 3 2
+presence 1/2 3/4
+capacities 2 1
+capacities 1 3
+|}
+
+let strict_example = {|
+links 2
+uncertainty strict
+weights 3 2
+interval 1 2 3 4
+interval 2 2 1 5
+|}
+
+let test_parse_participation () =
+  let g = Game_io.parse participation_example in
+  Alcotest.(check bool) "participation kind" true
+    (Uncertainty.equal_kind Uncertainty.Participation (Uncertainty.kind (Game.uncertainty g 0)));
+  Alcotest.check check_q "presence 0" (q 1 2) (Uncertainty.presence (Game.uncertainty g 0));
+  Alcotest.check check_q "presence 1" (q 3 4) (Uncertainty.presence (Game.uncertainty g 1));
+  (* Capacities come from the belief exactly as in the Bayesian form;
+     the presence only changes contributions and biases. *)
+  Alcotest.check check_q "capacity" (qi 2) (Game.capacity g 0 0);
+  Alcotest.check check_q "contribution = p·w" (q 3 2) (Game.contribution g 0);
+  Alcotest.check check_q "bias = w - t" (q 3 2) (Game.bias g 0);
+  Alcotest.(check bool) "not load-linear" false (Game.is_load_linear g);
+  (* The belief form accepts the same stanza. *)
+  let g' =
+    Game_io.parse
+      "links 2\nuncertainty participation\nweights 1\npresence 1/3\nstate a 2 1\nbelief a: 1\n"
+  in
+  Alcotest.check check_q "belief-form presence" (q 1 3) (Uncertainty.presence (Game.uncertainty g' 0))
+
+let test_parse_strict () =
+  let g = Game_io.parse strict_example in
+  let u = Game.uncertainty g 0 in
+  Alcotest.(check bool) "strict kind" true
+    (Uncertainty.equal_kind Uncertainty.Strict (Uncertainty.kind u));
+  (* Decisions price the lo endpoints; both bounds survive parsing. *)
+  Alcotest.check check_q "worst-case capacity" (qi 1) (Game.capacity g 0 0);
+  (match Uncertainty.strict_bounds u with
+   | Some (lo, hi) ->
+     Alcotest.check check_q "lo" (qi 3) (State.capacity lo 1);
+     Alcotest.check check_q "hi" (qi 4) (State.capacity hi 1)
+   | None -> Alcotest.fail "expected strict bounds");
+  Alcotest.(check bool) "strict games are load-linear" true (Game.is_load_linear g)
+
+let same_uncertainty g g' =
+  Game.users g = Game.users g'
+  && List.for_all
+       (fun i -> Uncertainty.equal (Game.uncertainty g i) (Game.uncertainty g' i))
+       (List.init (Game.users g) Fun.id)
+
+(* The generative form rebuilds the state space (fresh names, the
+   deduplicated union), so it preserves the backend's observable data —
+   kind, presence, evaluation capacities — not the belief structure. *)
+let same_observable g g' =
+  Game.users g = Game.users g'
+  && List.for_all
+       (fun i ->
+         let u = Game.uncertainty g i and u' = Game.uncertainty g' i in
+         Uncertainty.equal_kind (Uncertainty.kind u) (Uncertainty.kind u')
+         && Rational.equal (Uncertainty.presence u) (Uncertainty.presence u')
+         && Array.for_all2 Rational.equal (Uncertainty.eval_capacities u)
+              (Uncertainty.eval_capacities u'))
+       (List.init (Game.users g) Fun.id)
+
+let test_backend_roundtrips () =
+  let p = Game_io.parse participation_example in
+  Alcotest.(check bool) "participation reduced roundtrip" true
+    (same_uncertainty p (Game_io.parse (Game_io.to_string p)));
+  Alcotest.(check bool) "participation generative roundtrip" true
+    (same_observable p (Game_io.parse (Game_io.to_generative_string p)));
+  let s = Game_io.parse strict_example in
+  Alcotest.(check bool) "strict roundtrip keeps both bounds" true
+    (same_uncertainty s (Game_io.parse (Game_io.to_string s)));
+  Alcotest.(check bool) "strict generative falls back to intervals" true
+    (same_uncertainty s (Game_io.parse (Game_io.to_generative_string s)))
+
+let test_bayesian_output_byte_identical () =
+  (* All-Bayesian games must render exactly as before the stanza
+     existed: no 'uncertainty' line anywhere. *)
+  let g = Game_io.parse reduced_example in
+  let rendered = Game_io.to_string g in
+  Alcotest.(check string) "pre-stanza byte identity" "links 2\nweights 3 2\ncapacities 2 1\ncapacities 1 3\n"
+    rendered
+
+let test_mixed_kinds_unserialisable () =
+  let g =
+    Game.make_uncertain ~weights:[| qi 1; qi 1 |]
+      ~uncertainty:
+        [|
+          Uncertainty.bayesian (Belief.certain (State.make [| qi 1; qi 2 |]));
+          Uncertainty.strict_of_intervals [| (qi 1, qi 1); (qi 2, qi 2) |];
+        |]
+  in
+  Alcotest.check_raises "to_string rejects mixed kinds"
+    (Invalid_argument "Game_io.to_string: cannot serialise mixed uncertainty backends")
+    (fun () -> ignore (Game_io.to_string g))
+
+let backend_error_cases =
+  [
+    check_invalid "presence without stanza" "links 2\nweights 1\npresence 1/2\ncapacities 1 1\n"
+      "'presence' requires 'uncertainty participation'";
+    check_invalid "interval without stanza" "links 2\nweights 1\ninterval 1 1 2 2\n"
+      "'interval' rows require 'uncertainty strict'";
+    check_invalid "participation needs presence"
+      "links 2\nuncertainty participation\nweights 1\ncapacities 1 1\n"
+      "requires a 'presence' line";
+    check_invalid "strict forbids capacities"
+      "links 2\nuncertainty strict\nweights 1\ncapacities 1 1\ninterval 1 1 2 2\n"
+      "uses 'interval' rows only";
+    check_invalid "strict needs intervals" "links 2\nuncertainty strict\nweights 1\n"
+      "requires 'interval' rows";
+    check_invalid "odd interval row" "links 2\nuncertainty strict\nweights 1\ninterval 1 1 2\n"
+      "'lo hi' capacity pairs";
+    check_invalid "empty interval" "links 2\nuncertainty strict\nweights 1\ninterval 2 1 1 1\n"
+      "interval is empty";
+    check_invalid "presence count mismatch"
+      "links 2\nuncertainty participation\nweights 1 1\npresence 1/2\ncapacities 1 1\ncapacities 1 1\n"
+      "presence line has 1 entries, expected 2";
+    check_invalid "presence out of range"
+      "links 2\nuncertainty participation\nweights 1\npresence 0\ncapacities 1 1\n"
+      "presence must lie in (0, 1]";
+    check_invalid "unknown backend" "links 2\nuncertainty fuzzy\nweights 1\ncapacities 1 1\n"
+      "unknown uncertainty backend";
+    check_invalid "duplicate stanza"
+      "links 2\nuncertainty strict\nuncertainty strict\nweights 1\ninterval 1 1 2 2\n"
+      "duplicate 'uncertainty' directive";
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Class form                                                          *)
 
 let class_example = {|
@@ -258,6 +395,65 @@ let class_roundtrip_properties =
                 (List.init k Fun.id)));
   ]
 
+let class_participation_example = {|
+links 2
+uncertainty participation
+presence 1/2 1
+class 10 1 2 1
+class 5 1/2 1 3
+|}
+
+let class_strict_example = {|
+links 2
+uncertainty strict
+class 10 1 2 3 1 2
+class 5 1/2 1 1 3 5
+|}
+
+let test_parse_class_backends () =
+  let g = Game_io.parse_cgame class_participation_example in
+  Alcotest.(check bool) "participation kind" true
+    (Uncertainty.equal_kind Uncertainty.Participation (Uncertainty.kind (Cgame.uncertainty g 0)));
+  Alcotest.check check_q "class presence" (q 1 2) (Uncertainty.presence (Cgame.uncertainty g 0));
+  Alcotest.check check_q "class contribution" (q 1 2) (Cgame.contribution g 0);
+  Alcotest.(check bool) "p = 1 class keeps load-linearity per class" true
+    (Uncertainty.is_load_linear (Cgame.uncertainty g 1));
+  Alcotest.(check bool) "game is not load-linear" false (Cgame.is_load_linear g);
+  let s = Game_io.parse_cgame class_strict_example in
+  Alcotest.check check_q "strict class prices lo" (qi 2) (Cgame.capacity s 0 0);
+  (match Uncertainty.strict_bounds (Cgame.uncertainty s 0) with
+   | Some (_, hi) -> Alcotest.check check_q "hi kept" (qi 3) (State.capacity hi 0)
+   | None -> Alcotest.fail "expected strict bounds")
+
+let test_class_backend_roundtrips () =
+  let same g g' =
+    Cgame.classes g = Cgame.classes g'
+    && List.for_all
+         (fun c ->
+           Cgame.count g c = Cgame.count g' c
+           && Uncertainty.equal (Cgame.uncertainty g c) (Cgame.uncertainty g' c))
+         (List.init (Cgame.classes g) Fun.id)
+  in
+  let p = Game_io.parse_cgame class_participation_example in
+  Alcotest.(check bool) "class participation roundtrip" true
+    (same p (Game_io.parse_cgame (Game_io.to_class_string p)));
+  let s = Game_io.parse_cgame class_strict_example in
+  Alcotest.(check bool) "class strict roundtrip" true
+    (same s (Game_io.parse_cgame (Game_io.to_class_string s)))
+
+let class_backend_error_cases =
+  [
+    check_invalid_class "class presence count"
+      "links 2\nuncertainty participation\npresence 1/2\nclass 2 1 1 1\nclass 2 1 1 1\n"
+      "presence line has 1 entries, expected 2 (one per class)";
+    check_invalid_class "class strict odd row"
+      "links 2\nuncertainty strict\nclass 2 1 1 2 3\n"
+      "strict class row needs 'lo hi' capacity pairs";
+    check_invalid_class "class presence without stanza"
+      "links 2\npresence 1/2\nclass 2 1 1 1\n"
+      "'presence' requires 'uncertainty participation'";
+  ]
+
 let suite =
   [
     ("parse generative form", `Quick, test_parse_generative);
@@ -266,16 +462,23 @@ let suite =
     ("comments and blanks", `Quick, test_comments_and_blanks);
     ("belief probabilities accumulate", `Quick, test_belief_accumulates);
     ("generative roundtrip", `Quick, test_generative_roundtrip);
+    ("parse participation", `Quick, test_parse_participation);
+    ("parse strict", `Quick, test_parse_strict);
+    ("backend roundtrips", `Quick, test_backend_roundtrips);
+    ("bayesian output byte-identical", `Quick, test_bayesian_output_byte_identical);
+    ("mixed kinds unserialisable", `Quick, test_mixed_kinds_unserialisable);
   ]
-  @ error_cases
+  @ error_cases @ backend_error_cases
 
 let class_suite =
   [
     ("parse class form", `Quick, test_parse_class_form);
     ("class roundtrip", `Quick, test_class_roundtrip);
     ("class width inference", `Quick, test_class_width_inference);
+    ("class backends", `Quick, test_parse_class_backends);
+    ("class backend roundtrips", `Quick, test_class_backend_roundtrips);
   ]
-  @ class_error_cases
+  @ class_error_cases @ class_backend_error_cases
 
 let () =
   Alcotest.run "game_io"

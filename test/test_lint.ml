@@ -205,6 +205,19 @@ let test_default_rules_scoping () =
   let combinat = default_rules "lib/numeric/combinat.ml" in
   Alcotest.(check bool) "combinat.ml: R1 on" true (has Poly combinat);
   Alcotest.(check bool) "combinat.ml: R2 on" true (has Float_op combinat);
+  (* The uncertainty backends price every latency the Nash predicates
+     see, so they carry the full exactness scope; the ignorance
+     experiment is float only through the allowlist, like the other
+     experiment drivers. *)
+  let uncertainty = default_rules "lib/model/uncertainty.ml" in
+  Alcotest.(check bool) "uncertainty.ml: R1 on" true (has Poly uncertainty);
+  Alcotest.(check bool) "uncertainty.ml: R2 on" true (has Float_op uncertainty);
+  Alcotest.(check bool) "uncertainty.ml: D1 on" true (has Capture uncertainty);
+  let ignorance = default_rules "lib/experiments/ignorance.ml" in
+  Alcotest.(check bool) "ignorance.ml: R2 on (allowlist, not scoping)" true
+    (has Float_op ignorance);
+  Alcotest.(check bool) "ignorance.ml: R1 off (experiments are not poly-scoped)" false
+    (has Poly ignorance);
   (* Domain-safety scoping: D2 is off only inside lib/parallel, D3
      only applies under lib/, D4 is off only under bench/. *)
   let parallel = default_rules "lib/parallel/parallel.ml" in

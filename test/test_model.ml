@@ -54,6 +54,17 @@ let test_belief_validation () =
     (Invalid_argument "Belief.point: state index out of range") (fun () ->
       ignore (Belief.point space2 2))
 
+let test_belief_condition_impossible_event () =
+  (* The exact message is part of the API: conditioning on an event the
+     prior rules out has no posterior. *)
+  let b = Belief.point space2 0 in
+  Alcotest.check_raises "prior-null event"
+    (Invalid_argument "Belief.condition: event has prior probability zero") (fun () ->
+      ignore (Belief.condition b ~event:(fun k -> k = 1)));
+  Alcotest.check_raises "empty event"
+    (Invalid_argument "Belief.condition: event has prior probability zero") (fun () ->
+      ignore (Belief.condition b ~event:(fun _ -> false)))
+
 let test_effective_capacity_harmonic () =
   (* b = (1/2, 1/2): 1/c^0 = (1/2)(1/2) + (1/2)(1/1) = 3/4, so c^0 = 4/3;
      1/c^1 = (1/2)(1/1) + (1/2)(1/3) = 2/3, so c^1 = 3/2. *)
@@ -292,8 +303,60 @@ let game_gen =
           ~beliefs:(Experiments.Generators.Shared_space { states = 3; cap_bound = 5; grain = 4 }))
       (int_bound 1_000_000))
 
+(* A rational in [0, 1] with a small denominator. *)
+let unit_rational rng =
+  let den = 1 + Prng.Rng.int rng 6 in
+  q (Prng.Rng.int rng (den + 1)) den
+
 let model_properties =
   [
+    prop "mixture re-associates with the matching weights"
+      QCheck2.Gen.(int_bound 1_000_000)
+      (fun seed ->
+        (* (1-v)·[(1-u)·a + u·b] + v·c is also a right-nested mixture:
+           the outer weight becomes v' = 1 - (1-u)(1-v) and the inner
+           one w' = v/v'.  Exact rationals make the two association
+           orders literally equal, not just close. *)
+        let rng = Prng.Rng.create seed in
+        let dist () = Prng.Rng.positive_simplex rng ~dim:2 ~grain:5 in
+        let a = Belief.make space2 (dist ())
+        and b = Belief.make space2 (dist ())
+        and c = Belief.make space2 (dist ()) in
+        let u = unit_rational rng and v = unit_rational rng in
+        let left = Belief.mixture (Belief.mixture a b ~weight:u) c ~weight:v in
+        let v' =
+          Rational.sub Rational.one
+            (Rational.mul (Rational.sub Rational.one u) (Rational.sub Rational.one v))
+        in
+        if Rational.is_zero v' then true
+        else
+          let w' = Rational.div v v' in
+          Belief.equal left (Belief.mixture a (Belief.mixture b c ~weight:w') ~weight:v'));
+    prop "from_counts normalises to (count + s)/(total + K·s)"
+      QCheck2.Gen.(int_bound 1_000_000)
+      (fun seed ->
+        let rng = Prng.Rng.create seed in
+        let states = State.space_size space2 in
+        let counts = Array.init states (fun _ -> Prng.Rng.int rng 7) in
+        let smoothing =
+          if Array.for_all (fun c -> c = 0) counts then Rational.one else unit_rational rng
+        in
+        (* Regenerate when both the counts and the smoothing vanish —
+           that input is rejected (and pinned as such below). *)
+        if Array.for_all (fun c -> c = 0) counts && Rational.is_zero smoothing then true
+        else
+          let b = Belief.from_counts space2 counts ~smoothing in
+          let total =
+            Rational.add
+              (Rational.of_int (Array.fold_left ( + ) 0 counts))
+              (Rational.mul (Rational.of_int states) smoothing)
+          in
+          Rational.equal (Rational.sum_array (Belief.probs b)) Rational.one
+          && List.for_all
+               (fun k ->
+                 Rational.equal (Belief.prob b k)
+                   (Rational.div (Rational.add (Rational.of_int counts.(k)) smoothing) total))
+               (List.init states Fun.id));
     prop "expected latency factors through effective capacity" game_gen (fun g ->
         let rng = Prng.Rng.create (Game.users g) in
         let sigma = Array.init (Game.users g) (fun _ -> Prng.Rng.int rng (Game.links g)) in
@@ -383,6 +446,7 @@ let suite =
     ("state validation", `Quick, test_state_validation);
     ("state accessors", `Quick, test_state_accessors);
     ("belief validation", `Quick, test_belief_validation);
+    ("belief condition on impossible event", `Quick, test_belief_condition_impossible_event);
     ("effective capacity harmonic mean", `Quick, test_effective_capacity_harmonic);
     ("point belief capacity", `Quick, test_point_belief_capacity);
     ("uniform link view predicate", `Quick, test_uniform_link_view_predicate);
