@@ -1475,6 +1475,166 @@ let bench_ignorance_json () =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* ------------------------------------------------------------------ *)
+(* Streaming-repair benchmark: BENCH_serve.json artefact               *)
+
+(* A rolling 10^5-user class game absorbs a deterministic mutation
+   stream (arrivals, departures, reweights, whole-row capacity
+   rescalings); after every batch the equilibrium is repaired in place
+   by [Serve.Repair.repair_batch] AND re-solved from scratch
+   ([Cview.to_cgame] + proportional start + [Algo.Cbr.converge] +
+   [Cview.is_nash]), and both verdicts must agree — the headline is
+   the repair-vs-resolve wall-clock ratio and the sustained
+   mutations/sec.  Capacity revisions rescale a class's whole row, so
+   every row stays a rational multiple of one common base vector and
+   block best-response dynamics keep their weighted potential.  Each
+   side is timed single-shot per batch (repair mutates the view, so it
+   cannot be replayed) and aggregated over the stream.  Writes schema
+   bench-serve/1 to BENCH_serve.json or $BENCH_SERVE_JSON.
+   BENCH_SERVE_ONLY=1 runs just this section. *)
+let bench_serve_json () =
+  Report.heading "SERVE"
+    "incremental repair vs re-solve under mutation streams (emits BENCH_serve.json)";
+  (* All weights carry denominator 4 so the view's packed lane survives
+     reweights (the packing scale is the lcm of weight denominators and
+     is fixed at view creation); all capacity rows are rational
+     multiples of one [base] vector, so block best response rides a
+     weighted potential and Cbr converges on both sides. *)
+  let k = 96 and m = 8 in
+  let base = Array.init m (fun l -> Rational.of_int (m + 1 - l)) in
+  let counts = Array.init k (fun _ -> 1050) in
+  let weights = Array.init k (fun c -> Rational.of_ints ((4 * ((c mod 16) + 1)) + 1) 4) in
+  let row_scale c = Rational.of_ints ((c mod 5) + 2) 2 in
+  let caps = Array.init k (fun c -> Array.map (Rational.mul (row_scale c)) base) in
+  let g = Cgame.of_capacities ~counts ~weights caps in
+  let users_initial = Cgame.users g in
+  let o = Algo.Cbr.converge g (Algo.Cbr.proportional_start g) in
+  if not o.Algo.Cbr.converged then failwith "bench_serve: initial solve did not converge";
+  let v = Cview.of_profile g o.Algo.Cbr.profile in
+  let rng = Prng.Rng.create 2006 in
+  let batches = if quick then 40 else 200 in
+  let cur_users () =
+    let t = ref 0 in
+    for c = 0 to k - 1 do
+      t := !t + Cview.class_count v c
+    done;
+    !t
+  in
+  (* The stream is generated against the live view so departures always
+     name an occupied link and never empty a class; when the rolling
+     population touches the 10^5 floor the next batch is forced to be
+     an arrival. *)
+  let gen_batch () =
+    let kind = if cur_users () <= 100_100 then 0 else Prng.Rng.int rng 4 in
+    match kind with
+    | 0 ->
+      let cls = Prng.Rng.int rng k and link = Prng.Rng.int rng m in
+      [ Serve.Mutation.Arrive { cls; link; count = 1 + Prng.Rng.int rng 8 } ]
+    | 1 ->
+      let cls = Prng.Rng.int rng k in
+      let off = Prng.Rng.int rng m in
+      let link = ref (-1) in
+      for i = 0 to m - 1 do
+        let l = (off + i) mod m in
+        if !link < 0 && Cview.assigned v cls l > 0 then link := l
+      done;
+      let l = !link in
+      let avail = min (Cview.assigned v cls l) (Cview.class_count v cls - 1) in
+      let avail = min avail 8 in
+      if avail <= 0 then [ Serve.Mutation.Arrive { cls; link = l; count = 1 } ]
+      else [ Serve.Mutation.Depart { cls; link = l; count = 1 + Prng.Rng.int rng avail } ]
+    | 2 ->
+      (* bounded nudge: the class keeps its magnitude (base + r/4 for
+         r in {1..3}) and the denominator keeps dividing the packing
+         scale, so the fast lane survives *)
+      let cls = Prng.Rng.int rng k in
+      let b = (cls mod 16) + 1 in
+      [ Serve.Mutation.Reweight
+          { cls; weight = Rational.of_ints ((4 * b) + 1 + Prng.Rng.int rng 3) 4 } ]
+    | _ ->
+      (* rescale the whole row by a factor in [3/4, 5/4]: rows stay
+         proportional to [base] *)
+      let cls = Prng.Rng.int rng k in
+      let scale =
+        Rational.mul (row_scale cls) (Rational.of_ints (6 + Prng.Rng.int rng 5) 8)
+      in
+      List.init m (fun link ->
+          Serve.Mutation.Revise_capacity { cls; link; cap = Rational.mul scale base.(link) })
+  in
+  let repair_total = ref 0.0 and resolve_total = ref 0.0 in
+  let total_mutations = ref 0 and repair_moves = ref 0 and repair_users_moved = ref 0 in
+  let fallbacks = ref 0 and resolve_steps = ref 0 in
+  let min_users = ref (cur_users ()) and max_users = ref (cur_users ()) in
+  let verdicts_ok = ref true in
+  for _b = 1 to batches do
+    let batch = gen_batch () in
+    total_mutations := !total_mutations + List.length batch;
+    let t0 = Unix.gettimeofday () in
+    let r = Serve.Repair.repair_batch v batch in
+    let t1 = Unix.gettimeofday () in
+    repair_total := !repair_total +. (t1 -. t0);
+    repair_moves := !repair_moves + r.Serve.Repair.moves;
+    repair_users_moved := !repair_users_moved + r.Serve.Repair.users_moved;
+    if r.Serve.Repair.fallback then incr fallbacks;
+    let t2 = Unix.gettimeofday () in
+    let g' = Cview.to_cgame v in
+    let o' = Algo.Cbr.converge g' (Algo.Cbr.proportional_start g') in
+    let rv = Cview.of_profile g' o'.Algo.Cbr.profile in
+    let nash' = o'.Algo.Cbr.converged && Cview.is_nash rv in
+    let t3 = Unix.gettimeofday () in
+    resolve_total := !resolve_total +. (t3 -. t2);
+    resolve_steps := !resolve_steps + o'.Algo.Cbr.steps;
+    if not (r.Serve.Repair.nash && nash') then verdicts_ok := false;
+    let u = cur_users () in
+    if u < !min_users then min_users := u;
+    if u > !max_users then max_users := u
+  done;
+  if not !verdicts_ok then failwith "bench_serve: repair and re-solve verdicts diverged";
+  let speedup = if !repair_total > 0.0 then !resolve_total /. !repair_total else 0.0 in
+  let mutations_per_sec =
+    if !repair_total > 0.0 then float_of_int !total_mutations /. !repair_total else 0.0
+  in
+  let t =
+    Stats.Table.create
+      [ "batches"; "mutations"; "repair ms"; "resolve ms"; "speedup"; "mutations/s";
+        "repair moves"; "fallbacks"; "users min..max" ]
+  in
+  Stats.Table.add_row t
+    [
+      string_of_int batches; string_of_int !total_mutations;
+      Report.flt (!repair_total *. 1000.0); Report.flt (!resolve_total *. 1000.0);
+      Report.flt speedup; Report.flt mutations_per_sec; string_of_int !repair_moves;
+      string_of_int !fallbacks; Printf.sprintf "%d..%d" !min_users !max_users;
+    ];
+  Stats.Table.print t;
+  Printf.printf "repair-vs-resolve speedup over %d batches: %.1fx (verdicts identical: %b)\n"
+    batches speedup !verdicts_ok;
+  let out = Buffer.create 1024 in
+  Buffer.add_string out "{\n";
+  Buffer.add_string out "  \"schema\": \"bench-serve/1\",\n";
+  Printf.bprintf out "  \"quick\": %b,\n" quick;
+  Printf.bprintf out "  \"instance\": {\"k\": %d, \"m\": %d, \"users_initial\": %d},\n" k m
+    users_initial;
+  Printf.bprintf out "  \"batches\": %d,\n" batches;
+  Printf.bprintf out "  \"mutations\": %d,\n" !total_mutations;
+  Printf.bprintf out "  \"repair_ms\": %.4f,\n" (!repair_total *. 1000.0);
+  Printf.bprintf out "  \"resolve_ms\": %.4f,\n" (!resolve_total *. 1000.0);
+  Printf.bprintf out "  \"speedup\": %.3f,\n" speedup;
+  Printf.bprintf out "  \"mutations_per_sec\": %.1f,\n" mutations_per_sec;
+  Printf.bprintf out "  \"repair_moves\": %d,\n" !repair_moves;
+  Printf.bprintf out "  \"repair_users_moved\": %d,\n" !repair_users_moved;
+  Printf.bprintf out "  \"fallbacks\": %d,\n" !fallbacks;
+  Printf.bprintf out "  \"resolve_steps\": %d,\n" !resolve_steps;
+  Printf.bprintf out "  \"users\": {\"min\": %d, \"max\": %d, \"final\": %d},\n" !min_users
+    !max_users (cur_users ());
+  Printf.bprintf out "  \"verdicts_identical\": %b\n" !verdicts_ok;
+  Buffer.add_string out "}\n";
+  let path = Option.value (Sys.getenv_opt "BENCH_SERVE_JSON") ~default:"BENCH_serve.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents out);
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 let main () =
   Printf.printf "Network Uncertainty in Selfish Routing — reproduction harness%s\n"
     (if quick then " (QUICK mode)" else "");
@@ -1505,6 +1665,7 @@ let main () =
   bench_mixed_json ();
   bench_class_json ();
   bench_ignorance_json ();
+  bench_serve_json ();
   print_endline "\nAll experiment tables regenerated. See EXPERIMENTS.md for the paper-vs-measured record."
 
 let () =
@@ -1514,4 +1675,5 @@ let () =
   else if Sys.getenv_opt "BENCH_MIXED_ONLY" <> None then bench_mixed_json ()
   else if Sys.getenv_opt "BENCH_CLASS_ONLY" <> None then bench_class_json ()
   else if Sys.getenv_opt "BENCH_IGNORANCE_ONLY" <> None then bench_ignorance_json ()
+  else if Sys.getenv_opt "BENCH_SERVE_ONLY" <> None then bench_serve_json ()
   else main ()

@@ -11,6 +11,8 @@
      monte-carlo  cross-check exact latencies by state sampling
      fictitious   run fictitious play
      sweep        run a pure-NE existence sweep (Conjecture 3.7)
+     serve        replay a mutation log, repairing equilibrium per batch
+     wire         convert between the text formats and the binary wire format
      demo         generate a random instance, print and solve it *)
 
 open Model
@@ -430,6 +432,138 @@ let sweep_cmd =
   Cmd.v info Term.(const run_sweep $ seed_arg $ trials $ n_hi $ m_hi $ domains)
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+
+let read_binary_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_cgame path =
+  let data = read_binary_file path in
+  if Serve.Wire.is_wire data then Serve.Wire.decode_cgame data else Game_io.parse_cgame data
+
+let load_log path =
+  let data = read_binary_file path in
+  if Serve.Wire.is_wire data then Serve.Wire.decode_log data else Serve.Mutation.parse data
+
+let run_serve game_file log_file domains max_moves =
+  let g = load_cgame game_file in
+  let log = load_log log_file in
+  Printf.printf "class game: %d classes, %d users, %d links; %d mutation batches\n"
+    (Cgame.classes g) (Cgame.users g) (Cgame.links g) (List.length log);
+  let o = Algo.Cbr.converge g (Algo.Cbr.proportional_start g) in
+  if not o.converged then failwith "initial solve did not converge within budget";
+  Printf.printf "initial equilibrium: %d block moves, %d users moved\n" o.steps o.users_moved;
+  let v = Cview.of_profile g o.profile in
+  List.iteri
+    (fun idx batch ->
+      let r = Serve.Repair.repair_batch ~domains ~max_steps:max_moves v batch in
+      let users = ref 0 in
+      for c = 0 to Cview.classes v - 1 do
+        users := !users + Cview.class_count v c
+      done;
+      Printf.printf
+        "{\"batch\":%d,\"mutations\":%d,\"moves\":%d,\"users_moved\":%d,\
+         \"seeded_classes\":%d,\"seeded_links\":%d,\"frontier_links\":%d,\
+         \"fallback\":%b,\"nash\":%b,\"users\":%d,\"sc1\":\"%s\"}\n"
+        (idx + 1) (List.length batch) r.Serve.Repair.moves r.Serve.Repair.users_moved
+        r.Serve.Repair.seeded_classes r.Serve.Repair.seeded_links r.Serve.Repair.frontier_links
+        r.Serve.Repair.fallback r.Serve.Repair.nash !users
+        (Rational.to_string (Cview.social_cost1 v)))
+    log
+
+let serve_cmd =
+  let log_arg =
+    let doc = "Mutation log: text directives (batch/arrive/depart/reweight/capacity) or \
+               the binary wire form."
+    in
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"MUTLOG" ~doc)
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ]
+          ~doc:
+            "Worker domains for the repair scans (results are bit-identical \
+             for any value).")
+  in
+  let max_moves =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "max-moves" ] ~doc:"Block-move budget per batch repair.")
+  in
+  let doc =
+    "Replay a mutation log against a class game, repairing equilibrium after \
+     each batch and emitting per-batch stats as JSON lines."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run_serve $ game_arg $ log_arg $ domains $ max_moves)
+
+(* ------------------------------------------------------------------ *)
+(* wire                                                                *)
+
+(* Text payloads are told apart by their directives: mutation logs use
+   batch/arrive/depart, class games have 'class' rows, everything else
+   is a per-user game.  Parse errors then carry their native
+   line-numbered messages. *)
+let classify_text text =
+  let starts p l =
+    String.length l >= String.length p && String.sub l 0 (String.length p) = p
+  in
+  let lines =
+    String.split_on_char '\n' text |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  if List.exists (fun l -> l = "batch" || starts "arrive " l || starts "depart " l) lines
+  then `Log
+  else if List.exists (fun l -> starts "class " l) lines then `Cgame
+  else `Game
+
+let run_wire file out =
+  let data = read_binary_file file in
+  let write_out content =
+    match out with
+    | Some path ->
+      let oc = open_out_bin path in
+      Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc content)
+    | None -> print_string content
+  in
+  if Serve.Wire.is_wire data then begin
+    match Serve.Wire.peek_kind data with
+    | Serve.Wire.Game -> write_out (Game_io.to_string (Serve.Wire.decode_game data))
+    | Serve.Wire.Cgame -> write_out (Game_io.to_class_string (Serve.Wire.decode_cgame data))
+    | Serve.Wire.Log -> write_out (Serve.Mutation.render (Serve.Wire.decode_log data))
+    | Serve.Wire.Profile | Serve.Wire.Cprofile ->
+      invalid_arg "wire: profile payloads have no text form"
+  end
+  else
+    match out with
+    | None -> invalid_arg "wire: refusing to write binary data to stdout; pass --out FILE"
+    | Some _ ->
+      write_out
+        (match classify_text data with
+         | `Log -> Serve.Wire.encode_log (Serve.Mutation.parse data)
+         | `Cgame -> Serve.Wire.encode_cgame (Game_io.parse_cgame data)
+         | `Game -> Serve.Wire.encode_game (Game_io.parse data))
+
+let wire_cmd =
+  let file_arg =
+    let doc = "Input file, either text (game, class game, mutation log) or binary wire." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let out_arg =
+    let doc = "Output path.  Required when encoding text to binary." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"PATH" ~doc)
+  in
+  let doc =
+    "Convert between the text formats and the binary wire format (SRWF): \
+     binary inputs are decoded to text, text inputs are encoded to binary."
+  in
+  Cmd.v (Cmd.info "wire" ~doc) Term.(const run_wire $ file_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
 (* demo                                                                *)
 
 let run_demo seed =
@@ -455,7 +589,8 @@ let main_cmd =
   Cmd.group info
     [
       solve_cmd; fmne_cmd; enumerate_cmd; mixed_cmd; correlated_cmd; bounds_cmd;
-      potential_cmd; monte_carlo_cmd; fictitious_cmd; sweep_cmd; demo_cmd;
+      potential_cmd; monte_carlo_cmd; fictitious_cmd; sweep_cmd; serve_cmd; wire_cmd;
+      demo_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -3,31 +3,69 @@ open Numeric
 (* The cursor: current assignment counts, current loads (initial
    traffic included), and a packed move history for [undo].  A history
    entry is two ints — [(cls * m + src) * m + dst] and [count] — so
-   the stack is a flat int array that doubles on demand.
+   the stack is a flat int array that doubles on demand.  Structural
+   deltas (count / weight / capacity revisions) push a sentinel meta
+   [-1] paired with a variant on the [shist] side stack, so moves keep
+   their two-int cost and [undo] reverts both kinds in LIFO order.
 
    Like [View], loads live in one of two lanes: a packed native-int
    lane backed by the game's [Packing] tables (loads scaled by a common
    denominator, capacities as reduced int pairs, every predicate a
    three-factor native product) and an exact big-rational lane taken
    whenever packing would spill.  Both lanes produce identical
-   canonical rationals. *)
+   canonical rationals.  A structural delta re-checks the [Packing]
+   product bound against the revised totals and, when it no longer
+   holds, spills the live loads to the exact lane without rebuilding;
+   the abandoned packed tables are kept in the undo entry so reverting
+   the delta restores the fast lane bit-identically.
+
+   The class tables (weights, contributions, biases, capacity rows)
+   are view-local copies: revisions mutate the view, never the
+   underlying [Cgame.t], and [to_cgame] re-materialises a game from
+   the revised state. *)
 
 type packed_lane = {
   pscale : int;
-  ppw : int array; (* scaled weight per class *)
+  mutable ppw : int array; (* scaled weight per class *)
   piload : int array; (* scaled load per link *)
-  pcn : int array; (* capacity numerators, row-major c*m + l *)
-  pcd : int array;
+  mutable pcn : int array; (* capacity numerators, row-major c*m + l *)
+  mutable pcd : int array;
+  mutable powned : bool; (* ppw/pcn/pcd are private copies, safe to mutate *)
+  mutable pmaxcn : int; (* monotone upper bounds for the product bound *)
+  mutable pmaxcd : int;
+  mutable ptotal : int; (* current total scaled traffic, initial included *)
 }
 
 type lane = Exact of Rational.t array | Packed of packed_lane
 
+(* Undo record for one structural delta.  [restore = Some lane] marks
+   a delta that spilled the packed lane; reverting it reinstates the
+   saved lane (whose tables were snapshotted before the delta touched
+   anything, so they still hold the pre-delta values). *)
+type sdelta =
+  | Scount of { cls : int; link : int; delta : int; restore : lane option }
+  | Sweight of {
+      cls : int;
+      weight : Rational.t;
+      contrib : Rational.t;
+      bias : Rational.t;
+      ppw : int;
+      restore : lane option;
+    }
+  | Scap of { cls : int; link : int; cap : Rational.t; pcn : int; pcd : int; restore : lane option }
+
 type t = {
   game : Cgame.t;
   assign : int array array;
-  lane : lane;
+  weights : Rational.t array; (* view-local class tables *)
+  contribs : Rational.t array;
+  biases : Rational.t array;
+  caps : Rational.t array array;
+  mutable lane : lane;
   mutable hist : int array;
   mutable depth : int;
+  mutable shist : sdelta list;
+  mutable nrev : int; (* structural deltas currently applied *)
   mutable owner : int; (* creating domain id, for SELFISH_OWNERSHIP *)
 }
 
@@ -53,24 +91,35 @@ let of_profile g ?initial x =
        (fun q ->
          if Rational.sign q < 0 then invalid_arg "Cview.of_profile: negative initial traffic")
        t);
+  let k = Cgame.classes g in
+  let contribs = Array.init k (Cgame.contribution g) in
   let lane =
     match Cgame.packed_tables g with
     | Some pk when (match initial with None -> pk.Packing.base_ok | Some _ -> true) -> begin
       let attempt =
         match initial with
-        | None -> Some (pk.Packing.scale, pk.Packing.pw, Array.make m 0)
-        | Some t ->
-          (match Packing.rescale pk t with
-           | Some (scale, pw, iload0, _total) -> Some (scale, pw, iload0)
-           | None -> None)
+        | None -> Some (pk.Packing.scale, pk.Packing.pw, Array.make m 0, pk.Packing.wsum)
+        | Some t -> Packing.rescale pk t
       in
       match attempt with
       | None -> None
-      | Some (scale, pw, iload) ->
+      | Some (scale, pw, iload, total) ->
         Array.iteri
           (fun c row -> Array.iteri (fun l e -> iload.(l) <- iload.(l) + (e * pw.(c))) row)
           x;
-        Some (Packed { pscale = scale; ppw = pw; piload = iload; pcn = pk.Packing.cn; pcd = pk.Packing.cd })
+        Some
+          (Packed
+             {
+               pscale = scale;
+               ppw = pw;
+               piload = iload;
+               pcn = pk.Packing.cn;
+               pcd = pk.Packing.cd;
+               powned = false;
+               pmaxcn = pk.Packing.maxcn;
+               pmaxcd = pk.Packing.maxcd;
+               ptotal = total;
+             })
     end
     | _ -> None
   in
@@ -87,7 +136,7 @@ let of_profile g ?initial x =
          classes, presence-discounted under Bernoulli participation). *)
       Array.iteri
         (fun c row ->
-          let w = Cgame.contribution g c in
+          let w = contribs.(c) in
           Array.iteri
             (fun l e ->
               if e > 0 then loads.(l) <- Rational.add loads.(l) (Rational.mul (Rational.of_int e) w))
@@ -98,9 +147,15 @@ let of_profile g ?initial x =
   {
     game = g;
     assign = Array.map Array.copy x;
+    weights = Array.init k (Cgame.weight g);
+    contribs;
+    biases = Array.init k (Cgame.bias g);
+    caps = Array.init k (Cgame.capacity_row g);
     lane;
     hist = Array.make 32 0;
     depth = 0;
+    shist = [];
+    nrev = 0;
     owner = Parallel.Ownership.record ();
   }
 
@@ -108,6 +163,10 @@ let assigned v c l = v.assign.(c).(l)
 let profile v = Array.map Array.copy v.assign
 let owner v = v.owner
 let unsafe_set_owner v id = v.owner <- id
+let weight v c = v.weights.(c)
+let capacity v c l = v.caps.(c).(l)
+let class_count v c = Array.fold_left ( + ) 0 v.assign.(c)
+let revised v = v.nrev > 0
 
 let load v l =
   match v.lane with
@@ -125,7 +184,7 @@ let shift v cls src dst count =
   if count > 0 && src <> dst then begin
     (match v.lane with
      | Exact loads ->
-       let delta = Rational.mul (Rational.of_int count) (Cgame.contribution v.game cls) in
+       let delta = Rational.mul (Rational.of_int count) v.contribs.(cls) in
        loads.(src) <- Rational.sub loads.(src) delta;
        loads.(dst) <- Rational.add loads.(dst) delta
      | Packed pk ->
@@ -157,16 +216,245 @@ let move v ~cls ~src ~dst ~count =
   push v (((cls * m) + src) * m + dst) count;
   shift v cls src dst count
 
+(* Copy-on-write: the packed class tables start out shared with the
+   game's [Packing] record (and with sibling views); take private
+   copies before the first structural write. *)
+let own pk =
+  if not pk.powned then begin
+    pk.ppw <- Array.copy pk.ppw;
+    pk.pcn <- Array.copy pk.pcn;
+    pk.pcd <- Array.copy pk.pcd;
+    pk.powned <- true
+  end
+
+(* Abandon the packed lane: materialise the current loads as exact
+   rationals (same canonical values the exact lane would have held)
+   and switch over.  The packed record is left untouched so an undo
+   entry can reinstate it. *)
+let spill v pk =
+  let loads =
+    Array.map
+      (fun s -> Rational.make (Bigint.of_int s) (Bigint.of_int pk.pscale))
+      pk.piload
+  in
+  v.lane <- Exact loads;
+  loads
+
+(* [q·scale] as a positive native int, when integral and representable. *)
+let scaled_int ~scale q =
+  let d, r = Bigint.divmod (Bigint.of_int scale) (Rational.den q) in
+  if not (Bigint.is_zero r) then None
+  else
+    match Bigint.to_int_opt (Bigint.mul (Rational.num q) d) with
+    | Some x when x > 0 -> Some x
+    | _ -> None
+
+let push_structural v d =
+  push v (-1) 0;
+  v.shist <- d :: v.shist;
+  v.nrev <- v.nrev + 1
+
+let exact_count_patch loads link delta contrib =
+  if delta <> 0 then begin
+    let d = Rational.mul (Rational.of_int (abs delta)) contrib in
+    loads.(link) <-
+      (if delta > 0 then Rational.add loads.(link) d else Rational.sub loads.(link) d)
+  end
+
+let revise_count v ~cls ~link ~delta =
+  let k = classes v and m = links v in
+  if cls < 0 || cls >= k then invalid_arg "Cview.revise_count: class out of range";
+  if link < 0 || link >= m then invalid_arg "Cview.revise_count: link out of range";
+  if delta < 0 && v.assign.(cls).(link) + delta < 0 then
+    invalid_arg "Cview.revise_count: departures exceed the users of the class on the link";
+  if delta > 0 && v.assign.(cls).(link) > max_int - delta then
+    invalid_arg "Cview.revise_count: arrival count overflows";
+  if delta < 0 && class_count v cls + delta <= 0 then
+    invalid_arg "Cview.revise_count: revision would empty the class";
+  Parallel.Ownership.guard "Cview cursor" v.owner;
+  let restore =
+    match v.lane with
+    | Exact loads ->
+      exact_count_patch loads link delta v.contribs.(cls);
+      None
+    | Packed pk ->
+      let pw = pk.ppw.(cls) in
+      let fits =
+        delta <= 0
+        || (delta <= (max_int - pk.ptotal) / pw
+            && Packing.admits ~total:(pk.ptotal + (delta * pw)) ~maxcn:pk.pmaxcn
+                 ~maxcd:pk.pmaxcd)
+      in
+      if fits then begin
+        let d = delta * pw in
+        pk.piload.(link) <- pk.piload.(link) + d;
+        pk.ptotal <- pk.ptotal + d;
+        None
+      end
+      else begin
+        let old = v.lane in
+        let loads = spill v pk in
+        exact_count_patch loads link delta v.contribs.(cls);
+        Some old
+      end
+  in
+  v.assign.(cls).(link) <- v.assign.(cls).(link) + delta;
+  push_structural v (Scount { cls; link; delta; restore })
+
+let exact_weight_patch v cls contrib' =
+  match v.lane with
+  | Packed _ -> assert false
+  | Exact loads ->
+    let d = Rational.sub contrib' v.contribs.(cls) in
+    if not (Rational.is_zero d) then
+      Array.iteri
+        (fun l e -> if e > 0 then loads.(l) <- Rational.add loads.(l) (Rational.mul (Rational.of_int e) d))
+        v.assign.(cls)
+
+let set_class_weight v cls w contrib bias =
+  v.weights.(cls) <- w;
+  v.contribs.(cls) <- contrib;
+  v.biases.(cls) <- bias
+
+let revise_weight v ~cls w' =
+  let k = classes v in
+  if cls < 0 || cls >= k then invalid_arg "Cview.revise_weight: class out of range";
+  if Rational.sign w' <= 0 then invalid_arg "Cview.revise_weight: weight must be positive";
+  Parallel.Ownership.guard "Cview cursor" v.owner;
+  let lf = Uncertainty.load_factor (Cgame.uncertainty v.game cls) in
+  let contrib' = Rational.mul lf w' in
+  let bias' = Rational.sub w' contrib' in
+  let old_w = v.weights.(cls)
+  and old_c = v.contribs.(cls)
+  and old_b = v.biases.(cls) in
+  let restore, old_ppw =
+    match v.lane with
+    | Exact _ ->
+      exact_weight_patch v cls contrib';
+      (None, 0)
+    | Packed pk -> begin
+      let pw = pk.ppw.(cls) in
+      let occ = class_count v cls in
+      (* The packed lane exists only for load-linear games, where the
+         contribution is the weight itself. *)
+      match scaled_int ~scale:pk.pscale w' with
+      | Some pw'
+        when occ <= max_int / pw'
+             && pk.ptotal - (occ * pw) <= max_int - (occ * pw')
+             && Packing.admits
+                  ~total:(pk.ptotal - (occ * pw) + (occ * pw'))
+                  ~maxcn:pk.pmaxcn ~maxcd:pk.pmaxcd ->
+        own pk;
+        Array.iteri
+          (fun l e -> if e > 0 then pk.piload.(l) <- pk.piload.(l) + (e * (pw' - pw)))
+          v.assign.(cls);
+        pk.ptotal <- pk.ptotal - (occ * pw) + (occ * pw');
+        pk.ppw.(cls) <- pw';
+        (None, pw)
+      | _ ->
+        let old = v.lane in
+        ignore (spill v pk);
+        exact_weight_patch v cls contrib';
+        (Some old, pw)
+    end
+  in
+  set_class_weight v cls w' contrib' bias';
+  push_structural v (Sweight { cls; weight = old_w; contrib = old_c; bias = old_b; ppw = old_ppw; restore })
+
+let revise_capacity v ~cls ~link cap' =
+  let k = classes v and m = links v in
+  if cls < 0 || cls >= k then invalid_arg "Cview.revise_capacity: class out of range";
+  if link < 0 || link >= m then invalid_arg "Cview.revise_capacity: link out of range";
+  if Rational.sign cap' <= 0 then invalid_arg "Cview.revise_capacity: capacity must be positive";
+  Parallel.Ownership.guard "Cview cursor" v.owner;
+  let old_cap = v.caps.(cls).(link) in
+  let restore, old_cn, old_cd =
+    match v.lane with
+    | Exact _ -> (None, 0, 0)
+    | Packed pk -> begin
+      let idx = (cls * m) + link in
+      match (Bigint.to_int_opt (Rational.num cap'), Bigint.to_int_opt (Rational.den cap')) with
+      | Some a, Some b
+        when a > 0 && b > 0
+             && Packing.admits ~total:pk.ptotal ~maxcn:(max pk.pmaxcn a) ~maxcd:(max pk.pmaxcd b) ->
+        own pk;
+        let ocn = pk.pcn.(idx) and ocd = pk.pcd.(idx) in
+        pk.pcn.(idx) <- a;
+        pk.pcd.(idx) <- b;
+        pk.pmaxcn <- max pk.pmaxcn a;
+        pk.pmaxcd <- max pk.pmaxcd b;
+        (None, ocn, ocd)
+      | _ ->
+        let old = v.lane in
+        ignore (spill v pk);
+        (Some old, 0, 0)
+    end
+  in
+  v.caps.(cls).(link) <- cap';
+  push_structural v (Scap { cls; link; cap = old_cap; pcn = old_cn; pcd = old_cd; restore })
+
+let undo_structural v =
+  match v.shist with
+  | [] -> assert false (* sentinel in hist implies a side-stack entry *)
+  | d :: rest ->
+    v.shist <- rest;
+    v.nrev <- v.nrev - 1;
+    (match d with
+     | Scount { cls; link; delta; restore } ->
+       v.assign.(cls).(link) <- v.assign.(cls).(link) - delta;
+       (match restore with
+        | Some lane -> v.lane <- lane
+        | None ->
+          (match v.lane with
+           | Exact loads -> exact_count_patch loads link (-delta) v.contribs.(cls)
+           | Packed pk ->
+             let d = delta * pk.ppw.(cls) in
+             pk.piload.(link) <- pk.piload.(link) - d;
+             pk.ptotal <- pk.ptotal - d))
+     | Sweight { cls; weight; contrib; bias; ppw; restore } ->
+       (match restore with
+        | Some lane ->
+          set_class_weight v cls weight contrib bias;
+          v.lane <- lane
+        | None ->
+          (match v.lane with
+           | Exact _ ->
+             exact_weight_patch v cls contrib;
+             set_class_weight v cls weight contrib bias
+           | Packed pk ->
+             let pw' = pk.ppw.(cls) in
+             let occ = class_count v cls in
+             Array.iteri
+               (fun l e -> if e > 0 then pk.piload.(l) <- pk.piload.(l) + (e * (ppw - pw')))
+               v.assign.(cls);
+             pk.ptotal <- pk.ptotal - (occ * pw') + (occ * ppw);
+             pk.ppw.(cls) <- ppw;
+             set_class_weight v cls weight contrib bias))
+     | Scap { cls; link; cap; pcn; pcd; restore } ->
+       v.caps.(cls).(link) <- cap;
+       (match restore with
+        | Some lane -> v.lane <- lane
+        | None ->
+          (match v.lane with
+           | Exact _ -> ()
+           | Packed pk ->
+             let idx = (cls * links v) + link in
+             pk.pcn.(idx) <- pcn;
+             pk.pcd.(idx) <- pcd)))
+
 let undo v =
   if v.depth = 0 then invalid_arg "Cview.undo: empty history";
   Parallel.Ownership.guard "Cview cursor" v.owner;
   v.depth <- v.depth - 1;
   let meta = v.hist.(2 * v.depth) and count = v.hist.((2 * v.depth) + 1) in
-  let m = links v in
-  let dst = meta mod m in
-  let src = meta / m mod m in
-  let cls = meta / (m * m) in
-  shift v cls dst src count
+  if meta < 0 then undo_structural v
+  else begin
+    let m = links v in
+    let dst = meta mod m in
+    let src = meta / m mod m in
+    let cls = meta / (m * m) in
+    shift v cls dst src count
+  end
 
 let q_latency pk total idx =
   Rational.make
@@ -177,12 +465,12 @@ let q_latency pk total idx =
    is always present for itself); zero — and skipped — for load-linear
    classes, keeping the seed's exact code path. *)
 let biased v c q =
-  let b = Cgame.bias v.game c in
+  let b = v.biases.(c) in
   if Rational.is_zero b then q else Rational.add q b
 
 let latency v c l =
   match v.lane with
-  | Exact loads -> Rational.div (biased v c loads.(l)) (Cgame.capacity v.game c l)
+  | Exact loads -> Rational.div (biased v c loads.(l)) v.caps.(c).(l)
   | Packed pk ->
     let m = Array.length pk.piload in
     q_latency pk pk.piload.(l) ((c * m) + l)
@@ -193,9 +481,9 @@ let latency_after_move v ~cls ~src dst =
     let base = loads.(dst) in
     (* Deviation numerator: contribution + bias = w, the seed form. *)
     let total =
-      if dst = src then biased v cls base else Rational.add base (Cgame.weight v.game cls)
+      if dst = src then biased v cls base else Rational.add base v.weights.(cls)
     in
-    Rational.div total (Cgame.capacity v.game cls dst)
+    Rational.div total v.caps.(cls).(dst)
   | Packed pk ->
     let m = Array.length pk.piload in
     let total = pk.piload.(dst) + (if dst = src then 0 else pk.ppw.(cls)) in
@@ -246,13 +534,13 @@ let is_defector v ~cls ~src =
   match v.lane with
   | Exact loads ->
     let current = latency v cls src in
-    let w = Cgame.weight v.game cls in
+    let w = v.weights.(cls) in
     let m = links v in
     let rec scan l =
       if l >= m then false
       else if
         l <> src
-        && Rational.compare_sum loads.(l) w (Rational.mul current (Cgame.capacity v.game cls l)) < 0
+        && Rational.compare_sum loads.(l) w (Rational.mul current v.caps.(cls).(l)) < 0
       then true
       else scan (l + 1)
     in
@@ -268,6 +556,25 @@ let is_defector v ~cls ~src =
       else scan (l + 1)
     in
     scan 0
+
+(* Single-destination restriction of [is_defector]: does moving into
+   [dst] strictly improve?  Native three-factor products on the packed
+   lane, one [compare_sum] on the exact lane — no rational is built on
+   the fast path, so callers may probe candidate links one at a time
+   without paying for a full best-response sweep. *)
+let improves v ~cls ~src dst =
+  dst <> src
+  && (match v.lane with
+     | Exact loads ->
+       let current = latency v cls src in
+       Rational.compare_sum loads.(dst) v.weights.(cls)
+         (Rational.mul current v.caps.(cls).(dst))
+       < 0
+     | Packed pk ->
+       let m = Array.length pk.piload in
+       let base = cls * m and w = pk.ppw.(cls) in
+       (pk.piload.(dst) + w) * pk.pcd.(base + dst) * pk.pcn.(base + src)
+       < pk.piload.(src) * pk.pcd.(base + src) * pk.pcn.(base + dst))
 
 (* Class ascending, source link ascending: the exact order in which
    [Cgame.expand_profile] lays out the users, so this is the per-user
@@ -322,8 +629,8 @@ let max_improving_block v ~cls ~src ~dst =
   if src < 0 || src >= m || dst < 0 || dst >= m then
     invalid_arg "Cview.max_improving_block: link out of range";
   if src = dst then invalid_arg "Cview.max_improving_block: source and destination coincide";
-  let t = Cgame.contribution v.game cls in
-  let cap_s = Cgame.capacity v.game cls src and cap_d = Cgame.capacity v.game cls dst in
+  let t = v.contribs.(cls) in
+  let cap_s = v.caps.(cls).(src) and cap_d = v.caps.(cls).(dst) in
   let delta =
     Rational.sub
       (Rational.div (biased v cls (load v src)) cap_s)
@@ -359,3 +666,32 @@ let social_cost2 v =
     done
   done;
   !acc
+
+(* Re-materialise a class game from the revised state.  Classes whose
+   capacity row is untouched keep their original uncertainty backend;
+   a revised row is re-wrapped as the matching certain belief (or a
+   degenerate interval for [Strict]) — exact, since every decision
+   factors through the effective capacities. *)
+let to_cgame v =
+  if v.nrev = 0 then v.game
+  else begin
+    let k = classes v in
+    let counts = Array.init k (class_count v) in
+    let uncertainty =
+      Array.init k (fun c ->
+        let u = Cgame.uncertainty v.game c in
+        let row = v.caps.(c) in
+        let original = Cgame.capacity_row v.game c in
+        if Array.for_all2 Rational.equal row original then u
+        else begin
+          let certain = Belief.certain (State.make (Array.copy row)) in
+          match Uncertainty.kind u with
+          | Uncertainty.Bayesian -> Uncertainty.bayesian certain
+          | Uncertainty.Participation ->
+            Uncertainty.participation ~presence:(Uncertainty.presence u) certain
+          | Uncertainty.Strict ->
+            Uncertainty.strict_of_intervals (Array.map (fun q -> (q, q)) row)
+        end)
+    in
+    Cgame.make_uncertain ~counts ~weights:(Array.copy v.weights) ~uncertainty
+  end

@@ -16,6 +16,15 @@
     to its {!View}/{!Pure} counterpart through
     {!Cgame.expand}/{!Cgame.expand_profile}.
 
+    Beyond block moves, the cursor supports {e structural deltas} —
+    {!revise_count} (arrivals/departures), {!revise_weight} and
+    {!revise_capacity} — each an exact O(m)-or-better load patch that
+    mutates the view (never the underlying {!Cgame.t}), records an
+    undo entry, and re-checks the {!Packing} product bound, spilling
+    to the big-rational lane without a rebuild when the revised
+    magnitudes no longer fit.  {!to_cgame} re-materialises a class
+    game from the revised state.
+
     Like {!View}, this is a mutable cursor, not a value: share it only
     within one traversal. *)
 
@@ -31,7 +40,11 @@ val packed : t -> bool
     @raise Invalid_argument when [x] or [initial] is malformed. *)
 val of_profile : Cgame.t -> ?initial:Numeric.Rational.t array -> Cgame.profile -> t
 
+(** [game v] is the game the view was constructed over.  After a
+    structural delta it reflects the {e original} spec, not the revised
+    one — use {!to_cgame} for the live state. *)
 val game : t -> Cgame.t
+
 val classes : t -> int
 val links : t -> int
 
@@ -65,12 +78,66 @@ val loads : t -> Numeric.Rational.t array
     or [count] exceeds the users of [cls] currently on [src]. *)
 val move : t -> cls:int -> src:int -> dst:int -> count:int -> unit
 
-(** [undo v] reverts the most recent un-undone {!move} in O(1).
+(** [undo v] reverts the most recent un-undone {!move} or structural
+    delta — O(1) for a move, O(m) for a delta.
     @raise Invalid_argument when the history is empty. *)
 val undo : t -> unit
 
-(** [depth v] is the number of moves {!undo} can still revert. *)
+(** [depth v] is the number of moves and structural deltas {!undo} can
+    still revert. *)
 val depth : t -> int
+
+(** [weight v c] is class [c]'s current (possibly revised) weight. *)
+val weight : t -> int -> Numeric.Rational.t
+
+(** [capacity v c l] is class [c]'s current effective capacity on link
+    [l], reflecting any {!revise_capacity}. *)
+val capacity : t -> int -> int -> Numeric.Rational.t
+
+(** [class_count v c] is the current number of class-[c] users, [Σ_l
+    assigned v c l].  O(m). *)
+val class_count : t -> int -> int
+
+(** [revised v] holds when at least one structural delta is currently
+    applied (pushed and not yet undone). *)
+val revised : t -> bool
+
+(** [revise_count v ~cls ~link ~delta] adds [delta] class-[cls] users
+    on [link] ([delta < 0] removes).  One O(1) load patch; on the
+    packed lane arrivals re-check the {!Packing} bound against the
+    grown total and spill to the exact lane when it fails.
+    @raise Invalid_argument when an index is out of range, departures
+    exceed the users on the link, or the revision would empty the
+    class (class counts must stay positive). *)
+val revise_count : t -> cls:int -> link:int -> delta:int -> unit
+
+(** [revise_weight v ~cls w'] rewrites class [cls]'s weight to [w'],
+    patching every occupied link's load by [count·(t' − t)] (O(m));
+    contribution and bias are re-derived from the class's uncertainty
+    backend (whose presence is unchanged by revisions).  On the packed
+    lane the new scaled weight must stay integral and within the
+    product bound, else the view spills.
+    @raise Invalid_argument on a class out of range or [w' ≤ 0]. *)
+val revise_weight : t -> cls:int -> Numeric.Rational.t -> unit
+
+(** [revise_capacity v ~cls ~link cap'] rewrites class [cls]'s
+    effective capacity on [link].  Loads are unaffected (O(1)); the
+    packed capacity pair is patched in place when [cap']'s reduced
+    numerator and denominator keep the product bound, else the view
+    spills.  @raise Invalid_argument on an index out of range or
+    [cap' ≤ 0]. *)
+val revise_capacity : t -> cls:int -> link:int -> Numeric.Rational.t -> unit
+
+(** [to_cgame v] re-materialises a class game from the revised state:
+    current counts, weights and capacity rows.  Classes with untouched
+    capacity rows keep their original uncertainty backend; revised rows
+    are re-wrapped as the matching certain belief (degenerate interval
+    for [Strict]) — exact, since every decision factors through the
+    effective capacities.  Returns the original game (same value) when
+    no structural delta is applied.  [of_profile (to_cgame v)
+    (profile v)] holds the same loads, latencies and Nash verdict as
+    [v], bit-identically. *)
+val to_cgame : t -> Cgame.t
 
 (** [latency v c l] is the expected latency of a class-[c] user playing
     link [l] at the current loads, [load l / c^l_c].  O(1). *)
@@ -92,6 +159,13 @@ val best_response_for : t -> cls:int -> src:int -> int * Numeric.Rational.t
     has a strictly improving move.  Meaningful when
     [assigned v cls src > 0].  O(m). *)
 val is_defector : t -> cls:int -> src:int -> bool
+
+(** [improves v ~cls ~src dst] holds when moving one class-[cls] user
+    from [src] to [dst] strictly lowers its latency — the
+    single-destination restriction of {!is_defector}.  [false] when
+    [dst = src].  O(1), allocation-free on the packed lane, so callers
+    may probe candidate destinations one at a time. *)
+val improves : t -> cls:int -> src:int -> int -> bool
 
 (** [first_defector v] is the first occupied (class, link) pair — class
     ascending, then link ascending — whose users defect, together with

@@ -37,7 +37,15 @@ let intervals_of lineno row =
   let ivs = Array.init (n / 2) (fun l -> (row.(2 * l), row.((2 * l) + 1))) in
   try Uncertainty.strict_of_intervals ivs with Invalid_argument m -> fail_line lineno m
 
+(* The binary wire format (Serve.Wire) opens with this magic; catching
+   it here turns a mixed-up reader into a pinned, actionable error
+   instead of a "unknown directive" complaint about byte soup. *)
+let reject_binary text =
+  if String.length text >= 4 && String.sub text 0 4 = "SRWF" then
+    fail_line 1 "binary wire payload (decode it with Serve.Wire or 'selfish_routing wire')"
+
 let parse text =
+  reject_binary text;
   let acc =
     {
       links = None;
@@ -252,6 +260,7 @@ let parse_file path =
    different objects, and mixing their directives is an error in both
    directions. *)
 let parse_cgame text =
+  reject_binary text;
   let links = ref None in
   let backend = ref None in
   let presence = ref None in

@@ -70,7 +70,9 @@
 
 (** [parse text] builds the game described by [text].
     @raise Invalid_argument with a line-numbered message on malformed
-    input. *)
+    input; data starting with the binary wire magic ([SRWF], see
+    [Serve.Wire]) is rejected with a pinned line-1 error pointing at
+    the binary reader. *)
 val parse : string -> Game.t
 
 (** [parse_file path] reads and parses [path]. *)

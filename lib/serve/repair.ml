@@ -1,0 +1,262 @@
+open Numeric
+open Model
+
+type outcome = {
+  moves : int;
+  users_moved : int;
+  seeded_classes : int;
+  seeded_links : int;
+  frontier_links : int;
+  fallback : bool;
+  nash : bool;
+}
+
+(* First defecting candidate among classes [lo, hi), visiting occupied
+   (class, link) pairs in Cbr's first-defector order.  A clean pair —
+   clean class on an untouched link — kept its latency, so from an
+   equilibrium start any new improving move leads into a touched link:
+   only those comparisons are made.  Dirty or touched pairs get the
+   full O(m) defector check.  Read-only on the view, so domains may
+   share it during a scan. *)
+let find_candidate v touched dirty lo hi =
+  let m = Cview.links v in
+  let rec classes cls =
+    if cls >= hi then None
+    else begin
+      let found = ref None in
+      let src = ref 0 in
+      while !found = None && !src < m do
+        let s = !src in
+        if Cview.assigned v cls s > 0 then begin
+          if dirty.(cls) || touched.(s) then begin
+            if Cview.is_defector v ~cls ~src:s then found := Some (cls, s)
+          end
+          else begin
+            let l = ref 0 in
+            while !found = None && !l < m do
+              if touched.(!l) && Cview.improves v ~cls ~src:s !l then found := Some (cls, s);
+              incr l
+            done
+          end
+        end;
+        incr src
+      done;
+      match !found with Some _ as r -> r | None -> classes (cls + 1)
+    end
+  in
+  classes lo
+
+let shard_bounds k domains =
+  let d = max 1 (min domains k) in
+  List.init d (fun i -> ((i * k) / d, ((i + 1) * k) / d))
+
+(* Workers receive frozen copies of the seed sets; the view itself is
+   not mutated while a scan runs.  Shards are contiguous ascending
+   class blocks and each reports its first candidate, so the first
+   [Some] in shard order is exactly the serial scan's candidate —
+   bit-identical for every domain count. *)
+let scan ~domains v touched dirty =
+  let k = Cview.classes v in
+  if domains <= 1 then find_candidate v touched dirty 0 k
+  else begin
+    let tc = Array.copy touched and dc = Array.copy dirty in
+    Parallel.map ~domains (fun (lo, hi) -> find_candidate v tc dc lo hi) (shard_bounds k domains)
+    |> List.find_map Fun.id
+  end
+
+(* Re-apply a solved class profile to the live view as undoable block
+   moves: per class, drain surplus links into deficit links with a
+   two-pointer pass.  Class totals agree by construction, so the pass
+   always balances. *)
+let apply_profile v target =
+  let k = Cview.classes v and m = Cview.links v in
+  for cls = 0 to k - 1 do
+    let cur = Array.init m (fun l -> Cview.assigned v cls l) in
+    let s = ref 0 and d = ref 0 in
+    let advance () =
+      while !s < m && cur.(!s) <= target.(cls).(!s) do
+        incr s
+      done;
+      while !d < m && cur.(!d) >= target.(cls).(!d) do
+        incr d
+      done
+    in
+    advance ();
+    while !s < m && !d < m do
+      let count = min (cur.(!s) - target.(cls).(!s)) (target.(cls).(!d) - cur.(!d)) in
+      Cview.move v ~cls ~src:!s ~dst:!d ~count;
+      cur.(!s) <- cur.(!s) - count;
+      cur.(!d) <- cur.(!d) + count;
+      advance ()
+    done
+  done
+
+let repair_batch ?(domains = 1) ?(max_steps = 1_000_000) v batch =
+  if domains <= 0 then invalid_arg "Repair.repair_batch: domains must be positive";
+  if max_steps <= 0 then invalid_arg "Repair.repair_batch: max_steps must be positive";
+  let k = Cview.classes v and m = Cview.links v in
+  List.iter (Mutation.apply v) batch;
+  let touched = Array.make m false and dirty = Array.make k false in
+  let touched_count = ref 0 in
+  let touch l =
+    if not touched.(l) then begin
+      touched.(l) <- true;
+      incr touched_count
+    end
+  in
+  (* Seed after applying: occupancy only shrinks through departures,
+     which touch their own link, so each reweight's load changes are
+     covered by the class's post-batch occupancy plus the per-mutation
+     links.  Capacity revisions leave every load in place — only the
+     revised class can see them. *)
+  List.iter
+    (fun mu ->
+      match mu with
+      | Mutation.Arrive { cls; link; _ } | Mutation.Depart { cls; link; _ } ->
+        dirty.(cls) <- true;
+        touch link
+      | Mutation.Reweight { cls; _ } ->
+        dirty.(cls) <- true;
+        for l = 0 to m - 1 do
+          if Cview.assigned v cls l > 0 then touch l
+        done
+      | Mutation.Revise_capacity { cls; _ } -> dirty.(cls) <- true)
+    batch;
+  let seeded_classes = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 dirty in
+  let seeded_links = !touched_count in
+  let moves = ref 0 and users_moved = ref 0 in
+  (* [true] when the restricted scan came back clean; [false] when the
+     budget ran out.  Once the frontier saturates (every link touched)
+     the restricted scan IS the full first-defector scan, i.e. exactly
+     Cbr's policy running in place on the warm profile — no rebuild. *)
+  let rec epochs () =
+    if !moves >= max_steps then false
+    else
+      match scan ~domains v touched dirty with
+      | None -> true
+      | Some (cls, src) ->
+        let dst, _ = Cview.best_response_for v ~cls ~src in
+        let count = Cview.max_improving_block v ~cls ~src ~dst in
+        Cview.move v ~cls ~src ~dst ~count;
+        touch src;
+        touch dst;
+        dirty.(cls) <- true;
+        incr moves;
+        users_moved := !users_moved + count;
+        epochs ()
+  in
+  let clean = epochs () in
+  let fallback = (not clean) || not (Cview.is_nash v) in
+  if fallback then begin
+    let g = Cview.to_cgame v in
+    let oc = Algo.Cbr.converge ~max_steps g (Cview.profile v) in
+    if not oc.Algo.Cbr.converged then
+      invalid_arg "Repair.repair_batch: fallback did not converge within max_steps";
+    apply_profile v oc.Algo.Cbr.profile;
+    moves := !moves + oc.Algo.Cbr.steps;
+    users_moved := !users_moved + oc.Algo.Cbr.users_moved;
+    if not (Cview.is_nash v) then
+      invalid_arg "Repair.repair_batch: repaired profile is not a Nash equilibrium"
+  end;
+  {
+    moves = !moves;
+    users_moved = !users_moved;
+    seeded_classes;
+    seeded_links;
+    frontier_links = !touched_count;
+    fallback;
+    nash = true;
+  }
+
+(* Per-user restricted scan, in slot order; departed slots are
+   skipped. *)
+let find_user_candidate v touched dirty n =
+  let m = View.links v in
+  let rec go i =
+    if i >= n then None
+    else if not (View.is_active v i) then go (i + 1)
+    else begin
+      let s = View.link v i in
+      if dirty.(i) || touched.(s) then if View.is_defector v i then Some i else go (i + 1)
+      else begin
+        let cur = View.latency v i in
+        let found = ref false in
+        let l = ref 0 in
+        while (not !found) && !l < m do
+          if
+            touched.(!l) && !l <> s
+            && Rational.compare (View.latency_on_link v i !l) cur < 0
+          then found := true;
+          incr l
+        done;
+        if !found then Some i else go (i + 1)
+      end
+    end
+  in
+  go 0
+
+let repair_view ?(max_steps = 1_000_000) v ~dirty_users ~touched_links =
+  if max_steps <= 0 then invalid_arg "Repair.repair_view: max_steps must be positive";
+  let n = View.users v and m = View.links v in
+  let touched = Array.make m false and dirty = Array.make n false in
+  let touched_count = ref 0 in
+  let touch l =
+    if l < 0 || l >= m then invalid_arg "Repair.repair_view: link out of range";
+    if not touched.(l) then begin
+      touched.(l) <- true;
+      incr touched_count
+    end
+  in
+  List.iter touch touched_links;
+  let seeded_links = !touched_count in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= n then invalid_arg "Repair.repair_view: user out of range";
+      dirty.(i) <- true)
+    dirty_users;
+  let seeded_classes = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 dirty in
+  let moves = ref 0 in
+  let rec epochs restricted =
+    if !moves >= max_steps then false
+    else begin
+      let cand =
+        if restricted then find_user_candidate v touched dirty n
+        else begin
+          let rec full i =
+            if i >= n then None
+            else if View.is_active v i && View.is_defector v i then Some i
+            else full (i + 1)
+          in
+          full 0
+        end
+      in
+      match cand with
+      | None -> true
+      | Some i ->
+        let dst, _ = View.best_response_for v i in
+        let s = View.link v i in
+        View.move v i dst;
+        touch s;
+        touch dst;
+        dirty.(i) <- true;
+        incr moves;
+        epochs restricted
+    end
+  in
+  let clean = epochs true in
+  let fallback = (not clean) || not (View.is_nash v) in
+  if fallback then begin
+    if not (epochs false) then
+      invalid_arg "Repair.repair_view: did not converge within max_steps";
+    if not (View.is_nash v) then
+      invalid_arg "Repair.repair_view: repaired profile is not a Nash equilibrium"
+  end;
+  {
+    moves = !moves;
+    users_moved = !moves;
+    seeded_classes;
+    seeded_links;
+    frontier_links = !touched_count;
+    fallback;
+    nash = true;
+  }

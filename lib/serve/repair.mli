@@ -1,0 +1,75 @@
+(** Incremental equilibrium repair after a mutation batch.
+
+    Re-solving from scratch after every mutation throws away almost
+    all of the work: a small batch perturbs the loads of a handful of
+    links, so only users who can {e see} the perturbation — members of
+    mutated classes plus users on touched links — can have a changed
+    best response.  {!repair_batch} applies a batch to a live
+    {!Model.Cview} cursor positioned at an equilibrium and repairs it
+    locally:
+
+    - {b Seeding.}  Each mutation dirties its class; arrivals and
+      departures touch their link, and a reweight touches every link
+      the class occupies (their loads changed).  A capacity revision
+      dirties its class only — loads are unaffected, so no other
+      class's latencies move.
+    - {b Restricted epochs.}  The scan visits occupied (class, link)
+      pairs in the same class-ascending, link-ascending order as
+      {!Algo.Cbr}'s first-defector policy, but a {e clean} pair — clean
+      class on an untouched link — only checks moves {e into} touched
+      links: starting from an equilibrium, its own latency is
+      unchanged, so any new improving move must target a link whose
+      load dropped.  Dirty or touched pairs get the full O(m) defector
+      check.  Each block move marks its source and destination links
+      touched ({e frontier expansion}) and re-enters the scan.
+    - {b Saturation and fallback.}  When the frontier saturates (every
+      link touched) the restricted scan degrades to exactly
+      {!Algo.Cbr}'s full first-defector scan, i.e. full best-response
+      convergence running in place on the warm profile.  When the move
+      budget runs out, or a clean scan fails the final verification
+      (non-equilibrium start), the repair falls back to
+      {!Algo.Cbr.converge} on {!Model.Cview.to_cgame} from the current
+      profile and re-applies the result to the live view through
+      undoable block moves.
+    - {b Verification.}  Every return passes the exact
+      {!Model.Cview.is_nash}; a repair that cannot reach equilibrium
+      raises instead of returning.
+
+    Starting from a genuine equilibrium the restricted scan is sound —
+    a clean scan implies Nash — and the final [is_nash] doubles as the
+    CI-gated verdict.  From an arbitrary (non-Nash) start the scan may
+    terminate early; the verification then routes into the fallback,
+    so the result is an equilibrium regardless. *)
+
+type outcome = {
+  moves : int;  (** block moves performed (fallback steps included) *)
+  users_moved : int;  (** users carried by those moves *)
+  seeded_classes : int;  (** classes dirtied by the batch itself *)
+  seeded_links : int;  (** links touched by the batch itself *)
+  frontier_links : int;  (** touched links when the scan finished *)
+  fallback : bool;  (** full re-solve fallback was taken *)
+  nash : bool;  (** exact final verdict; [true] on every return *)
+}
+
+(** [repair_batch ?domains ?max_steps v batch] applies [batch] to [v]
+    (via {!Mutation.apply}, in order) and repairs equilibrium as
+    described above.  With [domains > 1] each defector scan shards the
+    class range across domains — the view is only read during a scan,
+    and the first candidate in shard order equals the serial scan's
+    candidate, so the repair is bit-identical for every domain count.
+    @raise Invalid_argument when a mutation is rejected, [domains <= 0],
+    [max_steps <= 0] (default [1_000_000]), or the fallback fails to
+    converge within [max_steps]. *)
+val repair_batch :
+  ?domains:int -> ?max_steps:int -> Model.Cview.t -> Mutation.t list -> outcome
+
+(** [repair_view ?max_steps v ~dirty_users ~touched_links] is the
+    per-user analogue over a {!Model.View} cursor: the caller applies
+    its structural deltas directly ({!Model.View.add_user} and
+    friends) and states which users and links they perturbed.  Runs the
+    same restricted first-defector scan (departed slots are skipped;
+    [moves = users_moved]); the fallback is the unrestricted scan on
+    the same view.  @raise Invalid_argument on an index out of range,
+    [max_steps <= 0], or a repair that exceeds [max_steps]. *)
+val repair_view :
+  ?max_steps:int -> Model.View.t -> dirty_users:int list -> touched_links:int list -> outcome

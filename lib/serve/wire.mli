@@ -1,0 +1,52 @@
+(** Compact binary wire format for games, profiles and mutation logs.
+
+    The binary companion to {!Model.Game_io}'s text format: every
+    payload starts with the 4-byte magic ["SRWF"], a little-endian
+    [u16] format version and a [u8] payload kind, followed by a
+    length-prefixed little-endian body.  Scalars are exact rationals
+    encoded as two arbitrary-precision integers (sign byte, [u32] byte
+    count, minimal little-endian magnitude), so the encoding is
+    lossless: decoding an encoded value is the identity, and
+    re-encoding a decoded payload reproduces the input bytes.
+
+    Like the text writers, the game encoders store the reduced
+    effective-capacity form (plus the presence line's worth of data
+    under participation, interval endpoints under strict) — faithful to
+    every latency, and byte-stable under round-trips through the text
+    parser.  Games mixing uncertainty backends across users have no
+    wire form.
+
+    Decoders validate eagerly and raise [Invalid_argument] with
+    offset-numbered messages in {!Model.Game_io}'s style:
+    ["Wire: offset <n>: ..."] — truncated input, bad magic, unsupported
+    version, unknown or mismatched payload kind, malformed integers,
+    and trailing bytes are all pinned errors. *)
+
+type kind = Game | Cgame | Profile | Cprofile | Log
+
+val kind_name : kind -> string
+
+(** The 4-byte magic prefix, ["SRWF"]. *)
+val magic : string
+
+(** The format version this library reads and writes. *)
+val version : int
+
+(** [is_wire s] holds when [s] starts with the wire {!magic} — the
+    cheap test CLI tools use to tell binary payloads from text files. *)
+val is_wire : string -> bool
+
+(** [peek_kind s] validates the header only (magic, version) and
+    returns the payload kind without decoding the body. *)
+val peek_kind : string -> kind
+
+val encode_game : Model.Game.t -> string
+val decode_game : string -> Model.Game.t
+val encode_cgame : Model.Cgame.t -> string
+val decode_cgame : string -> Model.Cgame.t
+val encode_profile : int array -> string
+val decode_profile : string -> int array
+val encode_cprofile : Model.Cgame.profile -> string
+val decode_cprofile : string -> Model.Cgame.profile
+val encode_log : Mutation.log -> string
+val decode_log : string -> Mutation.log

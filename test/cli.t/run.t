@@ -280,3 +280,69 @@ An explicit --uncertainty bayesian on a plain file is acknowledged:
 
   $ $SR solve --uncertainty bayesian --algo two-links quickstart.game | head -1
   uncertainty backend: bayesian
+
+The streaming service replays a mutation log against a class game,
+repairing equilibrium after each batch and emitting deterministic
+per-batch counters as JSON lines:
+
+  $ cat > stream.game <<'GAME'
+  > links 3
+  > class 60 2 6 4 2
+  > class 40 3/2 3 2 1
+  > class 25 1 4 8/3 4/3
+  > GAME
+  $ cat > stream.mutlog <<'LOG'
+  > batch
+  > arrive 0 2 5
+  > depart 1 0 4
+  > batch
+  > reweight 2 5/4
+  > capacity 1 2 3/2
+  > batch
+  > depart 0 1 6
+  > arrive 2 0 3
+  > LOG
+  $ $SR serve stream.game stream.mutlog
+  class game: 3 classes, 125 users, 3 links; 3 mutation batches
+  initial equilibrium: 2 block moves, 2 users moved
+  {"batch":1,"mutations":2,"moves":5,"users_moved":8,"seeded_classes":2,"seeded_links":2,"frontier_links":3,"fallback":false,"nash":true,"users":126,"sc1":"145885/48"}
+  {"batch":2,"mutations":2,"moves":19,"users_moved":58,"seeded_classes":2,"seeded_links":3,"frontier_links":3,"fallback":false,"nash":true,"users":126,"sc1":"46199/16"}
+  {"batch":3,"mutations":2,"moves":2,"users_moved":5,"seeded_classes":2,"seeded_links":2,"frontier_links":3,"fallback":false,"nash":true,"users":123,"sc1":"16543/6"}
+
+Parallel repair scans are bit-identical to the serial ones:
+
+  $ $SR serve stream.game stream.mutlog --domains 3 | tail -3 > par.out
+  $ $SR serve stream.game stream.mutlog | tail -3 | diff - par.out
+
+The wire command converts both inputs to the binary SRWF form and
+back; the service accepts either form:
+
+  $ $SR wire stream.game --out stream.game.srwf
+  $ $SR wire stream.mutlog --out stream.mutlog.srwf
+  $ $SR wire stream.mutlog.srwf
+  batch
+  arrive 0 2 5
+  depart 1 0 4
+  batch
+  reweight 2 5/4
+  capacity 1 2 3/2
+  batch
+  depart 0 1 6
+  arrive 2 0 3
+  $ $SR serve stream.game.srwf stream.mutlog.srwf | head -2
+  class game: 3 classes, 125 users, 3 links; 3 mutation batches
+  initial equilibrium: 2 block moves, 2 users moved
+
+Encoding to stdout is refused (binary would hit the terminal), and the
+text parsers reject binary payloads with a pinned line-1 error:
+
+  $ $SR wire stream.game
+  selfish_routing: internal error, uncaught exception:
+                   Invalid_argument("wire: refusing to write binary data to stdout; pass --out FILE")
+                   
+  [125]
+  $ $SR solve stream.game.srwf
+  selfish_routing: internal error, uncaught exception:
+                   Invalid_argument("Game_io: line 1: binary wire payload (decode it with Serve.Wire or 'selfish_routing wire')")
+                   
+  [125]

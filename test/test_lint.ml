@@ -218,6 +218,17 @@ let test_default_rules_scoping () =
     (has Float_op ignorance);
   Alcotest.(check bool) "ignorance.ml: R1 off (experiments are not poly-scoped)" false
     (has Poly ignorance);
+  (* The streaming service layer repairs equilibria and serialises
+     exact rationals: full numeric + domain-safety scope, like the
+     model core it mutates. *)
+  let repair = default_rules "lib/serve/repair.ml" in
+  Alcotest.(check bool) "repair.ml: R1 on" true (has Poly repair);
+  Alcotest.(check bool) "repair.ml: R2 on" true (has Float_op repair);
+  Alcotest.(check bool) "repair.ml: D1 on" true (has Capture repair);
+  Alcotest.(check bool) "repair.ml: D4 on" true (has Wall_clock repair);
+  let wire = default_rules "lib/serve/wire.ml" in
+  Alcotest.(check bool) "wire.ml: R1 on" true (has Poly wire);
+  Alcotest.(check bool) "wire.ml: R3 on" true (has Nondet wire);
   (* Domain-safety scoping: D2 is off only inside lib/parallel, D3
      only applies under lib/, D4 is off only under bench/. *)
   let parallel = default_rules "lib/parallel/parallel.ml" in

@@ -1,0 +1,575 @@
+(* The streaming service layer (lib/serve): binary wire codec, mutation
+   log parsing, and incremental equilibrium repair.
+
+   The wire tests pin byte-exactness both ways — decode(encode x) is x
+   and encode(decode bytes) reproduces bytes — plus every offset-pinned
+   decoder error.  The repair tests are differential: tens of thousands
+   of randomized mutation sequences must leave the live Cview cursor
+   bit-identical to a fresh cursor re-materialised through
+   to_cgame/of_profile, undo-all must restore the original state (fast
+   lane included), and every repaired profile must pass the exact
+   is_nash that a full re-solve passes. *)
+
+open Model
+open Numeric
+module Mutation = Serve.Mutation
+module Wire = Serve.Wire
+module Repair = Serve.Repair
+
+let check_q = Alcotest.testable Rational.pp Rational.equal
+let q = Rational.of_ints
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+
+(* Small class games across all three uncertainty backends; every
+   quantity the mutations can touch is drawn fresh per trial. *)
+let random_cgame rng =
+  let k = 2 + Prng.Rng.int rng 3 and m = 2 + Prng.Rng.int rng 2 in
+  let counts = Array.init k (fun _ -> 1 + Prng.Rng.int rng 4) in
+  let weights = Array.init k (fun _ -> q (1 + Prng.Rng.int rng 6) (1 + Prng.Rng.int rng 3)) in
+  let row () = Array.init m (fun _ -> q (1 + Prng.Rng.int rng 8) (1 + Prng.Rng.int rng 2)) in
+  match Prng.Rng.int rng 3 with
+  | 0 -> Cgame.of_capacities ~counts ~weights (Array.init k (fun _ -> row ()))
+  | 1 ->
+    let uncertainty =
+      Array.init k (fun _ ->
+          let p = q (1 + Prng.Rng.int rng 4) 4 in
+          Uncertainty.participation ~presence:p (Belief.certain (State.make (row ()))))
+    in
+    Cgame.make_uncertain ~counts ~weights ~uncertainty
+  | _ ->
+    let uncertainty =
+      Array.init k (fun _ ->
+          Uncertainty.strict_of_intervals
+            (Array.map (fun lo -> (lo, Rational.add lo Rational.one)) (row ())))
+    in
+    Cgame.make_uncertain ~counts ~weights ~uncertainty
+
+(* One mutation that is valid against the live view: departures name an
+   occupied link and never empty their class. *)
+let random_mutation rng v =
+  let k = Cview.classes v and m = Cview.links v in
+  let cls = Prng.Rng.int rng k in
+  match Prng.Rng.int rng 4 with
+  | 0 -> Mutation.Arrive { cls; link = Prng.Rng.int rng m; count = 1 + Prng.Rng.int rng 5 }
+  | 1 ->
+    let link = ref 0 in
+    for l = m - 1 downto 0 do
+      if Cview.assigned v cls l > 0 then link := l
+    done;
+    let avail = min (Cview.assigned v cls !link) (Cview.class_count v cls - 1) in
+    if avail <= 0 then Mutation.Arrive { cls; link = !link; count = 1 }
+    else Mutation.Depart { cls; link = !link; count = 1 + Prng.Rng.int rng avail }
+  | 2 -> Mutation.Reweight { cls; weight = q (1 + Prng.Rng.int rng 9) (1 + Prng.Rng.int rng 4) }
+  | _ ->
+    Mutation.Revise_capacity
+      { cls; link = Prng.Rng.int rng m; cap = q (1 + Prng.Rng.int rng 9) (1 + Prng.Rng.int rng 3) }
+
+(* ------------------------------------------------------------------ *)
+(* Wire round-trips                                                    *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let is_class_text text =
+  String.split_on_char '\n' text
+  |> List.exists (fun l -> String.length l >= 6 && String.sub l 0 6 = "class ")
+
+(* Every shipped game file must survive text -> value -> bytes -> value
+   -> bytes with the text writer agreeing at both ends and the second
+   encoding byte-identical to the first. *)
+let test_wire_game_files () =
+  (* "../games" under dune runtest (cwd is _build/default/test),
+     "games" under a bare dune exec from the project root. *)
+  let dir = if Sys.file_exists "../games" then "../games" else "games" in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".game")
+    |> List.sort compare (* lint: allow R1 — sorting file names *)
+  in
+  Alcotest.(check bool) "found shipped game files" true (List.length files >= 5);
+  List.iter
+    (fun f ->
+      let text = read_file (Filename.concat dir f) in
+      if is_class_text text then begin
+        let g = Game_io.parse_cgame text in
+        let bytes = Wire.encode_cgame g in
+        Alcotest.(check bool) (f ^ ": is_wire") true (Wire.is_wire bytes);
+        let g' = Wire.decode_cgame bytes in
+        Alcotest.(check string)
+          (f ^ ": class text agrees after decode")
+          (Game_io.to_class_string g) (Game_io.to_class_string g');
+        Alcotest.(check string) (f ^ ": re-encode is byte-identical") bytes (Wire.encode_cgame g')
+      end
+      else begin
+        let g = Game_io.parse text in
+        let bytes = Wire.encode_game g in
+        Alcotest.(check bool) (f ^ ": is_wire") true (Wire.is_wire bytes);
+        let g' = Wire.decode_game bytes in
+        Alcotest.(check string)
+          (f ^ ": text agrees after decode")
+          (Game_io.to_string g) (Game_io.to_string g');
+        Alcotest.(check string) (f ^ ": re-encode is byte-identical") bytes (Wire.encode_game g')
+      end)
+    files
+
+let test_wire_cgame_roundtrip () =
+  let rng = Prng.Rng.create 77 in
+  for trial = 1 to 200 do
+    let g = random_cgame rng in
+    let bytes = Wire.encode_cgame g in
+    let g' = Wire.decode_cgame bytes in
+    if Game_io.to_class_string g <> Game_io.to_class_string g' then
+      Alcotest.failf "trial %d: class text diverged after wire round-trip" trial;
+    if Wire.encode_cgame g' <> bytes then
+      Alcotest.failf "trial %d: re-encoding is not byte-identical" trial
+  done
+
+let test_wire_profile_roundtrip () =
+  let x = [| 0; 3; 1; 0; 7; 2 |] in
+  let bytes = Wire.encode_profile x in
+  Alcotest.(check (array int)) "profile round-trips" x (Wire.decode_profile bytes);
+  Alcotest.(check string) "profile re-encodes byte-identically" bytes
+    (Wire.encode_profile (Wire.decode_profile bytes));
+  let cx = [| [| 1; 0; 2 |]; [| 0; 4; 0 |] |] in
+  let cbytes = Wire.encode_cprofile cx in
+  Alcotest.(check (array (array int))) "class profile round-trips" cx
+    (Wire.decode_cprofile cbytes);
+  Alcotest.(check string) "class profile re-encodes byte-identically" cbytes
+    (Wire.encode_cprofile (Wire.decode_cprofile cbytes))
+
+(* A log mixing every mutation kind, including a rational whose
+   magnitude needs the multi-byte bigint path. *)
+let test_wire_log_roundtrip () =
+  let huge =
+    (* 3^64 / 7: both components far beyond one native word's worth of
+       little-endian bytes. *)
+    let n = ref Rational.one in
+    for _ = 1 to 64 do
+      n := Rational.mul !n (Rational.of_int 3)
+    done;
+    Rational.div !n (Rational.of_int 7)
+  in
+  let log =
+    [
+      [
+        Mutation.Arrive { cls = 0; link = 2; count = 5 };
+        Mutation.Depart { cls = 1; link = 0; count = 3 };
+      ];
+      [];
+      [
+        Mutation.Reweight { cls = 2; weight = huge };
+        Mutation.Revise_capacity { cls = 0; link = 1; cap = q 9 4 };
+      ];
+    ]
+  in
+  let bytes = Wire.encode_log log in
+  let log' = Wire.decode_log bytes in
+  Alcotest.(check string) "logs agree as canonical text" (Mutation.render log)
+    (Mutation.render log');
+  Alcotest.(check string) "re-encode is byte-identical" bytes (Wire.encode_log log');
+  (* The text form is itself a round-trip: parse (render log) = log. *)
+  Alcotest.(check string) "parse . render is the identity" (Mutation.render log)
+    (Mutation.render (Mutation.parse (Mutation.render log)))
+
+(* ------------------------------------------------------------------ *)
+(* Wire error pins                                                     *)
+
+let raises_invalid msg f =
+  Alcotest.check_raises msg (Invalid_argument msg) (fun () -> ignore (f ()))
+
+let test_wire_errors () =
+  raises_invalid "Wire: offset 0: truncated input (expected 4-byte magic)" (fun () ->
+      Wire.decode_game "SR");
+  raises_invalid "Wire: offset 0: bad magic (not a selfish_routing wire payload)" (fun () ->
+      Wire.decode_game "XXXXtrailing");
+  raises_invalid "Wire: offset 4: unsupported wire version 2 (expected 1)" (fun () ->
+      Wire.decode_game "SRWF\002\000\001");
+  raises_invalid "Wire: offset 6: unknown payload kind 9" (fun () ->
+      Wire.decode_game "SRWF\001\000\009");
+  raises_invalid "Wire: offset 6: expected game payload (kind 1), found profile (kind 3)"
+    (fun () -> Wire.decode_game (Wire.encode_profile [| 1; 2 |]));
+  let profile_bytes = Wire.encode_profile [| 1; 2 |] in
+  raises_invalid
+    (Printf.sprintf "Wire: offset %d: trailing bytes after payload" (String.length profile_bytes))
+    (fun () -> Wire.decode_profile (profile_bytes ^ "x"));
+  (* A truncated body fails inside the payload, not at the header. *)
+  let cut = String.sub profile_bytes 0 (String.length profile_bytes - 2) in
+  raises_invalid "Wire: offset 15: truncated input (need 4 more bytes, 2 available)" (fun () ->
+      Wire.decode_profile cut);
+  (* An element count larger than the remaining bytes is rejected
+     before any allocation. *)
+  raises_invalid "Wire: offset 12: user count 16777216 exceeds remaining payload" (fun () ->
+      Wire.decode_game "SRWF\001\000\001\000\000\000\000\001");
+  ()
+
+(* Hand-built log payloads: header (7 bytes) + u32 batch count + u32
+   mutation count puts the first opcode at offset 15. *)
+let log_payload body =
+  "SRWF\001\000\005" ^ "\001\000\000\000" ^ "\001\000\000\000" ^ body
+
+let test_wire_bigint_errors () =
+  raises_invalid "Wire: offset 15: unknown mutation opcode 9" (fun () ->
+      Wire.decode_log (log_payload "\009"));
+  (* reweight: opcode (15) + u32 class puts the weight bigint at 20;
+     sign byte + u32 length put its magnitude at 25. *)
+  raises_invalid "Wire: offset 26: non-minimal integer encoding" (fun () ->
+      Wire.decode_log (log_payload "\002\000\000\000\000\000\002\000\000\000\005\000"));
+  raises_invalid "Wire: offset 20: negative zero" (fun () ->
+      Wire.decode_log (log_payload "\002\000\000\000\000\001\000\000\000\000"));
+  raises_invalid "Wire: offset 20: bad sign byte 7" (fun () ->
+      Wire.decode_log (log_payload "\002\000\000\000\000\007"));
+  (* A negative denominator decodes as a valid bigint but is rejected
+     as a rational component (numerator 1 first, then den -2). *)
+  raises_invalid "Wire: offset 26: denominator must be positive" (fun () ->
+      Wire.decode_log
+        (log_payload "\002\000\000\000\000\000\001\000\000\000\001\001\001\000\000\000\002"));
+  raises_invalid "Wire: offset 15: weight must be positive" (fun () ->
+      (* reweight with weight 0/1 *)
+      Wire.decode_log
+        (log_payload "\002\000\000\000\000\000\000\000\000\000\000\001\000\000\000\001"));
+  raises_invalid "Wire: offset 15: arrive count must be positive" (fun () ->
+      Wire.decode_log (log_payload "\000\000\000\000\000\001\000\000\000\000\000\000\000"));
+  raises_invalid "Wire: offset 7: mutation log needs at least one batch" (fun () ->
+      Wire.decode_log "SRWF\001\000\005\000\000\000\000")
+
+let test_game_io_rejects_wire () =
+  let g = Game.kp ~weights:[| Rational.one |] ~capacities:[| Rational.one; Rational.one |] in
+  let bytes = Wire.encode_game g in
+  let expected =
+    "Game_io: line 1: binary wire payload (decode it with Serve.Wire or 'selfish_routing wire')"
+  in
+  Alcotest.check_raises "parse rejects SRWF" (Invalid_argument expected) (fun () ->
+      ignore (Game_io.parse bytes));
+  Alcotest.check_raises "parse_cgame rejects SRWF" (Invalid_argument expected) (fun () ->
+      ignore (Game_io.parse_cgame bytes))
+
+(* ------------------------------------------------------------------ *)
+(* Mutation parse error pins                                           *)
+
+let test_mutation_parse_errors () =
+  raises_invalid "Mutation: line 1: mutation before first 'batch' directive" (fun () ->
+      Mutation.parse "arrive 0 0 1");
+  raises_invalid "Mutation: need at least one 'batch' directive" (fun () ->
+      Mutation.parse "# only a comment\n");
+  raises_invalid "Mutation: line 2: expected: arrive <class> <link> <count>" (fun () ->
+      Mutation.parse "batch\narrive 0 0");
+  raises_invalid "Mutation: line 2: bad count \"x\"" (fun () ->
+      Mutation.parse "batch\narrive 0 0 x");
+  raises_invalid "Mutation: line 2: count must be positive" (fun () ->
+      Mutation.parse "batch\ndepart 0 0 0");
+  raises_invalid "Mutation: line 2: class must be non-negative" (fun () ->
+      Mutation.parse "batch\narrive -1 0 1");
+  raises_invalid "Mutation: line 2: weight must be positive" (fun () ->
+      Mutation.parse "batch\nreweight 0 0");
+  raises_invalid "Mutation: line 2: bad number \"7//2\"" (fun () ->
+      Mutation.parse "batch\ncapacity 0 1 7//2");
+  raises_invalid "Mutation: line 3: unknown directive \"rewight\"" (fun () ->
+      Mutation.parse "batch\narrive 0 0 1\nrewight 0 2");
+  raises_invalid "Mutation: line 1: expected: batch (no arguments)" (fun () ->
+      Mutation.parse "batch 3")
+
+(* ------------------------------------------------------------------ *)
+(* Structural-delta differential harness                               *)
+
+let check_view_identity trial v =
+  let g' = Cview.to_cgame v in
+  let fresh = Cview.of_profile g' (Cview.profile v) in
+  let k = Cview.classes v and m = Cview.links v in
+  for l = 0 to m - 1 do
+    if not (Rational.equal (Cview.load v l) (Cview.load fresh l)) then
+      Alcotest.failf "trial %d: load %d diverged from re-materialised view" trial l
+  done;
+  for c = 0 to k - 1 do
+    if not (Rational.equal (Cview.weight v c) (Cview.weight fresh c)) then
+      Alcotest.failf "trial %d: weight %d diverged" trial c;
+    for l = 0 to m - 1 do
+      if not (Rational.equal (Cview.capacity v c l) (Cview.capacity fresh c l)) then
+        Alcotest.failf "trial %d: capacity (%d,%d) diverged" trial c l;
+      if not (Rational.equal (Cview.latency v c l) (Cview.latency fresh c l)) then
+        Alcotest.failf "trial %d: latency (%d,%d) diverged" trial c l
+    done
+  done;
+  if Cview.is_nash v <> Cview.is_nash fresh then
+    Alcotest.failf "trial %d: is_nash diverged from re-materialised view" trial
+
+(* 10^4 randomized mutation sequences: after every sequence the live
+   cursor is bit-identical to a fresh of_profile (to_cgame v)
+   (profile v), and undoing everything restores the original state —
+   loads, profile, and the packed fast lane. *)
+let test_differential_mutations () =
+  let rng = Prng.Rng.create 2006 in
+  for trial = 1 to 10_000 do
+    let g = random_cgame rng in
+    let x = Algo.Cbr.proportional_start g in
+    let v = Cview.of_profile g x in
+    let loads0 = Cview.loads v and packed0 = Cview.packed v in
+    let len = 1 + Prng.Rng.int rng 6 in
+    for _ = 1 to len do
+      Mutation.apply v (random_mutation rng v)
+    done;
+    check_view_identity trial v;
+    while Cview.depth v > 0 do
+      Cview.undo v
+    done;
+    if Cview.revised v then Alcotest.failf "trial %d: undo-all left revisions applied" trial;
+    if Cview.packed v <> packed0 then
+      Alcotest.failf "trial %d: undo-all did not restore the fast lane" trial;
+    Array.iteri
+      (fun l q0 ->
+        if not (Rational.equal q0 (Cview.load v l)) then
+          Alcotest.failf "trial %d: undo-all did not restore load %d" trial l)
+      loads0;
+    let x' = Cview.profile v in
+    Array.iteri
+      (fun c row ->
+        Array.iteri
+          (fun l e ->
+            if e <> x'.(c).(l) then Alcotest.failf "trial %d: undo-all changed the profile" trial)
+          row)
+      x
+  done
+
+(* A packing-hostile weight revision must spill the fast lane in place
+   and undo must reinstate it. *)
+let test_packed_spill_and_restore () =
+  let g =
+    Cgame.kp
+      ~counts:[| 3; 2 |]
+      ~weights:[| Rational.of_int 2; Rational.of_int 1 |]
+      ~capacities:[| Rational.of_int 3; Rational.of_int 1 |]
+  in
+  let v = Cview.of_profile g (Algo.Cbr.proportional_start g) in
+  Alcotest.(check bool) "integer game starts packed" true (Cview.packed v);
+  let before = Cview.loads v in
+  Cview.revise_weight v ~cls:0 (q 1 3);
+  Alcotest.(check bool) "denominator 3 spills the lane" false (Cview.packed v);
+  Alcotest.check check_q "spilled weight visible" (q 1 3) (Cview.weight v 0);
+  Cview.undo v;
+  Alcotest.(check bool) "undo reinstates the packed lane" true (Cview.packed v);
+  Alcotest.(check (array check_q)) "undo restores the loads" before (Cview.loads v)
+
+(* ------------------------------------------------------------------ *)
+(* Repair                                                              *)
+
+(* Generate a batch that is valid from the current equilibrium (by
+   applying to the live view, then undoing), then repair and check the
+   exact verdict a full re-solve reaches. *)
+let test_repair_differential () =
+  let rng = Prng.Rng.create 4242 in
+  for trial = 1 to 1_200 do
+    let g = random_cgame rng in
+    let o = Algo.Cbr.converge g (Algo.Cbr.proportional_start g) in
+    if not o.Algo.Cbr.converged then Alcotest.failf "trial %d: seed solve diverged" trial;
+    let v = Cview.of_profile g o.Algo.Cbr.profile in
+    let d0 = Cview.depth v in
+    let len = 1 + Prng.Rng.int rng 4 in
+    let batch =
+      List.init len (fun _ ->
+          let mu = random_mutation rng v in
+          Mutation.apply v mu;
+          mu)
+    in
+    while Cview.depth v > d0 do
+      Cview.undo v
+    done;
+    let r = Repair.repair_batch v batch in
+    if not r.Repair.nash then Alcotest.failf "trial %d: repair returned nash=false" trial;
+    if not (Cview.is_nash v) then Alcotest.failf "trial %d: repaired view is not Nash" trial;
+    (* The full re-solve reaches the same verdict on the same game. *)
+    let g' = Cview.to_cgame v in
+    let o' = Algo.Cbr.converge g' (Algo.Cbr.proportional_start g') in
+    if not o'.Algo.Cbr.converged then Alcotest.failf "trial %d: re-solve diverged" trial;
+    if not (Cview.is_nash (Cview.of_profile g' o'.Algo.Cbr.profile)) then
+      Alcotest.failf "trial %d: re-solve verdict diverged" trial
+  done
+
+(* Parallel repair scans must pick the same first defector as the
+   serial scan: profiles after every batch are bit-identical across
+   domain counts. *)
+let test_repair_domains_identical () =
+  let k = 12 and m = 4 in
+  let counts = Array.init k (fun _ -> 40) in
+  let weights = Array.init k (fun c -> Rational.of_int ((c mod 5) + 1)) in
+  let caps =
+    Array.init k (fun c ->
+        Array.init m (fun l -> Rational.of_int (((c + l) mod 3 + 1) * (m - l + 1))))
+  in
+  let g = Cgame.of_capacities ~counts ~weights caps in
+  let o = Algo.Cbr.converge g (Algo.Cbr.proportional_start g) in
+  Alcotest.(check bool) "seed converged" true o.Algo.Cbr.converged;
+  let views = List.map (fun _ -> Cview.of_profile g o.Algo.Cbr.profile) [ 1; 2; 5 ] in
+  let rng = Prng.Rng.create 99 in
+  for batchno = 1 to 30 do
+    let v0 = List.hd views in
+    let mu = random_mutation rng v0 in
+    List.iteri
+      (fun i v ->
+        let domains = List.nth [ 1; 2; 5 ] i in
+        let r = Repair.repair_batch ~domains v [ mu ] in
+        if not r.Repair.nash then
+          Alcotest.failf "batch %d: domains=%d returned nash=false" batchno domains)
+      views;
+    let p0 = Cview.profile v0 in
+    List.iteri
+      (fun i v ->
+        if Cview.profile v <> p0 then
+          Alcotest.failf "batch %d: domains=%d profile diverged from serial" batchno
+            (List.nth [ 1; 2; 5 ] i))
+      views
+  done
+
+(* Per-user repair over a View cursor: expand a class equilibrium,
+   mutate at the user level, repair, and check the exact predicate. *)
+let test_repair_view () =
+  let rng = Prng.Rng.create 31337 in
+  for trial = 1 to 300 do
+    let cg = random_cgame rng in
+    let o = Algo.Cbr.converge cg (Algo.Cbr.proportional_start cg) in
+    if not o.Algo.Cbr.converged then Alcotest.failf "trial %d: seed solve diverged" trial;
+    let g = Cgame.expand cg in
+    let x = Cgame.expand_profile cg o.Algo.Cbr.profile in
+    let v = View.of_profile g x in
+    let m = View.links v in
+    let dirty = ref [] and touched = ref [] in
+    let ops = 1 + Prng.Rng.int rng 3 in
+    for _ = 1 to ops do
+      match Prng.Rng.int rng 3 with
+      | 0 ->
+        let link = Prng.Rng.int rng m in
+        let i =
+          View.add_user v
+            ~weight:(q (1 + Prng.Rng.int rng 4) (1 + Prng.Rng.int rng 2))
+            ~capacities:(Array.init m (fun _ -> q (1 + Prng.Rng.int rng 6) 1))
+            ~link ()
+        in
+        dirty := i :: !dirty;
+        touched := link :: !touched
+      | 1 ->
+        if View.active_users v > 1 then begin
+          let i = ref (Prng.Rng.int rng (View.users v)) in
+          while not (View.is_active v !i) do
+            i := (!i + 1) mod View.users v
+          done;
+          touched := View.link v !i :: !touched;
+          View.remove_user v !i
+        end
+      | _ ->
+        let i = ref (Prng.Rng.int rng (View.users v)) in
+        while not (View.is_active v !i) do
+          i := (!i + 1) mod View.users v
+        done;
+        View.revise_capacity v ~user:!i ~link:(Prng.Rng.int rng m)
+          (q (1 + Prng.Rng.int rng 6) (1 + Prng.Rng.int rng 2));
+        dirty := !i :: !dirty
+    done;
+    let r = Repair.repair_view v ~dirty_users:!dirty ~touched_links:!touched in
+    if not r.Repair.nash then Alcotest.failf "trial %d: repair_view returned nash=false" trial;
+    if not (View.is_nash v) then Alcotest.failf "trial %d: repaired View is not Nash" trial
+  done
+
+let test_repair_argument_errors () =
+  let g =
+    Cgame.kp ~counts:[| 4 |] ~weights:[| Rational.one |]
+      ~capacities:[| Rational.one; Rational.one |]
+  in
+  let v = Cview.of_profile g [| [| 4; 0 |] |] in
+  raises_invalid "Repair.repair_batch: domains must be positive" (fun () ->
+      Repair.repair_batch ~domains:0 v []);
+  raises_invalid "Repair.repair_batch: max_steps must be positive" (fun () ->
+      Repair.repair_batch ~max_steps:0 v []);
+  raises_invalid "Repair.repair_view: max_steps must be positive" (fun () ->
+      let pg = Cgame.expand g in
+      Repair.repair_view ~max_steps:0 (View.of_profile pg (Array.make 4 0)) ~dirty_users:[]
+        ~touched_links:[])
+
+(* An exhausted move budget must raise, never return a non-Nash
+   profile. *)
+let test_repair_budget_exhaustion () =
+  let g =
+    Cgame.kp
+      ~counts:[| 12; 12 |]
+      ~weights:[| Rational.one; Rational.of_int 2 |]
+      ~capacities:[| Rational.of_int 3; Rational.of_int 2; Rational.one |]
+  in
+  let o = Algo.Cbr.converge g (Algo.Cbr.proportional_start g) in
+  Alcotest.(check bool) "seed converged" true o.Algo.Cbr.converged;
+  let v = Cview.of_profile g o.Algo.Cbr.profile in
+  let batch =
+    [
+      Mutation.Arrive { cls = 0; link = 2; count = 30 };
+      Mutation.Arrive { cls = 1; link = 2; count = 30 };
+    ]
+  in
+  raises_invalid "Repair.repair_batch: fallback did not converge within max_steps" (fun () ->
+      Repair.repair_batch ~max_steps:1 v batch)
+
+(* Mutation.apply guards and the view's ownership sanitizer on the
+   mutation path. *)
+let test_mutation_apply_guards () =
+  let g =
+    Cgame.kp ~counts:[| 3 |] ~weights:[| Rational.one |]
+      ~capacities:[| Rational.one; Rational.one |]
+  in
+  let v = Cview.of_profile g [| [| 3; 0 |] |] in
+  raises_invalid "Mutation.apply: arrive count must be positive" (fun () ->
+      Mutation.apply v (Mutation.Arrive { cls = 0; link = 0; count = 0 }));
+  raises_invalid "Mutation.apply: depart count must be positive" (fun () ->
+      Mutation.apply v (Mutation.Depart { cls = 0; link = 0; count = 0 }));
+  raises_invalid "Cview.revise_count: departures exceed the users of the class on the link"
+    (fun () -> Mutation.apply v (Mutation.Depart { cls = 0; link = 1; count = 1 }));
+  let module O = Parallel.Ownership in
+  let saved = !O.enabled in
+  O.enabled := true;
+  Fun.protect
+    ~finally:(fun () -> O.enabled := saved)
+    (fun () ->
+      Cview.unsafe_set_owner v 777;
+      let expected =
+        O.Violation
+          (Printf.sprintf
+             "SELFISH_OWNERSHIP: Cview cursor created on domain 777 mutated from domain %d"
+             (O.self_id ()))
+      in
+      Alcotest.check_raises "foreign-domain mutation trips the sanitizer" expected (fun () ->
+          Mutation.apply v (Mutation.Arrive { cls = 0; link = 0; count = 1 }));
+      Cview.unsafe_set_owner v (O.self_id ()))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "shipped game files round-trip" `Quick test_wire_game_files;
+          Alcotest.test_case "random class games round-trip" `Quick test_wire_cgame_roundtrip;
+          Alcotest.test_case "profiles round-trip" `Quick test_wire_profile_roundtrip;
+          Alcotest.test_case "mutation logs round-trip" `Quick test_wire_log_roundtrip;
+          Alcotest.test_case "header and framing errors" `Quick test_wire_errors;
+          Alcotest.test_case "integer and payload errors" `Quick test_wire_bigint_errors;
+          Alcotest.test_case "Game_io rejects wire payloads" `Quick test_game_io_rejects_wire;
+        ] );
+      ( "mutation",
+        [
+          Alcotest.test_case "parse error pins" `Quick test_mutation_parse_errors;
+          Alcotest.test_case "apply guards and ownership" `Quick test_mutation_apply_guards;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "10k mutation sequences vs re-materialisation" `Slow
+            test_differential_mutations;
+          Alcotest.test_case "packed spill and restore" `Quick test_packed_spill_and_restore;
+        ] );
+      ( "repair",
+        [
+          Alcotest.test_case "repair vs full re-solve" `Slow test_repair_differential;
+          Alcotest.test_case "parallel scans are bit-identical" `Quick
+            test_repair_domains_identical;
+          Alcotest.test_case "per-user repair_view" `Slow test_repair_view;
+          Alcotest.test_case "argument errors" `Quick test_repair_argument_errors;
+          Alcotest.test_case "budget exhaustion raises" `Quick test_repair_budget_exhaustion;
+        ] );
+    ]

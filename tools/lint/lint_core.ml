@@ -104,7 +104,8 @@ let normalize_path p =
 (* Modules whose values flow through Nash predicates: polymorphic
    structural operations there risk diverging from the numeric
    tower's canonical equality. *)
-let poly_scoped_dirs = [ "lib/numeric/"; "lib/model/"; "lib/algo/"; "lib/kp/"; "lib/engine/" ]
+let poly_scoped_dirs =
+  [ "lib/numeric/"; "lib/model/"; "lib/algo/"; "lib/kp/"; "lib/engine/"; "lib/serve/" ]
 
 (* Float arithmetic is legitimate only in the statistics layer, the
    report renderer and the benchmarks. *)
